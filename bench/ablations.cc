@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *  1. DTU transfer width: the 8 B/cycle claim (Sec. 5.4) — how the read
+ *     benchmark responds to narrower/wider DTU/NoC links.
+ *  2. Background zeroing: m3fs prepares zero blocks while idle
+ *     (Sec. 5.4) — cost of the write benchmark with synchronous zeroing
+ *     instead.
+ *  3. Buffer sizes: Linux's 4 KiB sweet spot vs M3 gaining up to the
+ *     SPM limit (Sec. 5.4).
+ *  4. DTU-backed cache (Sec. 7 future work) vs explicit bulk transfers
+ *     on the streaming data path.
+ *  5. Pipe ring chunking: how the number of in-flight chunks (credits)
+ *     affects pipe throughput (Sec. 4.5.7: large ringbuffers maximise
+ *     reader/writer parallelism).
+ */
+
+#include <vector>
+
+#include "bench/common.hh"
+#include "libm3/cached_mem.hh"
+#include "libm3/pipe.hh"
+#include "libm3/vpe.hh"
+#include "libm3/m3system.hh"
+#include "workloads/micro.hh"
+
+using namespace m3;
+using namespace m3::workloads;
+
+namespace
+{
+
+/** Pipe transfer with a configurable chunk count. */
+Cycles
+pipeWithChunks(uint32_t chunks)
+{
+    M3SystemCfg cfg;
+    cfg.appPes = 3;
+    cfg.withFs = false;
+    M3System sys(std::move(cfg));
+    Cycles wall = 0;
+    sys.runRoot("pipe", [&] {
+        Env &env = Env::cur();
+        const size_t bytes = 512 * KiB;
+        Cycles t0 = env.platform.simulator().curCycle();
+        Pipe pipe(env, false, Pipe::DEFAULT_RING_BYTES, chunks);
+        VPE child(env, "writer");
+        if (child.err() != Error::None)
+            return 1;
+        pipe.delegateTo(child);
+        child.run([chunks, bytes] {
+            Env &cenv = Env::cur();
+            auto out = pipePeer(cenv, true, PIPE_PEER_SELS,
+                                Pipe::DEFAULT_RING_BYTES, chunks);
+            std::vector<uint8_t> b(4096, 1);
+            size_t done = 0;
+            while (done < bytes) {
+                if (out->write(b.data(), b.size()) < 0)
+                    return 1;
+                done += b.size();
+            }
+            return 0;
+        });
+        auto in = pipe.host();
+        std::vector<uint8_t> b(4096);
+        for (;;) {
+            ssize_t n = in->read(b.data(), b.size());
+            if (n <= 0)
+                break;
+        }
+        child.wait();
+        wall = env.platform.simulator().curCycle() - t0;
+        return 0;
+    });
+    sys.simulate();
+    return wall;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Ablations of the M3 design choices\n");
+    bool ok = true;
+
+    // --- 1. DTU/NoC transfer width -----------------------------------
+    {
+        const std::vector<uint32_t> widths = {1, 2, 4, 8, 16};
+        std::vector<std::string> cols = {"bytes/cycle"};
+        for (uint32_t w : widths)
+            cols.push_back(std::to_string(w));
+        bench::header("2 MiB read vs DTU width", cols, 12);
+        bench::cell("cycles", 12);
+        std::vector<Cycles> walls;
+        for (uint32_t w : widths) {
+            MicroOpts opts;
+            opts.m3.costs.hw.nocBytesPerCycle = w;
+            RunResult r = m3FileRead(opts);
+            ok &= r.rc == 0;
+            walls.push_back(r.wall);
+            bench::cellCycles(r.wall, 12);
+        }
+        bench::endRow();
+        ok &= bench::verdict(
+            "throughput scales with the DTU width until software "
+            "dominates (1B/c at least 3x slower than 8B/c)",
+            walls[0] > 3 * walls[3]);
+        // The absolute saving of each doubling matches the pure
+        // serialisation model (size/8 - size/16), i.e. the software
+        // share stays constant while transfers shrink.
+        Cycles saved = walls[3] - walls[4];
+        Cycles model = 2 * MiB / 8 - 2 * MiB / 16;
+        ok &= bench::verdict(
+            "the 8->16 B/c saving matches the bandwidth model "
+            "(within 10%)",
+            saved > model * 9 / 10 && saved < model * 11 / 10);
+    }
+
+    // --- 2. Background zeroing ----------------------------------------
+    {
+        MicroOpts bg;
+        MicroOpts sync;
+        sync.m3.fsBackgroundZero = false;
+        RunResult rBg = m3FileWrite(bg);
+        RunResult rSync = m3FileWrite(sync);
+        ok &= rBg.rc == 0 && rSync.rc == 0;
+        bench::header("2 MiB write vs zeroing policy",
+                      {"policy", "cycles"}, 16);
+        bench::cell("background", 16);
+        bench::cellCycles(rBg.wall, 16);
+        bench::endRow();
+        bench::cell("synchronous", 16);
+        bench::cellCycles(rSync.wall, 16);
+        bench::endRow();
+        ok &= bench::verdict(
+            "background zero blocks avoid a substantial write cost "
+            "(sync is >15% slower)",
+            rSync.wall > rBg.wall * 115 / 100);
+    }
+
+    // --- 3. Buffer size (Sec. 5.4) -------------------------------------
+    // "4 KiB is the sweet spot on Linux (M3 benefits from larger buffer
+    // sizes until all available space in the SPM is used)."
+    {
+        const std::vector<uint32_t> bufs = {1024, 2048, 4096, 8192,
+                                            16384};
+        std::vector<std::string> cols = {"buffer"};
+        for (uint32_t b : bufs)
+            cols.push_back(std::to_string(b));
+        bench::header("2 MiB read vs buffer size", cols, 12);
+        std::vector<Cycles> m3Walls, lxWalls;
+        bench::cell("M3", 12);
+        for (uint32_t b : bufs) {
+            MicroOpts opts;
+            opts.bufSize = b;
+            RunResult r = m3FileRead(opts);
+            ok &= r.rc == 0;
+            m3Walls.push_back(r.wall);
+            bench::cellCycles(r.wall, 12);
+        }
+        bench::endRow();
+        bench::cell("Lx", 12);
+        for (uint32_t b : bufs) {
+            MicroOpts opts;
+            opts.bufSize = b;
+            RunResult r = lxFileRead(opts);
+            ok &= r.rc == 0;
+            lxWalls.push_back(r.wall);
+            bench::cellCycles(r.wall, 12);
+        }
+        bench::endRow();
+        ok &= bench::verdict(
+            "M3 keeps benefiting from larger buffers up to the SPM "
+            "limit (16K beats 4K)",
+            m3Walls[4] < m3Walls[2]);
+        ok &= bench::verdict(
+            "Linux gains little beyond 4 KiB (<8% from 4K to 16K)",
+            lxWalls[2] < lxWalls[4] * 108 / 100);
+    }
+
+    // --- 4. DTU-backed cache vs explicit bulk transfers ----------------
+    // Sec. 7 sketches caches that fetch lines through the DTU. For the
+    // streaming data path the explicit bulk transfer wins by a wide
+    // margin (line-granular fills waste the 8 B/cycle pipe on latency),
+    // which is why the paper keeps data transfers explicit and sees
+    // caches as an enabler for POSIX code, not a faster data path.
+    {
+        M3SystemCfg cfg;
+        cfg.appPes = 2;
+        cfg.withFs = false;
+        M3System sys(std::move(cfg));
+        Cycles bulkDur = 0, cachedDur = 0;
+        sys.runRoot("cache-abl", [&] {
+            Env &env = Env::cur();
+            constexpr size_t BYTES = 512 * KiB;
+            MemGate gate = MemGate::create(env, BYTES, MEM_RW);
+
+            std::vector<uint8_t> buf(4096);
+            Cycles t0 = env.platform.simulator().curCycle();
+            for (size_t off = 0; off < BYTES; off += buf.size())
+                gate.read(buf.data(), buf.size(), off);
+            bulkDur = env.platform.simulator().curCycle() - t0;
+
+            CachedMem cache(gate, 64, 64, 4);
+            t0 = env.platform.simulator().curCycle();
+            uint64_t word = 0;
+            for (size_t off = 0; off < BYTES; off += sizeof(word))
+                cache.read(off, &word, sizeof(word));
+            cachedDur = env.platform.simulator().curCycle() - t0;
+            return 0;
+        });
+        sys.simulate();
+        ok &= sys.rootExitCode() == 0;
+        bench::header("512 KiB sequential read: bulk DTU vs cache",
+                      {"path", "cycles"}, 20);
+        bench::cell("bulk 4K transfers", 20);
+        bench::cellCycles(bulkDur, 20);
+        bench::endRow();
+        bench::cell("64B-line cache", 20);
+        bench::cellCycles(cachedDur, 20);
+        bench::endRow();
+        ok &= bench::verdict(
+            "explicit bulk transfers beat line-granular caching >3x "
+            "on the streaming data path",
+            cachedDur > 3 * bulkDur);
+    }
+
+    // --- 5. Pipe chunking ---------------------------------------------
+    {
+        const std::vector<uint32_t> chunkCounts = {1, 2, 4, 8, 16};
+        std::vector<std::string> cols = {"chunks"};
+        for (uint32_t c : chunkCounts)
+            cols.push_back(std::to_string(c));
+        bench::header("512 KiB pipe vs in-flight chunks", cols, 12);
+        bench::cell("cycles", 12);
+        std::vector<Cycles> walls;
+        for (uint32_t c : chunkCounts) {
+            Cycles w = pipeWithChunks(c);
+            walls.push_back(w);
+            bench::cellCycles(w, 12);
+        }
+        bench::endRow();
+        ok &= bench::verdict(
+            "a single in-flight chunk serialises reader and writer "
+            "(1 chunk >25% slower than 8)",
+            walls[0] > walls[3] * 125 / 100);
+        ok &= bench::verdict("more than 8 chunks adds little (<10%)",
+                             walls[3] < walls[4] * 110 / 100);
+    }
+
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: fixed-width table
+ * printing, ratio formatting and shape verdicts. Every bench prints the
+ * rows/series of its paper figure plus a PASS/FAIL shape check.
+ */
+
+#ifndef M3_BENCH_COMMON_HH
+#define M3_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace m3
+{
+namespace bench
+{
+
+/** Print a table header followed by a separator line. */
+inline void
+header(const std::string &title, const std::vector<std::string> &cols,
+       int width = 14)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    for (const auto &c : cols)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < cols.size(); ++i)
+        std::printf("%*s", width, "------------");
+    std::printf("\n");
+}
+
+inline void
+cell(const std::string &s, int width = 14)
+{
+    std::printf("%*s", width, s.c_str());
+}
+
+inline void
+cellCycles(Cycles c, int width = 14)
+{
+    char buf[64];
+    if (c >= 10'000'000)
+        std::snprintf(buf, sizeof(buf), "%.2fM",
+                      static_cast<double>(c) / 1e6);
+    else if (c >= 100'000)
+        std::snprintf(buf, sizeof(buf), "%.0fK",
+                      static_cast<double>(c) / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(c));
+    std::printf("%*s", width, buf);
+}
+
+inline void
+cellRatio(double r, int width = 14)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", r);
+    std::printf("%*s", width, buf);
+}
+
+inline void
+endRow()
+{
+    std::printf("\n");
+}
+
+/** A shape check: the qualitative claim the paper's figure makes. */
+inline bool
+verdict(const std::string &claim, bool holds)
+{
+    std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim.c_str());
+    return holds;
+}
+
+} // namespace bench
+} // namespace m3
+
+#endif // M3_BENCH_COMMON_HH

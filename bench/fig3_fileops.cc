@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 3 (right) / Sec. 5.4: file operations — read, write and pipe of
+ * 2 MiB with 4 KiB buffers, m3fs vs tmpfs. The bars split into data
+ * transfers ("Xfers": DTU streaming vs memcpy) and the rest ("Other").
+ * Lx-$ is Linux with all cache hits.
+ */
+
+#include "bench/common.hh"
+#include "workloads/micro.hh"
+
+using namespace m3;
+using namespace m3::workloads;
+
+namespace
+{
+
+void
+row(const char *name, const RunResult &r)
+{
+    bench::cell(name);
+    bench::cellCycles(r.wall);
+    bench::cellCycles(r.xfer());
+    Cycles other = r.acct.totalBusy() > r.xfer()
+                       ? r.acct.totalBusy() - r.xfer()
+                       : 0;
+    bench::cellCycles(other);
+    bench::endRow();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Figure 3 (right): 2 MiB file operations, 4 KiB "
+                "buffers\n");
+
+    MicroOpts opts;
+    MicroOpts optsHit;
+    optsHit.lx.cacheAlwaysHit = true;
+
+    RunResult m3Read = m3FileRead(opts);
+    RunResult lxRead = lxFileRead(opts);
+    RunResult lxReadH = lxFileRead(optsHit);
+
+    RunResult m3Write = m3FileWrite(opts);
+    RunResult lxWrite = lxFileWrite(opts);
+    RunResult lxWriteH = lxFileWrite(optsHit);
+
+    RunResult m3Pipe = m3PipeXfer(opts);
+    RunResult lxPipe = lxPipeXfer(opts);
+    RunResult lxPipeH = lxPipeXfer(optsHit);
+
+    bench::header("Read", {"system", "total", "Xfers", "Other"});
+    row("M3", m3Read);
+    row("Lx-$", lxReadH);
+    row("Lx", lxRead);
+
+    bench::header("Write", {"system", "total", "Xfers", "Other"});
+    row("M3", m3Write);
+    row("Lx-$", lxWriteH);
+    row("Lx", lxWrite);
+
+    bench::header("Pipe", {"system", "total", "Xfers", "Other"});
+    row("M3", m3Pipe);
+    row("Lx-$", lxPipeH);
+    row("Lx", lxPipe);
+
+    std::printf("\nShape checks (Sec. 5.4):\n");
+    bool ok = true;
+    for (const RunResult *r :
+         {&m3Read, &lxRead, &lxReadH, &m3Write, &lxWrite, &lxWriteH,
+          &m3Pipe, &lxPipe, &lxPipeH})
+        ok &= r->rc == 0;
+    bench::verdict("all runs completed", ok);
+    ok &= bench::verdict(
+        "M3 wins each operation by a large factor (>3x)",
+        lxRead.wall > 3 * m3Read.wall && lxWrite.wall > 3 * m3Write.wall &&
+            lxPipe.wall > 3 * m3Pipe.wall);
+    ok &= bench::verdict(
+        "a large portion of the difference is data transfers",
+        lxRead.xfer() > 4 * m3Read.xfer() &&
+            lxPipe.xfer() > 4 * m3Pipe.xfer());
+    ok &= bench::verdict("M3 also has much less OS overhead on read",
+                         (lxRead.acct.totalBusy() - lxRead.xfer()) >
+                             3 * (m3Read.acct.totalBusy() -
+                                  m3Read.xfer()));
+    ok &= bench::verdict("Lx-$ sits between M3 and Lx",
+                         lxReadH.wall < lxRead.wall &&
+                             lxReadH.wall > m3Read.wall);
+    ok &= bench::verdict("write costs more than read on Linux "
+                         "(page zeroing)",
+                         lxWrite.wall > lxRead.wall);
+    ok &= bench::verdict("the pipe is the most expensive op on Linux",
+                         lxPipe.wall > lxRead.wall &&
+                             lxPipe.wall > lxWrite.wall);
+    return ok ? 0 : 1;
+}

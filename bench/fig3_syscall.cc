@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 3 (left) / Sec. 5.3: the null system call. On M3 a syscall is a
+ * DTU message to the kernel PE plus the reply (~200 cycles, ~30 of them
+ * transfers); on Linux it is a mode switch (410 cycles on Xtensa, 320 on
+ * ARM — Sec. 5.2).
+ */
+
+#include "bench/common.hh"
+#include "workloads/micro.hh"
+
+using namespace m3;
+using namespace m3::workloads;
+
+int
+main()
+{
+    std::printf("Figure 3 (left): null system call\n");
+
+    const uint32_t iters = 64;
+    RunResult m3r = m3NullSyscall(iters);
+    RunResult lxr = lxNullSyscall(iters);
+    LxRunOpts lxHit;
+    lxHit.cacheAlwaysHit = true;
+    RunResult lxh = lxNullSyscall(iters, lxHit);
+
+    bench::header("Syscall", {"system", "cycles", "Xfers", "Other"});
+    bench::cell("M3");
+    bench::cellCycles(m3r.wall);
+    bench::cellCycles(m3r.xfer() / iters);
+    bench::cellCycles((m3r.acct.totalBusy() - m3r.xfer()) / iters);
+    bench::endRow();
+    bench::cell("Lx");
+    bench::cellCycles(lxr.wall);
+    bench::cellCycles(0);
+    bench::cellCycles(lxr.wall);
+    bench::endRow();
+    bench::cell("Lx-$");
+    bench::cellCycles(lxh.wall);
+    bench::cellCycles(0);
+    bench::cellCycles(lxh.wall);
+    bench::endRow();
+
+    std::printf("\nShape checks (Sec. 5.3):\n");
+    bool ok = m3r.rc == 0 && lxr.rc == 0;
+    ok &= bench::verdict("M3 syscall is ~200 cycles (150..260)",
+                         m3r.wall >= 150 && m3r.wall <= 260);
+    ok &= bench::verdict("Linux syscall is ~410 cycles",
+                         lxr.wall >= 390 && lxr.wall <= 430);
+    ok &= bench::verdict("M3 transfers are ~30 cycles of the total",
+                         m3r.xfer() / iters >= 15 &&
+                             m3r.xfer() / iters <= 60);
+    double speedup = static_cast<double>(lxr.wall) /
+                     static_cast<double>(m3r.wall);
+    ok &= bench::verdict("M3 is about twice as fast as Linux (1.7..2.6)",
+                         speedup > 1.7 && speedup < 2.6);
+    return ok ? 0 : 1;
+}

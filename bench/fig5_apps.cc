@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 5 / Sec. 5.6: application-level benchmarks — cat+tr, tar,
+ * untar, find and sqlite — on M3 versus Linux (with and without cache
+ * misses), broken down into application compute, data transfers and OS
+ * overhead.
+ *
+ * Expected shape: M3 ~2x on cat+tr, ~5-6x on tar/untar, slightly behind
+ * on find, roughly equal on the compute-bound sqlite.
+ */
+
+#include "bench/common.hh"
+#include "workloads/generators.hh"
+#include "workloads/runners.hh"
+
+using namespace m3;
+using namespace m3::workloads;
+
+namespace
+{
+
+void
+row(const std::string &name, const RunResult &r)
+{
+    bench::cell(name, 10);
+    bench::cellCycles(r.wall, 12);
+    bench::cellCycles(r.app(), 12);
+    bench::cellCycles(r.xfer(), 12);
+    bench::cellCycles(r.os(), 12);
+    bench::endRow();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Figure 5: application-level benchmarks "
+                "(App / Xfers / OS breakdown)\n");
+
+    ComputeCosts compute;
+    LxRunOpts lxMiss;
+    LxRunOpts lxHit;
+    lxHit.cacheAlwaysHit = true;
+
+    struct Entry
+    {
+        std::string name;
+        RunResult m3r, lxh, lxr;
+    };
+    std::vector<Entry> entries;
+
+    {
+        CatTrParams p;
+        entries.push_back({"cat+tr", runM3CatTr(p), runLxCatTr(p, lxHit),
+                           runLxCatTr(p, lxMiss)});
+    }
+    for (const Workload &w : makeAllTraceWorkloads(compute)) {
+        entries.push_back({w.name, runM3Trace(w), runLxTrace(w, lxHit),
+                           runLxTrace(w, lxMiss)});
+    }
+
+    bool ok = true;
+    for (const Entry &e : entries) {
+        bench::header(e.name,
+                      {"system", "total", "App", "Xfers", "OS"}, 12);
+        row("M3", e.m3r);
+        row("Lx-$", e.lxh);
+        row("Lx", e.lxr);
+        ok &= e.m3r.rc == 0 && e.lxh.rc == 0 && e.lxr.rc == 0;
+    }
+
+    auto ratio = [&](const std::string &name) {
+        for (const Entry &e : entries)
+            if (e.name == name)
+                return static_cast<double>(e.m3r.wall) /
+                       static_cast<double>(e.lxr.wall);
+        return -1.0;
+    };
+
+    std::printf("\nShape checks (Sec. 5.6):\n");
+    bench::verdict("all runs completed", ok);
+    ok &= bench::verdict("cat+tr: M3 is about twice as fast (0.4..0.65)",
+                         ratio("cat+tr") > 0.40 &&
+                             ratio("cat+tr") < 0.65);
+    ok &= bench::verdict("tar: M3 needs only ~20% of the Linux time "
+                         "(0.12..0.30)",
+                         ratio("tar") > 0.12 && ratio("tar") < 0.30);
+    ok &= bench::verdict("untar: M3 needs only ~16% of the Linux time "
+                         "(0.10..0.26)",
+                         ratio("untar") > 0.10 && ratio("untar") < 0.26);
+    ok &= bench::verdict("find: Linux is slightly faster "
+                         "(M3/Lx in 1.0..1.6)",
+                         ratio("find") > 1.0 && ratio("find") < 1.6);
+    ok &= bench::verdict("sqlite: roughly equal, M3 slightly ahead "
+                         "(0.80..1.0)",
+                         ratio("sqlite") > 0.80 && ratio("sqlite") <= 1.0);
+    for (const Entry &e : entries) {
+        if (e.name != "sqlite")
+            continue;
+        ok &= bench::verdict("sqlite is dominated by computation on "
+                             "both systems",
+                             e.m3r.app() > e.m3r.os() + e.m3r.xfer() &&
+                                 e.lxr.app() >
+                                     e.lxr.os() + e.lxr.xfer());
+    }
+    return ok ? 0 : 1;
+}

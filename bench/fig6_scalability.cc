@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 6: scalability of the OS design with a single kernel and a
+ * single m3fs instance. N instances of each application benchmark run in
+ * parallel (one per PE); the table shows the average time per instance,
+ * normalised to one instance — flatter is better. DRAM data transfers
+ * are replaced by equal-time spins, per the paper's methodology
+ * (Sec. 5.7).
+ */
+
+#include <map>
+
+#include "bench/common.hh"
+#include "workloads/runners.hh"
+
+using namespace m3;
+using namespace m3::workloads;
+
+int
+main()
+{
+    const std::vector<uint32_t> counts = {1, 2, 4, 8, 16};
+    const std::vector<std::string> benches = {"cat+tr", "tar", "untar",
+                                              "find", "sqlite"};
+
+    std::printf("Figure 6: average time per benchmark instance,\n"
+                "normalised to one instance (flatter is better)\n");
+
+    std::vector<std::string> cols = {"instances"};
+    for (uint32_t n : counts)
+        cols.push_back(std::to_string(n));
+    bench::header("M3 scalability, single kernel + single m3fs", cols,
+                  12);
+
+    std::map<std::string, std::vector<double>> normalised;
+    bool allOk = true;
+    for (const std::string &b : benches) {
+        bench::cell(b, 12);
+        double base = 0;
+        for (uint32_t n : counts) {
+            ScalabilityResult r = runM3Scalability(b, n);
+            if (r.rc != 0) {
+                std::printf(" run failed (%d)\n", r.rc);
+                allOk = false;
+                break;
+            }
+            if (n == 1)
+                base = static_cast<double>(r.avgInstance);
+            double norm = static_cast<double>(r.avgInstance) / base;
+            normalised[b].push_back(norm);
+            bench::cellRatio(norm, 12);
+        }
+        bench::endRow();
+    }
+
+    std::printf("\nShape checks (Sec. 5.7):\n");
+    auto at = [&](const std::string &b, uint32_t n) {
+        size_t idx = 0;
+        for (size_t i = 0; i < counts.size(); ++i)
+            if (counts[i] == n)
+                idx = i;
+        return normalised[b][idx];
+    };
+    bool ok = allOk;
+    ok &= bench::verdict("all benchmarks scale well up to 4 instances "
+                         "(within 25%)",
+                         at("cat+tr", 4) < 1.25 && at("tar", 4) < 1.25 &&
+                             at("untar", 4) < 1.25 &&
+                             at("find", 4) < 1.25 &&
+                             at("sqlite", 4) < 1.25);
+    ok &= bench::verdict("cat+tr shows nearly no degradation at 16",
+                         at("cat+tr", 16) < 1.2);
+    ok &= bench::verdict("sqlite stays acceptable at 16 (compute-bound)",
+                         at("sqlite", 16) < 1.5);
+    ok &= bench::verdict("find degrades significantly at 16 instances",
+                         at("find", 16) > 1.5);
+    ok &= bench::verdict("find/untar degrade more than cat+tr/sqlite "
+                         "at 16",
+                         at("find", 16) > at("cat+tr", 16) &&
+                             at("untar", 16) > at("sqlite", 16));
+
+    // ------------------------------------------------------------------
+    // Extension (the paper's Sec. 7 future work): multiple m3fs
+    // instances. find saturates a single service at 16 clients; shard
+    // the clients across 1/2/4 instances and watch the bottleneck
+    // dissolve.
+    // ------------------------------------------------------------------
+    const std::vector<uint32_t> services = {1, 2, 4};
+    std::vector<std::string> cols2 = {"fs instances"};
+    for (uint32_t s : services)
+        cols2.push_back(std::to_string(s));
+    bench::header("find, 16 clients, sharded m3fs instances "
+                  "(Sec. 7 extension)",
+                  cols2, 14);
+    bench::cell("norm. time", 14);
+    workloads::M3RunOpts one;
+    ScalabilityResult base1 = runM3Scalability("find", 1, one);
+    std::vector<double> shard;
+    for (uint32_t s : services) {
+        workloads::M3RunOpts opts;
+        opts.fsInstances = s;
+        ScalabilityResult r = runM3Scalability("find", 16, opts);
+        if (r.rc != 0 || base1.rc != 0) {
+            std::printf(" run failed\n");
+            return 1;
+        }
+        shard.push_back(static_cast<double>(r.avgInstance) /
+                        static_cast<double>(base1.avgInstance));
+        bench::cellRatio(shard.back(), 14);
+    }
+    bench::endRow();
+    ok &= bench::verdict("two fs instances roughly halve the "
+                         "16-client find degradation",
+                         shard[1] < 1.0 + (shard[0] - 1.0) * 0.6);
+    ok &= bench::verdict("four fs instances nearly remove it "
+                         "(within 40% of one client)",
+                         shard[2] < 1.4);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Capability walkthrough (Sec. 4.5.3): create kernel objects, delegate
+ * capabilities to a child VPE, observe NoC-level isolation in action
+ * (an unauthorised DTU simply cannot reach a resource), and revoke a
+ * capability recursively so every grant disappears.
+ */
+
+#include <cstdio>
+
+#include "libm3/m3system.hh"
+#include "libm3/serial.hh"
+#include "libm3/vpe.hh"
+
+using namespace m3;
+
+int
+main()
+{
+    M3SystemCfg cfg;
+    cfg.appPes = 3;
+    cfg.withFs = false;
+    M3System sys(std::move(cfg));
+
+    sys.runRoot("captour", [] {
+        Env &env = Env::cur();
+        auto &out = Serial::get();
+
+        // 1. A memory capability: the kernel allocated DRAM and only
+        //    this VPE can reach it (through its DTU endpoint).
+        MemGate secretMem = MemGate::create(env, 64 * KiB, MEM_RW);
+        uint64_t secret = 0x5eC2e7;
+        secretMem.write(&secret, sizeof(secret), 0);
+        out << "wrote the secret through the memory capability\n";
+
+        // 2. Derive a READ-ONLY sub-range capability; the child gets
+        //    only that (attenuation).
+        MemGate readOnly = secretMem.derive(0, 4 * KiB, MEM_R);
+        uint64_t peek = 0;
+        readOnly.read(&peek, sizeof(peek), 0);  // binds an endpoint
+        out << "read-only view sees: " << peek << "\n";
+
+        VPE child(env, "auditor");
+        if (child.err() != Error::None)
+            return 1;
+        // Delegate the read-only cap to selector 40 in the child.
+        child.delegate(readOnly.capSel(), 1, 40);
+        child.run([] {
+            Env &cenv = Env::cur();
+            auto &cout = Serial::get();
+            MemGate gate(cenv, 40, 4 * KiB);
+            uint64_t v = 0;
+            gate.read(&v, sizeof(v), 0);
+            cout << "child read the secret: " << v << "\n";
+            // Writing must fail: the capability is read-only.
+            Error e = gate.write(&v, sizeof(v), 0);
+            cout << "child write attempt: " << errorName(e) << "\n";
+            return e == Error::NoPerm ? 0 : 1;
+        });
+        if (child.wait() != 0)
+            return 2;
+
+        // 3. Revoke recursively: the child's grant dies with ours.
+        out << "revoking the derived capability (and all its grants)\n";
+        env.revoke(readOnly.capSel(), true);
+
+        // 4. NoC-level isolation: after revocation the kernel
+        //    invalidated the DTU endpoint; the hardware refuses access.
+        uint64_t dummy = 0;
+        Error e = readOnly.read(&dummy, sizeof(dummy), 0);
+        out << "own access after revoke: " << errorName(e) << "\n";
+
+        // The parent capability still works.
+        uint64_t check = 0;
+        secretMem.read(&check, sizeof(check), 0);
+        out << "parent capability still reads: " << check << "\n";
+        return e == Error::InvalidEp && check == secret ? 0 : 3;
+    });
+
+    sys.simulate();
+    std::printf("root exit code: %d\n", sys.rootExitCode());
+    return sys.rootExitCode();
+}

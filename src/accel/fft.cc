@@ -1,0 +1,80 @@
+#include "accel/fft.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace m3
+{
+namespace accel
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // anonymous namespace
+
+void
+fft(std::complex<float> *data, size_t n, bool inverse)
+{
+    if (!isPowerOfTwo(n))
+        panic("FFT size %zu is not a power of two", n);
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    const float sign = inverse ? 1.0f : -1.0f;
+    for (size_t len = 2; len <= n; len <<= 1) {
+        float angle = sign * 2.0f * static_cast<float>(M_PI) /
+                      static_cast<float>(len);
+        std::complex<float> wlen(std::cos(angle), std::sin(angle));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<float> w(1.0f, 0.0f);
+            for (size_t k = 0; k < len / 2; ++k) {
+                std::complex<float> u = data[i + k];
+                std::complex<float> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        for (size_t i = 0; i < n; ++i)
+            data[i] /= static_cast<float>(n);
+    }
+}
+
+uint64_t
+fftButterflies(size_t n)
+{
+    if (n < 2)
+        return 0;
+    uint64_t stages = 0;
+    for (size_t v = n; v > 1; v >>= 1)
+        ++stages;
+    return static_cast<uint64_t>(n / 2) * stages;
+}
+
+Cycles
+fftCost(size_t n, const ComputeCosts &costs, bool accelerated)
+{
+    Cycles sw = fftButterflies(n) * costs.fftButterfly;
+    return accelerated ? sw / costs.fftAccelFactor : sw;
+}
+
+} // namespace accel
+} // namespace m3

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The FFT used for the accelerator study (Sec. 5.8): a real radix-2
+ * transform whose computational cost is charged per butterfly. On a
+ * general-purpose core the software cost applies; on the FFT
+ * instruction-extension core the same computation runs at the
+ * accelerator factor (~30x, Fig. 7).
+ */
+
+#ifndef M3_ACCEL_FFT_HH
+#define M3_ACCEL_FFT_HH
+
+#include <complex>
+#include <cstddef>
+
+#include "base/cost_model.hh"
+#include "base/types.hh"
+
+namespace m3
+{
+namespace accel
+{
+
+/** In-place iterative radix-2 FFT. @p n must be a power of two. */
+void fft(std::complex<float> *data, size_t n, bool inverse = false);
+
+/** Number of butterfly operations of an n-point radix-2 FFT. */
+uint64_t fftButterflies(size_t n);
+
+/**
+ * Cycle cost of an n-point FFT.
+ * @param accelerated true on the FFT instruction-extension core
+ */
+Cycles fftCost(size_t n, const ComputeCosts &costs, bool accelerated);
+
+/** Attribute name the FFT accelerator PEs carry. */
+inline const char *FFT_ATTR = "fft";
+
+} // namespace accel
+} // namespace m3
+
+#endif // M3_ACCEL_FFT_HH

@@ -1,0 +1,23 @@
+#include "base/accounting.hh"
+
+namespace m3
+{
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::App:
+        return "App";
+      case Category::Os:
+        return "OS";
+      case Category::Xfer:
+        return "Xfers";
+      case Category::Idle:
+        return "Idle";
+      default:
+        return "?";
+    }
+}
+
+} // namespace m3

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cycle attribution for the paper's stacked-bar breakdowns.
+ *
+ * Figures 3, 5 and 7 split each benchmark's time into application compute,
+ * OS software, and data transfers. Every fiber carries an Accounting
+ * object; software charges cycles under the currently pushed category and
+ * the DTU/NoC charge transfer waits under Category::Xfer.
+ */
+
+#ifndef M3_BASE_ACCOUNTING_HH
+#define M3_BASE_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace m3
+{
+
+/** Where a span of cycles is attributed in the paper's breakdowns. */
+enum class Category : uint8_t
+{
+    App,   //!< application computation (and unsupported-syscall waits)
+    Os,    //!< OS software: kernel, libm3, services, Linux kernel paths
+    Xfer,  //!< data transfers: DTU/NoC streaming, Linux memcpy
+    Idle,  //!< waiting without attributable work (not shown in figures)
+    NUM,
+};
+
+/** Human-readable name for a category (used by the bench printers). */
+const char *categoryName(Category c);
+
+/**
+ * Per-actor cycle counters with a category stack. The stack lets nested
+ * layers refine attribution: e.g. libm3 pushes Os, and a DTU wait inside
+ * pushes Xfer on top.
+ */
+class Accounting
+{
+  public:
+    Accounting() { reset(); }
+
+    /** Zero all counters; the stack resets to a single App frame. */
+    void
+    reset()
+    {
+        counters.fill(0);
+        stack.clear();
+        stack.push_back(Category::App);
+    }
+
+    /** Enter @p c; all cycles charged until pop() go to it. */
+    void push(Category c) { stack.push_back(c); }
+
+    /** Leave the innermost category. */
+    void
+    pop()
+    {
+        if (stack.size() <= 1)
+            panic("Accounting::pop on empty category stack");
+        stack.pop_back();
+    }
+
+    /** The category cycles are currently charged to. */
+    Category current() const { return stack.back(); }
+
+    /** Charge @p cycles to the current category. */
+    void
+    charge(Cycles cycles)
+    {
+        counters[static_cast<size_t>(stack.back())] += cycles;
+    }
+
+    /** Charge @p cycles to an explicit category, ignoring the stack. */
+    void
+    chargeTo(Category c, Cycles cycles)
+    {
+        counters[static_cast<size_t>(c)] += cycles;
+    }
+
+    /** Total cycles recorded for @p c. */
+    Cycles
+    total(Category c) const
+    {
+        return counters[static_cast<size_t>(c)];
+    }
+
+    /** Sum over the non-idle categories. */
+    Cycles
+    totalBusy() const
+    {
+        return total(Category::App) + total(Category::Os) +
+            total(Category::Xfer);
+    }
+
+    /** Add all counters of @p other into this one. */
+    void
+    merge(const Accounting &other)
+    {
+        for (size_t i = 0; i < counters.size(); ++i)
+            counters[i] += other.counters[i];
+    }
+
+  private:
+    std::array<Cycles, static_cast<size_t>(Category::NUM)> counters;
+    std::vector<Category> stack;
+};
+
+/**
+ * RAII helper: pushes a category on construction, pops on destruction.
+ * Use at the top of every OS-layer function that charges time.
+ */
+class ScopedCategory
+{
+  public:
+    ScopedCategory(Accounting &acc, Category c) : acc(acc) { acc.push(c); }
+    ~ScopedCategory() { acc.pop(); }
+
+    ScopedCategory(const ScopedCategory &) = delete;
+    ScopedCategory &operator=(const ScopedCategory &) = delete;
+
+  private:
+    Accounting &acc;
+};
+
+} // namespace m3
+
+#endif // M3_BASE_ACCOUNTING_HH

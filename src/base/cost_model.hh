@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Centralised calibration constants for both simulated systems.
+ *
+ * Everything the simulator charges for "software time" (instruction
+ * execution we do not model at instruction granularity) is defined here,
+ * with the paper section each constant is calibrated against. Hardware
+ * costs (DTU streaming, NoC hops, DRAM latency) are also collected here so
+ * that ablation benches can sweep them.
+ *
+ * The anchors from the paper (Sections 5.2-5.4):
+ *  - DTU transfer bandwidth: 8 bytes/cycle.
+ *  - M3 null syscall: ~200 cycles total = ~30 transfer + ~170 software.
+ *  - Linux null syscall: 410 cycles (Xtensa), 320 cycles (ARM).
+ *  - Linux read() per 4 KiB block: ~380 enter/leave + ~400 fd lookup and
+ *    security checks + ~550 page-cache operations.
+ *  - M3 read per 4 KiB block: ~70 to reach the read function + ~90 to
+ *    determine the location to read from.
+ *  - Xtensa memcpy cannot saturate memory bandwidth (no cache-line
+ *    prefetcher); ARM can.
+ *  - FFT accelerator: ~30x faster than the software FFT (Fig. 7).
+ */
+
+#ifndef M3_BASE_COST_MODEL_HH
+#define M3_BASE_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace m3
+{
+
+/** Hardware parameters of the simulated Tomahawk-like platform. */
+struct HwCosts
+{
+    /** Bytes one NoC link (and the DTU) moves per cycle (Sec. 5.4). */
+    uint32_t nocBytesPerCycle = 8;
+    /** Latency added per router hop, in cycles. */
+    Cycles nocHopLatency = 3;
+    /** Fixed DRAM access latency per request, in cycles. */
+    Cycles dramLatency = 20;
+    /** Size of a message header the DTU prepends (Sec. 4.4.2). */
+    uint32_t msgHeaderSize = 16;
+    /** Cycles for the core to read or write one DTU register. */
+    Cycles dtuRegAccess = 2;
+};
+
+/**
+ * Software-path costs of the M3 OS stack (kernel, libm3, m3fs). These
+ * parameterise the instruction-level cost of code paths that this repo
+ * executes for real; the sum over the null-syscall path is calibrated to
+ * the ~170 software cycles of Sec. 5.3.
+ */
+struct M3Costs
+{
+    /** Marshalling a message (shift operators into the send buffer). */
+    Cycles marshal = 20;
+    /** Unmarshalling a received message. */
+    Cycles unmarshal = 15;
+    /** Programming the DTU registers to issue one command. */
+    Cycles dtuCommand = 12;
+    /** Fetching a received message (poll + slot selection). */
+    Cycles fetchMsg = 10;
+    /** Kernel syscall dispatch: decode opcode, find handler, prolog. */
+    Cycles syscallDispatch = 40;
+    /** Body of the null syscall handler (permission check + reply setup). */
+    Cycles nullHandler = 16;
+    /** libm3 file layer: getting to the read/write function (Sec. 5.4). */
+    Cycles fileOpPath = 70;
+    /** libm3 file layer: locating the extent/offset to access (Sec. 5.4). */
+    Cycles fileLocate = 90;
+    /** libm3: checking/refreshing an endpoint binding (EP multiplexing). */
+    Cycles epCheck = 8;
+    /** Kernel: configure a remote endpoint (ext. request construction). */
+    Cycles epConfig = 35;
+    /** Kernel: capability-table operation (create/lookup/delegate node). */
+    Cycles capOp = 30;
+    /**
+     * libm3: client-side work of one meta-data call to m3fs (VFS mount
+     * resolution, argument preparation, session bookkeeping). Most of a
+     * meta operation's latency is client-side: that keeps the single
+     * service instance from becoming a premature bottleneck (Sec. 5.7)
+     * while making an M3 stat slightly slower than Linux's well
+     * optimised path (Sec. 5.6).
+     */
+    Cycles fsClientCall = 640;
+    /** m3fs: resolve one path component in a directory. */
+    Cycles fsPathComponent = 25;
+    /** m3fs: inode read/update. */
+    Cycles fsInodeOp = 35;
+    /** m3fs: allocate or look up one extent. */
+    Cycles fsExtentOp = 40;
+    /** m3fs: bitmap scan to allocate a block run. */
+    Cycles fsAllocRun = 80;
+    /** Pipe layer: per-chunk bookkeeping on reader or writer side. */
+    Cycles pipeChunk = 45;
+    /** VPE clone: syscalls + setup besides the raw memory copy. */
+    Cycles cloneSetup = 900;
+    /** VPE exec: argument setup besides loading the binary from m3fs. */
+    Cycles execSetup = 1200;
+};
+
+/**
+ * Cost table for the Linux baseline (Sec. 5.1: Linux 3.18 on a Cadence
+ * Xtensa simulator with 64 KiB I/D caches and an MMU). Two profiles are
+ * provided: the Xtensa one used for all figures, and the ARM Cortex-A15
+ * one used for the Sec. 5.2 cross-check.
+ */
+struct LinuxCosts
+{
+    /** Entering + leaving the kernel (mode switch, save/restore state). */
+    Cycles syscallEnterLeave = 380;
+    /** Rest of a null syscall (dispatch table, return path). */
+    Cycles syscallNullRest = 30;
+    /** read()/write(): file-pointer retrieval, security checks, prologs. */
+    Cycles fdSecurity = 400;
+    /** read()/write(): page-cache get/put operations per 4 KiB block. */
+    Cycles pageCache = 550;
+    /** Zeroing one fresh 4 KiB page before handing it to a writer. */
+    Cycles pageZero = 2048;
+    /** Path resolution per component (dcache hit). */
+    Cycles pathComponent = 150;
+    /** stat(): inode attribute copy-out (well optimised, Sec. 5.6). */
+    Cycles statInode = 180;
+    /** Pipe: kernel-buffer bookkeeping per chunk, excluding the copies. */
+    Cycles pipePath = 350;
+    /** A context switch (scheduler + address-space switch + indirect). */
+    Cycles contextSwitch = 2000;
+    /** fork(): copy mm structures, COW setup, scheduler insertion. */
+    Cycles fork = 80000;
+    /** execve(): binary load and process-image setup. */
+    Cycles exec = 150000;
+    /** Effective memcpy rate with cache misses, in bytes per cycle. */
+    double copyBytesPerCycleMiss = 0.8;
+    /** Effective memcpy rate when everything hits in cache (Lx-$). */
+    double copyBytesPerCycleHit = 2.0;
+    /**
+     * User buffers beyond this size thrash the 64 KiB D-cache between
+     * the kernel copy and the user's access; each extra byte costs
+     * largeBufThrashPerByte cycles. This reproduces the measured Linux
+     * sweet spot of 4 KiB buffers (Sec. 5.4).
+     */
+    size_t copyThrashThreshold = 4096;
+    double largeBufThrashPerByte = 0.45;
+    /** Directory entry scan per entry (readdir / getdents path). */
+    Cycles direntScan = 60;
+    /** tmpfs create/unlink/mkdir inode management. */
+    Cycles inodeMgmt = 700;
+
+    /** The Xtensa profile (default values above). */
+    static LinuxCosts xtensa() { return LinuxCosts{}; }
+
+    /** The ARM Cortex-A15 profile (Sec. 5.2). */
+    static LinuxCosts
+    arm()
+    {
+        LinuxCosts c;
+        // 320-cycle null syscall on ARM.
+        c.syscallEnterLeave = 295;
+        c.syscallNullRest = 25;
+        // The A15 prefetcher lets memcpy approach memory bandwidth.
+        c.copyBytesPerCycleMiss = 6.0;
+        c.copyBytesPerCycleHit = 8.0;
+        return c;
+    }
+};
+
+/** Compute-kernel costs shared by both systems (identical cores). */
+struct ComputeCosts
+{
+    /** Cycles per radix-2 FFT butterfly on a general-purpose core. */
+    Cycles fftButterfly = 42;
+    /** Speedup factor of the FFT instruction-extension core (Sec. 5.8). */
+    uint32_t fftAccelFactor = 30;
+    /**
+     * tr-style byte substitution, cycles per byte (load, table lookup,
+     * compare, store on a scalar in-order core). Calibrated so cat+tr
+     * lands at the paper's "M3 about twice as fast" (Sec. 5.6).
+     */
+    double trPerByte = 6.0;
+    /** Checksum/archive header processing per byte (tar). */
+    double tarHeaderPerByte = 0.6;
+    /** sqlite: parse+plan+execute one simple statement. */
+    Cycles sqliteStatement = 220000;
+};
+
+/** Aggregate of all cost tables; one instance parameterises a platform. */
+struct CostModel
+{
+    HwCosts hw;
+    M3Costs m3;
+    LinuxCosts lx = LinuxCosts::xtensa();
+    ComputeCosts compute;
+
+    /**
+     * Scalability-study mode (Sec. 5.7): replace DRAM data transfers
+     * with a spin of the uncontended transfer time, so only the
+     * software (kernel + service) limits scaling; the NoC and DRAM are
+     * assumed to scale perfectly. Synchronisation messages still travel
+     * over the NoC.
+     */
+    bool spinDataTransfers = false;
+};
+
+} // namespace m3
+
+#endif // M3_BASE_COST_MODEL_HH

@@ -1,0 +1,41 @@
+#include "base/errors.hh"
+
+namespace m3
+{
+
+const char *
+errorName(Error e)
+{
+    switch (e) {
+      case Error::None: return "None";
+      case Error::NoCredits: return "NoCredits";
+      case Error::InvalidEp: return "InvalidEp";
+      case Error::OutOfBounds: return "OutOfBounds";
+      case Error::NoPerm: return "NoPerm";
+      case Error::MsgTooBig: return "MsgTooBig";
+      case Error::RingFull: return "RingFull";
+      case Error::DtuBusy: return "DtuBusy";
+      case Error::NotPrivileged: return "NotPrivileged";
+      case Error::Aborted: return "Aborted";
+      case Error::InvalidArgs: return "InvalidArgs";
+      case Error::NoSuchCap: return "NoSuchCap";
+      case Error::CapExists: return "CapExists";
+      case Error::NoFreePe: return "NoFreePe";
+      case Error::NoSuchVpe: return "NoSuchVpe";
+      case Error::NoSuchService: return "NoSuchService";
+      case Error::ServiceDenied: return "ServiceDenied";
+      case Error::NoSpace: return "NoSpace";
+      case Error::NoSuchFile: return "NoSuchFile";
+      case Error::FileExists: return "FileExists";
+      case Error::IsDirectory: return "IsDirectory";
+      case Error::IsNoDirectory: return "IsNoDirectory";
+      case Error::DirNotEmpty: return "DirNotEmpty";
+      case Error::EndOfFile: return "EndOfFile";
+      case Error::NoSuchSession: return "NoSuchSession";
+      case Error::InvalidFileHandle: return "InvalidFileHandle";
+      case Error::PipeClosed: return "PipeClosed";
+      default: return "Unknown";
+    }
+}
+
+} // namespace m3

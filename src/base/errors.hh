@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error codes shared by the DTU, the kernel, libm3 and the services.
+ * Modelled after the M3 prototype's Errors enumeration.
+ */
+
+#ifndef M3_BASE_ERRORS_HH
+#define M3_BASE_ERRORS_HH
+
+#include <cstdint>
+
+namespace m3
+{
+
+enum class Error : uint32_t
+{
+    None = 0,
+    // DTU-level errors
+    NoCredits,      //!< send endpoint has no credits left
+    InvalidEp,      //!< endpoint not configured for the operation
+    OutOfBounds,    //!< memory access outside the endpoint's region
+    NoPerm,         //!< operation not permitted (e.g. write on r/o region)
+    MsgTooBig,      //!< message exceeds the target's slot size
+    RingFull,       //!< no free slot in the receive ringbuffer
+    DtuBusy,        //!< a command is already in flight
+    NotPrivileged,  //!< config access from an unprivileged DTU
+    Aborted,        //!< command aborted by a DTU reset
+    // Kernel / capability errors
+    InvalidArgs,
+    NoSuchCap,
+    CapExists,
+    NoFreePe,
+    NoSuchVpe,
+    NoSuchService,
+    ServiceDenied,
+    NoSpace,
+    // Filesystem errors
+    NoSuchFile,
+    FileExists,
+    IsDirectory,
+    IsNoDirectory,
+    DirNotEmpty,
+    EndOfFile,
+    NoSuchSession,
+    InvalidFileHandle,
+    // Pipe errors
+    PipeClosed,
+};
+
+/** Human-readable name of an error code. */
+const char *errorName(Error e);
+
+} // namespace m3
+
+#endif // M3_BASE_ERRORS_HH

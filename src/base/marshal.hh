@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Message (un)marshalling via overloaded shift operators, inspired by the
+ * L4 marshalling frameworks the paper cites (Sec. 4.5.6). Both the kernel
+ * and libm3 use these to build and parse DTU messages.
+ *
+ * Items are stored 8-byte aligned, matching the DTU's 8-byte transfer
+ * granularity. Strings are stored as a 32-bit length plus bytes.
+ */
+
+#ifndef M3_BASE_MARSHAL_HH
+#define M3_BASE_MARSHAL_HH
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "base/errors.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace m3
+{
+
+/** Serialises items into a caller-provided buffer. */
+class Marshaller
+{
+  public:
+    Marshaller(void *buf, size_t cap)
+        : buf(static_cast<uint8_t *>(buf)), cap(cap)
+    {
+    }
+
+    /** Bytes used so far. */
+    size_t size() const { return pos; }
+
+    /** Number of items written (for cost accounting). */
+    size_t items() const { return count; }
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    Marshaller &
+    operator<<(const T &value)
+    {
+        put(&value, sizeof(T));
+        return *this;
+    }
+
+    Marshaller &
+    operator<<(const std::string &s)
+    {
+        uint32_t len = static_cast<uint32_t>(s.size());
+        put(&len, sizeof(len));
+        putBytes(s.data(), s.size());
+        return *this;
+    }
+
+    Marshaller &
+    operator<<(const char *s)
+    {
+        return *this << std::string(s);
+    }
+
+  private:
+    void
+    put(const void *data, size_t len)
+    {
+        align();
+        putBytes(data, len);
+        ++count;
+    }
+
+    void
+    putBytes(const void *data, size_t len)
+    {
+        if (pos + len > cap)
+            panic("marshal overflow: %zu + %zu > %zu", pos, len, cap);
+        std::memcpy(buf + pos, data, len);
+        pos += len;
+    }
+
+    void
+    align()
+    {
+        pos = (pos + 7) & ~size_t{7};
+    }
+
+    uint8_t *buf;
+    size_t cap;
+    size_t pos = 0;
+    size_t count = 0;
+};
+
+/** Deserialises items from a received message. */
+class Unmarshaller
+{
+  public:
+    Unmarshaller(const void *buf, size_t len)
+        : buf(static_cast<const uint8_t *>(buf)), len(len)
+    {
+    }
+
+    /** Bytes remaining. */
+    size_t remaining() const { return len - pos; }
+
+    /** Number of items read (for cost accounting). */
+    size_t items() const { return count; }
+
+    template <typename T>
+        requires std::is_trivially_copyable_v<T>
+    Unmarshaller &
+    operator>>(T &value)
+    {
+        align();
+        get(&value, sizeof(T));
+        ++count;
+        return *this;
+    }
+
+    Unmarshaller &
+    operator>>(std::string &s)
+    {
+        align();
+        uint32_t slen = 0;
+        get(&slen, sizeof(slen));
+        ++count;
+        if (pos + slen > len)
+            panic("unmarshal string overflow: %u bytes at %zu/%zu", slen,
+                  pos, len);
+        s.assign(reinterpret_cast<const char *>(buf + pos), slen);
+        pos += slen;
+        return *this;
+    }
+
+    /** Pull a value out by type (convenience for expression contexts). */
+    template <typename T>
+    T
+    pull()
+    {
+        T v{};
+        *this >> v;
+        return v;
+    }
+
+  private:
+    void
+    get(void *data, size_t n)
+    {
+        if (pos + n > len)
+            panic("unmarshal overflow: %zu + %zu > %zu", pos, n, len);
+        std::memcpy(data, buf + pos, n);
+        pos += n;
+    }
+
+    void
+    align()
+    {
+        pos = (pos + 7) & ~size_t{7};
+    }
+
+    const uint8_t *buf;
+    size_t len;
+    size_t pos = 0;
+    size_t count = 0;
+};
+
+} // namespace m3
+
+#endif // M3_BASE_MARSHAL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The simulator must be fully deterministic (identical cycle counts on
+ * every run), so all randomness flows through explicitly seeded xorshift
+ * generators rather than std::random_device or global state.
+ */
+
+#ifndef M3_BASE_RANDOM_HH
+#define M3_BASE_RANDOM_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace m3
+{
+
+/**
+ * xorshift64* generator: small, fast, and good enough for synthesising
+ * workload data (file contents, FFT inputs, name choices).
+ */
+class Random
+{
+  public:
+    explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        if (bound == 0)
+            panic("Random::nextBounded with bound 0");
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    nextRange(uint64_t lo, uint64_t hi)
+    {
+        if (hi < lo)
+            panic("Random::nextRange with hi < lo");
+        return lo + nextBounded(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace m3
+
+#endif // M3_BASE_RANDOM_HH

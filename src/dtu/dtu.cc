@@ -1,0 +1,661 @@
+#include "dtu/dtu.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace m3
+{
+
+Dtu::Dtu(EventQueue &eq, Noc &noc, Spm &spm, uint32_t nocId,
+         const HwCosts &hw)
+    : eq(eq), noc(noc), spm(spm), nocId(nocId), hw(hw)
+{
+}
+
+void
+Dtu::checkEpId(epid_t id) const
+{
+    if (id >= EP_COUNT)
+        panic("endpoint id %u out of range", id);
+}
+
+EpRegs &
+Dtu::epRef(epid_t id)
+{
+    checkEpId(id);
+    return eps[id];
+}
+
+const EpRegs &
+Dtu::ep(epid_t id) const
+{
+    checkEpId(id);
+    return eps[id];
+}
+
+uint32_t
+Dtu::credits(epid_t id) const
+{
+    const EpRegs &r = ep(id);
+    if (r.type != EpType::Send)
+        panic("credits() on non-send EP %u", id);
+    return r.send.credits;
+}
+
+// ---------------------------------------------------------------------
+// Local configuration (privileged only).
+// ---------------------------------------------------------------------
+
+Error
+Dtu::configSend(epid_t id, const SendEpCfg &cfg)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    EpRegs &r = epRef(id);
+    r.invalidate();
+    r.type = EpType::Send;
+    r.send = cfg;
+    return Error::None;
+}
+
+Error
+Dtu::configRecv(epid_t id, const RecvEpCfg &cfg)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    if (cfg.slotCount == 0 || cfg.slotCount > MAX_SLOTS)
+        return Error::InvalidArgs;
+    if (cfg.slotSize < sizeof(MessageHeader))
+        return Error::InvalidArgs;
+    EpRegs &r = epRef(id);
+    r.invalidate();
+    r.type = EpType::Receive;
+    r.recv = cfg;
+    recvState[id] = RecvState{};
+    return Error::None;
+}
+
+Error
+Dtu::configMem(epid_t id, const MemEpCfg &cfg)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    EpRegs &r = epRef(id);
+    r.invalidate();
+    r.type = EpType::Memory;
+    r.mem = cfg;
+    return Error::None;
+}
+
+Error
+Dtu::invalidateEp(epid_t id)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    epRef(id).invalidate();
+    recvState[id] = RecvState{};
+    return Error::None;
+}
+
+// ---------------------------------------------------------------------
+// External (remote) configuration.
+// ---------------------------------------------------------------------
+
+Error
+Dtu::sendExt(uint32_t targetNode, std::function<Error(Dtu &)> apply,
+             std::function<void(Error)> onDone)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    Dtu *target = dtuAt ? dtuAt(targetNode) : nullptr;
+    if (!target)
+        panic("ext request to node %u which has no DTU", targetNode);
+    dtuStats.extConfigs++;
+    // Config packets are small: header-sized on the wire.
+    noc.send(nocId, targetNode, 0,
+             [this, target, targetNode, apply = std::move(apply),
+              onDone = std::move(onDone)] {
+                 Error e = apply(*target);
+                 if (onDone) {
+                     noc.send(targetNode, nocId, 0,
+                              [onDone, e] { onDone(e); });
+                 }
+             });
+    return Error::None;
+}
+
+Error
+Dtu::applyExtConfig(epid_t id, const EpRegs &regs)
+{
+    if (id >= EP_COUNT)
+        return Error::InvalidArgs;
+    eps[id] = regs;
+    if (regs.type == EpType::Receive || regs.type == EpType::Invalid)
+        recvState[id] = RecvState{};
+    return Error::None;
+}
+
+Error
+Dtu::extConfigSend(uint32_t targetNode, epid_t id, const SendEpCfg &cfg,
+                   std::function<void(Error)> onDone)
+{
+    EpRegs regs;
+    regs.type = EpType::Send;
+    regs.send = cfg;
+    return sendExt(targetNode,
+                   [id, regs](Dtu &d) { return d.applyExtConfig(id, regs); },
+                   std::move(onDone));
+}
+
+Error
+Dtu::extConfigRecv(uint32_t targetNode, epid_t id, const RecvEpCfg &cfg,
+                   std::function<void(Error)> onDone)
+{
+    if (cfg.slotCount == 0 || cfg.slotCount > MAX_SLOTS ||
+        cfg.slotSize < sizeof(MessageHeader)) {
+        return Error::InvalidArgs;
+    }
+    EpRegs regs;
+    regs.type = EpType::Receive;
+    regs.recv = cfg;
+    return sendExt(targetNode,
+                   [id, regs](Dtu &d) { return d.applyExtConfig(id, regs); },
+                   std::move(onDone));
+}
+
+Error
+Dtu::extConfigMem(uint32_t targetNode, epid_t id, const MemEpCfg &cfg,
+                  std::function<void(Error)> onDone)
+{
+    EpRegs regs;
+    regs.type = EpType::Memory;
+    regs.mem = cfg;
+    return sendExt(targetNode,
+                   [id, regs](Dtu &d) { return d.applyExtConfig(id, regs); },
+                   std::move(onDone));
+}
+
+Error
+Dtu::extInvalidateEp(uint32_t targetNode, epid_t id,
+                     std::function<void(Error)> onDone)
+{
+    return sendExt(targetNode,
+                   [id](Dtu &d) { return d.applyExtConfig(id, EpRegs{}); },
+                   std::move(onDone));
+}
+
+Error
+Dtu::extDowngrade(uint32_t targetNode, std::function<void(Error)> onDone)
+{
+    return sendExt(targetNode,
+                   [](Dtu &d) {
+                       d.privileged = false;
+                       return Error::None;
+                   },
+                   std::move(onDone));
+}
+
+Error
+Dtu::extReset(uint32_t targetNode, std::function<void(Error)> onDone)
+{
+    return sendExt(targetNode,
+                   [](Dtu &d) {
+                       d.applyReset();
+                       return Error::None;
+                   },
+                   std::move(onDone));
+}
+
+Error
+Dtu::extStart(uint32_t targetNode, std::function<void(Error)> onDone)
+{
+    return sendExt(targetNode,
+                   [](Dtu &d) {
+                       if (d.startHook)
+                           d.startHook();
+                       return Error::None;
+                   },
+                   std::move(onDone));
+}
+
+void
+Dtu::applyReset()
+{
+    // A new VPE will own this PE: stale replies addressed to the old
+    // owner must not be delivered (generation check in handleMsg).
+    generation++;
+    for (epid_t i = 0; i < EP_COUNT; ++i) {
+        eps[i].invalidate();
+        recvState[i] = RecvState{};
+    }
+    if (busy)
+        completeCommand(Error::Aborted);
+}
+
+// ---------------------------------------------------------------------
+// Commands.
+// ---------------------------------------------------------------------
+
+void
+Dtu::completeCommand(Error e)
+{
+    busy = false;
+    cmdError = e;
+    if (cmdWaiter) {
+        Fiber *w = cmdWaiter;
+        cmdWaiter = nullptr;
+        w->unblock();
+    }
+}
+
+void
+Dtu::waitUntilIdle()
+{
+    Fiber *self = Fiber::current();
+    if (!self)
+        panic("waitUntilIdle outside a fiber");
+    while (busy) {
+        cmdWaiter = self;
+        self->block();
+    }
+}
+
+Error
+Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
+               label_t replyLabel)
+{
+    if (busy)
+        return Error::DtuBusy;
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Send)
+        return Error::InvalidEp;
+    if (size + sizeof(MessageHeader) > r.send.maxMsgSize)
+        return Error::MsgTooBig;
+    if (r.send.credits != CREDITS_UNLIMITED) {
+        if (r.send.credits == 0) {
+            dtuStats.creditDenials++;
+            return Error::NoCredits;
+        }
+        r.send.credits--;
+    }
+    if (replyEp != INVALID_EP && ep(replyEp).type != EpType::Receive)
+        return Error::InvalidEp;
+
+    MessageHeader hdr;
+    hdr.label = r.send.label;
+    hdr.length = size;
+    hdr.senderNode = nocId;
+    hdr.senderEp = id;
+    hdr.replyEp = replyEp;
+    hdr.replyLabel = replyLabel;
+    hdr.creditEp = INVALID_EP;
+    hdr.senderGen = generation;
+    hdr.flags = (replyEp != INVALID_EP) ? MessageHeader::FL_REPLY_EN : 0;
+
+    std::vector<uint8_t> payload(size);
+    if (size)
+        spm.read(msgAddr, payload.data(), size);
+
+    busy = true;
+    dtuStats.msgsSent++;
+
+    Dtu *target = dtuAt(r.send.targetNode);
+    if (!target)
+        panic("send to node %u which has no DTU", r.send.targetNode);
+    epid_t tep = r.send.targetEp;
+    logtrace("node%u: send ep%u -> node%u ep%u label=%llx size=%u",
+             nocId, id, r.send.targetNode, tep,
+             (unsigned long long)r.send.label, size);
+    noc.send(nocId, r.send.targetNode, size,
+             [target, tep, hdr, payload = std::move(payload)]() mutable {
+                 target->handleMsg(tep, hdr, std::move(payload));
+             });
+
+    // The source side is free again once the tail left the injection port.
+    Cycles ser = (size + hw.msgHeaderSize + hw.nocBytesPerCycle - 1) /
+                 hw.nocBytesPerCycle;
+    eq.schedule(ser, [this] { completeCommand(Error::None); });
+    return Error::None;
+}
+
+Error
+Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
+{
+    if (busy)
+        return Error::DtuBusy;
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Receive)
+        return Error::InvalidEp;
+    if (!r.recv.replyProtected) {
+        // The kernel did not vouch for read-only header placement; the
+        // hardware refuses to trust the stored reply info (Sec. 4.4.4).
+        return Error::NoPerm;
+    }
+    if (slot >= r.recv.slotCount ||
+        recvState[id].slots[slot].s != RecvSlotState::S::Fetched) {
+        return Error::InvalidArgs;
+    }
+
+    MessageHeader orig = msgHeader(id, slot);
+    if (!orig.canReply() || orig.replyEp == INVALID_EP)
+        return Error::NoPerm;
+    // Size vs. the reply ring's slot size is checked at delivery; an
+    // oversized reply is dropped there, like any other oversized message.
+
+    logtrace("node%u: reply ep%u slot%u -> node%u ep%u", nocId, id,
+             slot, orig.senderNode, orig.replyEp);
+
+    MessageHeader hdr;
+    hdr.label = orig.replyLabel;
+    hdr.length = size;
+    hdr.senderNode = nocId;
+    hdr.senderEp = INVALID_EP;
+    hdr.replyEp = INVALID_EP;
+    hdr.replyLabel = 0;
+    hdr.creditEp = orig.senderEp;
+    hdr.senderGen = generation;
+    hdr.targetGen = orig.senderGen;
+    hdr.flags = MessageHeader::FL_REPLY;
+
+    std::vector<uint8_t> payload(size);
+    if (size)
+        spm.read(msgAddr, payload.data(), size);
+
+    // Replying also acknowledges the slot (frees it for new messages).
+    recvState[id].slots[slot].s = RecvSlotState::S::Free;
+
+    busy = true;
+    dtuStats.msgsSent++;
+
+    Dtu *target = dtuAt(orig.senderNode);
+    epid_t tep = orig.replyEp;
+    noc.send(nocId, orig.senderNode, size,
+             [target, tep, hdr, payload = std::move(payload)]() mutable {
+                 target->handleMsg(tep, hdr, std::move(payload));
+             });
+
+    Cycles ser = (size + hw.msgHeaderSize + hw.nocBytesPerCycle - 1) /
+                 hw.nocBytesPerCycle;
+    eq.schedule(ser, [this] { completeCommand(Error::None); });
+    return Error::None;
+}
+
+void
+Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
+               std::vector<uint8_t> payload)
+{
+    if (hdr.isReply() && hdr.targetGen != generation) {
+        // The reply targets a previous owner of this PE (Sec. 3:
+        // NoC-level isolation across PE reuse).
+        dtuStats.msgsDropped++;
+        logtrace("node%u: drop at ep%u: stale reply (gen %u != %u)",
+                 nocId, id, hdr.targetGen, generation);
+        return;
+    }
+    if (id >= EP_COUNT || eps[id].type != EpType::Receive) {
+        dtuStats.msgsDropped++;
+        logtrace("node%u: drop at ep%u: not a recv EP (from node%u)",
+                 nocId, id, hdr.senderNode);
+        return;
+    }
+    RecvEpCfg &cfg = eps[id].recv;
+    if (sizeof(MessageHeader) + payload.size() > cfg.slotSize) {
+        dtuStats.msgsDropped++;
+        logtrace("node%u: drop at ep%u: oversized (from node%u)",
+                 nocId, id, hdr.senderNode);
+        return;
+    }
+    RecvState &st = recvState[id];
+    // Find a free slot starting at the write position. Messages are
+    // dropped if the ring is full (Sec. 4.4.3) - credits normally
+    // prevent this.
+    uint32_t slot = MAX_SLOTS;
+    for (uint32_t i = 0; i < cfg.slotCount; ++i) {
+        uint32_t cand = (st.wrPos + i) % cfg.slotCount;
+        if (st.slots[cand].s == RecvSlotState::S::Free) {
+            slot = cand;
+            break;
+        }
+    }
+    if (slot == MAX_SLOTS) {
+        dtuStats.msgsDropped++;
+        logtrace("node%u: drop at ep%u: ring full (from node%u, "
+                 "reply=%d)",
+                 nocId, id, hdr.senderNode, hdr.isReply() ? 1 : 0);
+        return;
+    }
+    st.wrPos = (slot + 1) % cfg.slotCount;
+    st.slots[slot].s = RecvSlotState::S::Ready;
+
+    spmaddr_t addr = cfg.bufAddr + slot * cfg.slotSize;
+    spm.write(addr, &hdr, sizeof(hdr));
+    if (!payload.empty())
+        spm.write(addr + sizeof(MessageHeader), payload.data(),
+                  payload.size());
+
+    dtuStats.msgsReceived++;
+
+    // A reply refunds one credit to the sender's send EP (Sec. 4.4.3).
+    if (hdr.isReply() && hdr.creditEp != INVALID_EP &&
+        hdr.creditEp < EP_COUNT) {
+        EpRegs &sep = eps[hdr.creditEp];
+        if (sep.type == EpType::Send &&
+            sep.send.credits != CREDITS_UNLIMITED) {
+            sep.send.credits++;
+        }
+    }
+
+    if (msgWaiters[id]) {
+        Fiber *w = msgWaiters[id];
+        msgWaiters[id] = nullptr;
+        w->unblock();
+    }
+}
+
+Error
+Dtu::startRead(epid_t id, spmaddr_t dstAddr, goff_t off, uint64_t size)
+{
+    if (busy)
+        return Error::DtuBusy;
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Memory)
+        return Error::InvalidEp;
+    if (!(r.mem.perms & MEM_R))
+        return Error::NoPerm;
+    if (off > r.mem.size || size > r.mem.size - off)
+        return Error::OutOfBounds;
+
+    busy = true;
+    dtuStats.memReads++;
+    dtuStats.bytesRead += size;
+
+    MemTarget *mem = memAt(r.mem.targetNode);
+    if (!mem)
+        panic("memory EP targets node %u which has no memory",
+              r.mem.targetNode);
+    goff_t gaddr = r.mem.offset + off;
+    uint32_t tnode = r.mem.targetNode;
+
+    // Request packet (header only) -> target latency -> data response.
+    noc.send(nocId, tnode, 0, [this, mem, gaddr, size, dstAddr, tnode] {
+        eq.schedule(mem->accessLatency(), [this, mem, gaddr, size, dstAddr,
+                                           tnode] {
+            auto data = std::make_shared<std::vector<uint8_t>>(size);
+            mem->read(gaddr, data->data(), size);
+            noc.send(tnode, nocId, static_cast<uint32_t>(size),
+                     [this, data, dstAddr] {
+                         spm.write(dstAddr, data->data(), data->size());
+                         completeCommand(Error::None);
+                     });
+        });
+    });
+    return Error::None;
+}
+
+Error
+Dtu::startWrite(epid_t id, spmaddr_t srcAddr, goff_t off, uint64_t size)
+{
+    if (busy)
+        return Error::DtuBusy;
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Memory)
+        return Error::InvalidEp;
+    if (!(r.mem.perms & MEM_W))
+        return Error::NoPerm;
+    if (off > r.mem.size || size > r.mem.size - off)
+        return Error::OutOfBounds;
+
+    busy = true;
+    dtuStats.memWrites++;
+    dtuStats.bytesWritten += size;
+
+    MemTarget *mem = memAt(r.mem.targetNode);
+    if (!mem)
+        panic("memory EP targets node %u which has no memory",
+              r.mem.targetNode);
+    goff_t gaddr = r.mem.offset + off;
+    uint32_t tnode = r.mem.targetNode;
+
+    auto data = std::make_shared<std::vector<uint8_t>>(size);
+    if (size)
+        spm.read(srcAddr, data->data(), size);
+
+    noc.send(nocId, tnode, static_cast<uint32_t>(size),
+             [this, mem, gaddr, data, tnode] {
+                 eq.schedule(mem->accessLatency(), [this, mem, gaddr, data,
+                                                    tnode] {
+                     mem->write(gaddr, data->data(), data->size());
+                     // Completion ack back to the initiator.
+                     noc.send(tnode, nocId, 0,
+                              [this] { completeCommand(Error::None); });
+                 });
+             });
+    return Error::None;
+}
+
+Error
+Dtu::startZero(epid_t id, goff_t off, uint64_t size)
+{
+    if (busy)
+        return Error::DtuBusy;
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Memory)
+        return Error::InvalidEp;
+    if (!(r.mem.perms & MEM_W))
+        return Error::NoPerm;
+    if (off > r.mem.size || size > r.mem.size - off)
+        return Error::OutOfBounds;
+
+    MemTarget *mem = memAt(r.mem.targetNode);
+    goff_t gaddr = r.mem.offset + off;
+
+    // Fire-and-forget: the zeroing happens at the memory, in the
+    // background (Sec. 5.4); only the small command packet is sent.
+    noc.send(nocId, r.mem.targetNode, 0, [mem, gaddr, size] {
+        mem->zero(gaddr, size);
+    });
+    return Error::None;
+}
+
+// ---------------------------------------------------------------------
+// Receive side.
+// ---------------------------------------------------------------------
+
+bool
+Dtu::hasMsg(epid_t id) const
+{
+    const EpRegs &r = ep(id);
+    if (r.type != EpType::Receive)
+        return false;
+    const RecvState &st = recvState[id];
+    for (uint32_t i = 0; i < r.recv.slotCount; ++i)
+        if (st.slots[i].s == RecvSlotState::S::Ready)
+            return true;
+    return false;
+}
+
+int
+Dtu::fetchMsg(epid_t id)
+{
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Receive)
+        return -1;
+    RecvState &st = recvState[id];
+    for (uint32_t i = 0; i < r.recv.slotCount; ++i) {
+        uint32_t cand = (st.rdPos + i) % r.recv.slotCount;
+        if (st.slots[cand].s == RecvSlotState::S::Ready) {
+            st.slots[cand].s = RecvSlotState::S::Fetched;
+            st.rdPos = (cand + 1) % r.recv.slotCount;
+            return static_cast<int>(cand);
+        }
+    }
+    return -1;
+}
+
+spmaddr_t
+Dtu::msgAddr(epid_t id, uint32_t slot) const
+{
+    const EpRegs &r = ep(id);
+    if (r.type != EpType::Receive || slot >= r.recv.slotCount)
+        panic("msgAddr on invalid EP %u / slot %u", id, slot);
+    return r.recv.bufAddr + slot * r.recv.slotSize;
+}
+
+MessageHeader
+Dtu::msgHeader(epid_t id, uint32_t slot) const
+{
+    MessageHeader hdr;
+    spm.read(msgAddr(id, slot), &hdr, sizeof(hdr));
+    return hdr;
+}
+
+Error
+Dtu::ackMsg(epid_t id, uint32_t slot)
+{
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Receive || slot >= r.recv.slotCount)
+        return Error::InvalidArgs;
+    RecvState &st = recvState[id];
+    if (st.slots[slot].s != RecvSlotState::S::Fetched)
+        return Error::InvalidArgs;
+    st.slots[slot].s = RecvSlotState::S::Free;
+    return Error::None;
+}
+
+void
+Dtu::waitForMsg(epid_t id)
+{
+    Fiber *self = Fiber::current();
+    if (!self)
+        panic("waitForMsg outside a fiber");
+    while (!hasMsg(id)) {
+        msgWaiters[id] = self;
+        self->block();
+    }
+}
+
+void
+Dtu::waitForMsgs(const std::vector<epid_t> &ids)
+{
+    Fiber *self = Fiber::current();
+    if (!self)
+        panic("waitForMsgs outside a fiber");
+    auto anyReady = [&] {
+        for (epid_t id : ids)
+            if (hasMsg(id))
+                return true;
+        return false;
+    };
+    while (!anyReady()) {
+        for (epid_t id : ids)
+            msgWaiters[id] = self;
+        self->block();
+        for (epid_t id : ids)
+            if (msgWaiters[id] == self)
+                msgWaiters[id] = nullptr;
+    }
+}
+
+} // namespace m3

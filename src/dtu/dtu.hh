@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The data transfer unit (DTU): the common per-PE hardware component that
+ * is the core's only interface to PE-external resources (Sec. 3.1, 4.4).
+ *
+ * The DTU offers message passing (send/reply into remote ringbuffers) and
+ * remote memory access (RDMA-style reads/writes against memory endpoints),
+ * plus the privilege machinery for NoC-level isolation: endpoint
+ * configuration registers are writable only by privileged DTUs — locally
+ * on the kernel PE, or remotely through external configuration packets
+ * that only a privileged DTU may emit.
+ *
+ * Data movement is physical: payload bytes really flow from SPM to SPM or
+ * between SPM and DRAM, and the NoC model charges 8 bytes/cycle plus hop
+ * latency and link contention.
+ */
+
+#ifndef M3_DTU_DTU_HH
+#define M3_DTU_DTU_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "base/cost_model.hh"
+#include "base/errors.hh"
+#include "base/types.hh"
+#include "dtu/regs.hh"
+#include "mem/mem_target.hh"
+#include "mem/spm.hh"
+#include "noc/noc.hh"
+#include "sim/fiber.hh"
+
+namespace m3
+{
+
+/** DTU statistics for tests and ablation benches. */
+struct DtuStats
+{
+    uint64_t msgsSent = 0;
+    uint64_t msgsReceived = 0;
+    uint64_t msgsDropped = 0;
+    uint64_t creditDenials = 0;
+    uint64_t memReads = 0;
+    uint64_t memWrites = 0;
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+    uint64_t extConfigs = 0;
+};
+
+/**
+ * One DTU instance, attached to one PE. The platform wires all DTUs
+ * together by providing resolvers from NoC node ids to peer DTUs and
+ * memory targets.
+ */
+class Dtu
+{
+  public:
+    /** Resolves a NoC node id to the DTU attached there (or nullptr). */
+    using DtuResolver = std::function<Dtu *(uint32_t)>;
+    /** Resolves a NoC node id to a memory target (or nullptr). */
+    using MemResolver = std::function<MemTarget *(uint32_t)>;
+
+    Dtu(EventQueue &eq, Noc &noc, Spm &spm, uint32_t nocId,
+        const HwCosts &hw);
+
+    Dtu(const Dtu &) = delete;
+    Dtu &operator=(const Dtu &) = delete;
+
+    /** Platform wiring (must be called before any traffic). */
+    void
+    connect(DtuResolver dtus, MemResolver mems)
+    {
+        dtuAt = std::move(dtus);
+        memAt = std::move(mems);
+    }
+
+    uint32_t nodeId() const { return nocId; }
+
+    // -------------------------------------------------------------------
+    // Privilege (Sec. 3: "all DTUs are privileged at boot; the kernel
+    // downgrades the application PEs' DTUs").
+    // -------------------------------------------------------------------
+
+    bool isPrivileged() const { return privileged; }
+
+    /**
+     * Local config access: allowed only while privileged (the kernel PE).
+     * Unprivileged software calling these gets Error::NotPrivileged,
+     * which is exactly the isolation property of the design.
+     */
+    Error configSend(epid_t ep, const SendEpCfg &cfg);
+    Error configRecv(epid_t ep, const RecvEpCfg &cfg);
+    Error configMem(epid_t ep, const MemEpCfg &cfg);
+    Error invalidateEp(epid_t ep);
+
+    /**
+     * Remote config access: ship an endpoint configuration to the DTU on
+     * @p targetNode. Only privileged DTUs may send these packets; the
+     * receiving DTU applies them without involving its core.
+     * @param onDone invoked (with the result) when the target acked.
+     */
+    Error extConfigSend(uint32_t targetNode, epid_t ep, const SendEpCfg &cfg,
+                        std::function<void(Error)> onDone = nullptr);
+    Error extConfigRecv(uint32_t targetNode, epid_t ep, const RecvEpCfg &cfg,
+                        std::function<void(Error)> onDone = nullptr);
+    Error extConfigMem(uint32_t targetNode, epid_t ep, const MemEpCfg &cfg,
+                       std::function<void(Error)> onDone = nullptr);
+    Error extInvalidateEp(uint32_t targetNode, epid_t ep,
+                          std::function<void(Error)> onDone = nullptr);
+
+    /** Remotely clear the privileged flag (done once at boot per app PE). */
+    Error extDowngrade(uint32_t targetNode,
+                       std::function<void(Error)> onDone = nullptr);
+
+    /**
+     * Remotely reset the DTU: invalidate all endpoints and drop pending
+     * messages (used when the kernel revokes/reuses a PE).
+     */
+    Error extReset(uint32_t targetNode,
+                   std::function<void(Error)> onDone = nullptr);
+
+    /**
+     * Remotely wake the attached core so it starts executing at its entry
+     * point (used by the kernel after loading a program, Sec. 4.5.5).
+     */
+    Error extStart(uint32_t targetNode,
+                   std::function<void(Error)> onDone = nullptr);
+
+    /** Invoked when this DTU receives a start command (wired by the PE). */
+    void setStartHook(std::function<void()> hook)
+    {
+        startHook = std::move(hook);
+    }
+
+    // -------------------------------------------------------------------
+    // Commands, issued by the local core via the command registers.
+    // All return immediately with a validation result; completion is
+    // signalled through isBusy()/waitUntilIdle().
+    // -------------------------------------------------------------------
+
+    /**
+     * Send the @p size bytes at SPM address @p msgAddr to the endpoint's
+     * target. @p replyEp (optional) names a local receive EP for the
+     * reply; @p replyLabel is the label that reply will carry.
+     */
+    Error startSend(epid_t ep, spmaddr_t msgAddr, uint32_t size,
+                    epid_t replyEp = INVALID_EP, label_t replyLabel = 0);
+
+    /**
+     * Reply to the fetched message in @p slot of receive EP @p ep with the
+     * @p size bytes at @p msgAddr. Uses the reply info from the message
+     * header in the ringbuffer; requires a reply-protected ring.
+     */
+    Error startReply(epid_t ep, uint32_t slot, spmaddr_t msgAddr,
+                     uint32_t size);
+
+    /**
+     * Read @p size bytes from offset @p off of memory EP @p ep into the
+     * local SPM at @p dstAddr (RDMA read, Sec. 4.4.1).
+     */
+    Error startRead(epid_t ep, spmaddr_t dstAddr, goff_t off, uint64_t size);
+
+    /** Write local SPM bytes to the endpoint's memory (RDMA write). */
+    Error startWrite(epid_t ep, spmaddr_t srcAddr, goff_t off,
+                     uint64_t size);
+
+    /**
+     * Ask the remote memory to zero a range; fire-and-forget. Used by
+     * m3fs to prepare zero blocks in the background (Sec. 5.4).
+     */
+    Error startZero(epid_t ep, goff_t off, uint64_t size);
+
+    /** True while a command is in flight. */
+    bool isBusy() const { return busy; }
+
+    /** Result of the last completed command. */
+    Error lastError() const { return cmdError; }
+
+    /** Block the calling fiber until the current command completed. */
+    void waitUntilIdle();
+
+    // -------------------------------------------------------------------
+    // Receive side.
+    // -------------------------------------------------------------------
+
+    /**
+     * Fetch the oldest unread message of receive EP @p ep.
+     * @return the slot index, or -1 if none is pending.
+     */
+    int fetchMsg(epid_t ep);
+
+    /** SPM address of the header of the message in @p slot. */
+    spmaddr_t msgAddr(epid_t ep, uint32_t slot) const;
+
+    /** Read the header of the message in @p slot (from the SPM). */
+    MessageHeader msgHeader(epid_t ep, uint32_t slot) const;
+
+    /** Free the ringbuffer slot of a processed message. */
+    Error ackMsg(epid_t ep, uint32_t slot);
+
+    /** True if EP @p ep has an unfetched message. */
+    bool hasMsg(epid_t ep) const;
+
+    /**
+     * Block the calling fiber until a message is pending on @p ep
+     * (models the register polling / future low-power wait, Sec. 4.3).
+     */
+    void waitForMsg(epid_t ep);
+
+    /** Block until any of the given EPs has a pending message. */
+    void waitForMsgs(const std::vector<epid_t> &eps);
+
+    /** Inspect an endpoint's registers (tests, kernel bookkeeping). */
+    const EpRegs &ep(epid_t id) const;
+
+    /** Remaining credits of a send EP (register read). */
+    uint32_t credits(epid_t ep) const;
+
+    const DtuStats &stats() const { return dtuStats; }
+    void resetStats() { dtuStats = DtuStats{}; }
+
+  private:
+    struct RecvSlotState
+    {
+        enum class S : uint8_t { Free, Ready, Fetched };
+        S s = S::Free;
+    };
+
+    struct RecvState
+    {
+        std::array<RecvSlotState, MAX_SLOTS> slots;
+        uint32_t rdPos = 0;  //!< next slot to fetch
+        uint32_t wrPos = 0;  //!< next slot the DTU writes to
+    };
+
+    /** Incoming message (runs at packet arrival on the receive side). */
+    void handleMsg(epid_t ep, const MessageHeader &hdr,
+                   std::vector<uint8_t> payload);
+
+    /** Apply an external configuration (receive side). */
+    Error applyExtConfig(epid_t ep, const EpRegs &regs);
+
+    void applyReset();
+
+    /** Generic helper for the ext* operations. */
+    Error sendExt(uint32_t targetNode, std::function<Error(Dtu &)> apply,
+                  std::function<void(Error)> onDone);
+
+    void completeCommand(Error e);
+
+    EpRegs &epRef(epid_t id);
+    void checkEpId(epid_t id) const;
+
+    EventQueue &eq;
+    Noc &noc;
+    Spm &spm;
+    uint32_t nocId;
+    HwCosts hw;
+
+    bool privileged = true;
+    /** Bumped on every reset; stale replies are filtered against it. */
+    uint32_t generation = 1;
+    std::array<EpRegs, EP_COUNT> eps;
+    std::array<RecvState, EP_COUNT> recvState;
+
+    bool busy = false;
+    Error cmdError = Error::None;
+    Fiber *cmdWaiter = nullptr;
+    std::array<Fiber *, EP_COUNT> msgWaiters{};
+
+    DtuResolver dtuAt;
+    MemResolver memAt;
+    std::function<void()> startHook;
+
+    DtuStats dtuStats;
+};
+
+} // namespace m3
+
+#endif // M3_DTU_DTU_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * DTU register-level definitions: endpoint configurations and the message
+ * header (Sec. 4.4). Endpoint configuration registers (buffer, target,
+ * credits, label) are only writable by kernel PEs — locally when the DTU
+ * is privileged, remotely via external-configuration packets otherwise.
+ */
+
+#ifndef M3_DTU_REGS_HH
+#define M3_DTU_REGS_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace m3
+{
+
+/** What an endpoint is configured as (Sec. 4.3). */
+enum class EpType : uint8_t
+{
+    Invalid,
+    Send,
+    Receive,
+    Memory,
+};
+
+/** Permissions of a memory endpoint. */
+enum MemPerms : uint8_t
+{
+    MEM_R = 1,
+    MEM_W = 2,
+    MEM_RW = MEM_R | MEM_W,
+};
+
+/** Credit value meaning "never runs out" (kernel-granted channels). */
+static constexpr uint32_t CREDITS_UNLIMITED = 0xffffffff;
+
+/** Maximum ringbuffer slots per receive endpoint. */
+static constexpr uint32_t MAX_SLOTS = 64;
+
+/** Configuration of a send endpoint. */
+struct SendEpCfg
+{
+    uint32_t targetNode = 0;   //!< NoC node of the receiver
+    epid_t targetEp = INVALID_EP;
+    label_t label = 0;         //!< receiver-chosen, unforgeable by sender
+    uint32_t credits = 0;      //!< messages in flight; CREDITS_UNLIMITED
+    uint32_t maxMsgSize = 0;   //!< slot size of the target ringbuffer
+};
+
+/** Configuration of a receive endpoint. */
+struct RecvEpCfg
+{
+    spmaddr_t bufAddr = 0;     //!< ringbuffer location in the local SPM
+    uint32_t slotCount = 0;    //!< number of fixed-size slots (<= MAX_SLOTS)
+    uint32_t slotSize = 0;     //!< maximum message size incl. header
+    bool replyProtected = false; //!< kernel verified r/o header placement
+};
+
+/** Configuration of a memory endpoint. */
+struct MemEpCfg
+{
+    uint32_t targetNode = 0;   //!< NoC node of the memory
+    goff_t offset = 0;         //!< start of the accessible region
+    uint64_t size = 0;         //!< length of the accessible region
+    uint8_t perms = 0;         //!< MemPerms bitmask
+};
+
+/** One endpoint's register set (a tagged union of the three configs). */
+struct EpRegs
+{
+    EpType type = EpType::Invalid;
+    SendEpCfg send;
+    RecvEpCfg recv;
+    MemEpCfg mem;
+
+    void
+    invalidate()
+    {
+        *this = EpRegs{};
+    }
+};
+
+/**
+ * The header the DTU prepends to every message (Sec. 4.4.2). It is
+ * physically stored at the start of the ringbuffer slot; the reply
+ * information inside it is why reply-enabled ringbuffers must be placed
+ * in read-only memory by the kernel (Sec. 4.4.4).
+ */
+struct MessageHeader
+{
+    label_t label = 0;         //!< receiver-chosen channel label
+    uint32_t length = 0;       //!< payload bytes
+    uint32_t senderNode = 0;   //!< NoC node of the sender
+    epid_t senderEp = INVALID_EP; //!< sender's send EP (credit refund)
+    epid_t replyEp = INVALID_EP;  //!< sender's recv EP for the reply
+    label_t replyLabel = 0;    //!< label the reply will carry
+    epid_t creditEp = INVALID_EP; //!< send EP to refund on reply delivery
+    /**
+     * DTU generation of the sender when the message left. A reply
+     * carries it back as targetGen: if the sender's DTU was reset in
+     * the meantime (its PE was given to another VPE), the stale reply
+     * is dropped instead of leaking into the new owner's ringbuffers.
+     */
+    uint32_t senderGen = 0;
+    uint32_t targetGen = 0;    //!< replies: required receiver generation
+    uint8_t flags = 0;         //!< FL_REPLY etc.
+
+    static constexpr uint8_t FL_REPLY = 1;       //!< this is a reply
+    static constexpr uint8_t FL_REPLY_EN = 2;    //!< replying is allowed
+
+    bool isReply() const { return flags & FL_REPLY; }
+    bool canReply() const { return flags & FL_REPLY_EN; }
+};
+
+} // namespace m3
+
+#endif // M3_DTU_REGS_HH

@@ -1,0 +1,1081 @@
+#include "kernel/kernel.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "dtu/regs.hh"
+
+namespace m3
+{
+namespace kernel
+{
+
+using kif::Syscall;
+
+Kernel::Kernel(Platform &platform, peid_t kernelPe, goff_t dramAllocStart)
+    : platform(platform), kernelPe(kernelPe), costs(platform.costs().m3),
+      dramNext((dramAllocStart + 63) & ~goff_t{63}),
+      dramEnd(platform.dram().size()),
+      peBusy(platform.peCount(), false)
+{
+    peBusy.at(kernelPe) = true;
+}
+
+void
+Kernel::addBootProgram(BootProgram prog)
+{
+    bootQueue.push_back(std::move(prog));
+}
+
+void
+Kernel::start()
+{
+    platform.pe(kernelPe).installProgram("kernel", [this] { run(); });
+    platform.pe(kernelPe).startProgram();
+}
+
+const Vpe *
+Kernel::vpe(vpeid_t id) const
+{
+    auto it = vpes.find(id);
+    return it == vpes.end() ? nullptr : it->second.get();
+}
+
+Vpe *
+Kernel::vpeById(vpeid_t id)
+{
+    auto it = vpes.find(id);
+    return it == vpes.end() ? nullptr : it->second.get();
+}
+
+Dtu &
+Kernel::kdtu()
+{
+    return platform.pe(kernelPe).dtu();
+}
+
+uint32_t
+Kernel::nodeOf(const Vpe &v) const
+{
+    return platform.nocIdOf(v.pe);
+}
+
+void
+Kernel::compute(Cycles c)
+{
+    Fiber::current()->compute(c);
+}
+
+// ---------------------------------------------------------------------
+// Boot.
+// ---------------------------------------------------------------------
+
+void
+Kernel::bootSetup()
+{
+    Spm &spm = platform.pe(kernelPe).spm();
+    syscRing = spm.alloc(kif::KSYSC_SLOTS * kif::MAX_SYSC_MSG);
+    // One reply slot per in-flight request on any service channel (the
+    // per-service kernelCredits bound the requests).
+    srvRing = spm.alloc(16 * 512);
+    stage = spm.alloc(kif::MAX_SYSC_MSG);
+    srvStage = spm.alloc(kif::MAX_SYSC_MSG);
+
+    RecvEpCfg sysc;
+    sysc.bufAddr = syscRing;
+    sysc.slotCount = kif::KSYSC_SLOTS;
+    sysc.slotSize = kif::MAX_SYSC_MSG;
+    sysc.replyProtected = true;
+    kdtu().configRecv(KEP_SYSC, sysc);
+
+    RecvEpCfg srv;
+    srv.bufAddr = srvRing;
+    srv.slotCount = 16;
+    srv.slotSize = 512;
+    kdtu().configRecv(KEP_SRV_REPLY, srv);
+
+    // Downgrade all application PEs: after this, only the kernel can
+    // configure endpoints anywhere (Sec. 3: NoC-level isolation).
+    for (peid_t p = 0; p < platform.peCount(); ++p) {
+        if (p != kernelPe)
+            kdtu().extDowngrade(platform.nocIdOf(p));
+    }
+
+    // Load the boot programs (OS services and the root application).
+    for (BootProgram &prog : bootQueue) {
+        if (peBusy.at(prog.pe))
+            fatal("boot program '%s' wants busy PE%u", prog.name.c_str(),
+                  prog.pe);
+        Vpe &v = createVpeObj(prog.name, prog.pe);
+        peBusy[prog.pe] = true;
+        for (const BootCap &bc : prog.caps) {
+            v.caps.put(bc.sel, std::make_shared<MemObj>(bc.node, bc.off,
+                                                        bc.size, bc.perms));
+        }
+        configureVpeEps(v);
+        auto main = prog.main;
+        vpeid_t id = v.id;
+        platform.pe(prog.pe).installProgram(prog.name,
+                                            [main, id] { main(id); });
+        v.state = Vpe::State::Running;
+        kdtu().extStart(nodeOf(v));
+        compute(costs.epConfig);
+    }
+    bootQueue.clear();
+}
+
+Vpe &
+Kernel::createVpeObj(const std::string &name, peid_t pe)
+{
+    vpeid_t id = nextVpe++;
+    auto v = std::make_unique<Vpe>(id, name, pe);
+    Vpe &ref = *v;
+    vpes[id] = std::move(v);
+    kstats.vpesCreated++;
+    return ref;
+}
+
+void
+Kernel::configureVpeEps(Vpe &v)
+{
+    uint32_t node = nodeOf(v);
+
+    SendEpCfg sep;
+    sep.targetNode = platform.nocIdOf(kernelPe);
+    sep.targetEp = KEP_SYSC;
+    sep.label = v.id;
+    // One credit per VPE: syscalls are synchronous, and the sum of all
+    // credits must not exceed the ring space (Sec. 4.4.3).
+    sep.credits = 1;
+    sep.maxMsgSize = kif::MAX_SYSC_MSG;
+    kdtu().extConfigSend(node, kif::SYSC_SEP, sep);
+
+    RecvEpCfg rep;
+    rep.bufAddr = kif::SYSC_RBUF_ADDR;
+    rep.slotCount = kif::SYSC_RBUF_SLOTS;
+    rep.slotSize = kif::SYSC_RBUF_SLOTSIZE;
+    kdtu().extConfigRecv(node, kif::SYSC_REP, rep);
+
+    compute(2 * costs.epConfig);
+}
+
+// ---------------------------------------------------------------------
+// Main loop.
+// ---------------------------------------------------------------------
+
+void
+Kernel::run()
+{
+    Fiber::current()->accounting().push(Category::Os);
+    bootSetup();
+    for (;;) {
+        kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY});
+        int slot;
+        while ((slot = kdtu().fetchMsg(KEP_SRV_REPLY)) >= 0)
+            handleServiceReply(static_cast<uint32_t>(slot));
+        while ((slot = kdtu().fetchMsg(KEP_SYSC)) >= 0)
+            handleSyscall(static_cast<uint32_t>(slot));
+    }
+}
+
+void
+Kernel::reply(uint32_t slot, const void *msg, uint32_t size)
+{
+    replyOnEp(KEP_SYSC, slot, msg, size);
+}
+
+void
+Kernel::replyOnEp(epid_t ep, uint32_t slot, const void *msg, uint32_t size)
+{
+    Spm &spm = platform.pe(kernelPe).spm();
+    spm.write(stage, msg, size);
+    compute(costs.marshal + costs.dtuCommand);
+    Error e = kdtu().startReply(ep, slot, stage, size);
+    if (e != Error::None)
+        panic("kernel reply failed: %s", errorName(e));
+    kdtu().waitUntilIdle();
+}
+
+void
+Kernel::replyError(uint32_t slot, Error e)
+{
+    uint8_t buf[64];
+    Marshaller m(buf, sizeof(buf));
+    m << e;
+    reply(slot, buf, static_cast<uint32_t>(m.size()));
+}
+
+void
+Kernel::handleSyscall(uint32_t slot)
+{
+    kstats.syscalls++;
+    MessageHeader hdr = kdtu().msgHeader(KEP_SYSC, slot);
+    Vpe *caller = vpeById(static_cast<vpeid_t>(hdr.label));
+    if (!caller) {
+        warn("syscall from unknown VPE %llu",
+             static_cast<unsigned long long>(hdr.label));
+        replyError(slot, Error::NoSuchVpe);
+        return;
+    }
+
+    Spm &spm = platform.pe(kernelPe).spm();
+    const uint8_t *payload =
+        spm.ptr(kdtu().msgAddr(KEP_SYSC, slot) + sizeof(MessageHeader),
+                hdr.length);
+    Unmarshaller um(payload, hdr.length);
+    auto opcode = um.pull<Syscall>();
+
+    compute(costs.fetchMsg + costs.unmarshal + costs.syscallDispatch);
+
+    switch (opcode) {
+      case Syscall::Noop:
+        sysNoop(*caller, um, slot);
+        break;
+      case Syscall::CreateVpe:
+        sysCreateVpe(*caller, um, slot);
+        break;
+      case Syscall::VpeStart:
+        sysVpeStart(*caller, um, slot);
+        break;
+      case Syscall::VpeWait:
+        sysVpeWait(*caller, um, slot);
+        break;
+      case Syscall::VpeExit:
+        sysVpeExit(*caller, um, slot);
+        break;
+      case Syscall::CreateRgate:
+        sysCreateRgate(*caller, um, slot);
+        break;
+      case Syscall::CreateSgate:
+        sysCreateSgate(*caller, um, slot);
+        break;
+      case Syscall::ReqMem:
+        sysReqMem(*caller, um, slot);
+        break;
+      case Syscall::DeriveMem:
+        sysDeriveMem(*caller, um, slot);
+        break;
+      case Syscall::Activate:
+        sysActivate(*caller, um, slot);
+        break;
+      case Syscall::Exchange:
+        sysExchange(*caller, um, slot);
+        break;
+      case Syscall::CreateSrv:
+        sysCreateSrv(*caller, um, slot);
+        break;
+      case Syscall::OpenSess:
+        sysOpenSess(*caller, um, slot);
+        break;
+      case Syscall::ExchangeSess:
+        sysExchangeSess(*caller, um, slot);
+        break;
+      case Syscall::Revoke:
+        sysRevoke(*caller, um, slot);
+        break;
+      default:
+        replyError(slot, Error::InvalidArgs);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Syscall handlers.
+// ---------------------------------------------------------------------
+
+void
+Kernel::sysNoop(Vpe &, Unmarshaller &, uint32_t slot)
+{
+    compute(costs.nullHandler);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysCreateVpe(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    PendingVpeReq req;
+    req.caller = caller.id;
+    req.slot = slot;
+    req.dstSel = um.pull<capsel_t>();
+    req.mgateSel = um.pull<capsel_t>();
+    req.name = um.pull<std::string>();
+    req.type = um.pull<kif::PeTypeReq>();
+    req.attr = um.pull<std::string>();
+
+    if (caller.caps.get(req.dstSel) || caller.caps.get(req.mgateSel)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+    if (tryCreateVpe(caller, req))
+        return;
+    if (queueVpes) {
+        // Sec. 3.3: wait for a reusable core instead of failing; the
+        // reply (and thereby the caller) blocks until a PE frees up.
+        pendingVpes.push_back(std::move(req));
+        return;
+    }
+    replyError(slot, Error::NoFreePe);
+}
+
+bool
+Kernel::tryCreateVpe(Vpe &caller, const PendingVpeReq &req)
+{
+    PeType wanted = req.type == kif::PeTypeReq::Accelerator
+                        ? PeType::Accelerator
+                        : PeType::General;
+
+    // Select a suitable and unused PE (Sec. 4.5.5).
+    peid_t chosen = INVALID_PE;
+    for (peid_t p = 0; p < platform.peCount(); ++p) {
+        if (!peBusy[p] &&
+            platform.pe(p).desc().matches(wanted, req.attr)) {
+            chosen = p;
+            break;
+        }
+    }
+    if (chosen == INVALID_PE)
+        return false;
+
+    peBusy[chosen] = true;
+    Vpe &child = createVpeObj(req.name, chosen);
+    logtrace("kernel: vpe%u '%s' -> pe%u (for vpe%u)", child.id,
+             req.name.c_str(), chosen, caller.id);
+
+    caller.caps.put(req.dstSel, std::make_shared<VpeRefObj>(child.id));
+    // The memory gate for the child's local memory enables application
+    // loading (Sec. 4.5.5).
+    caller.caps.put(req.mgateSel,
+                    std::make_shared<MemObj>(
+                        platform.nocIdOf(chosen), 0,
+                        platform.pe(chosen).desc().spmDataSize, MEM_RW));
+
+    configureVpeEps(child);
+    compute(2 * costs.capOp);
+
+    uint8_t buf[64];
+    Marshaller m(buf, sizeof(buf));
+    m << Error::None << static_cast<uint64_t>(child.id)
+      << static_cast<uint64_t>(chosen);
+    reply(req.slot, buf, static_cast<uint32_t>(m.size()));
+    return true;
+}
+
+void
+Kernel::flushPendingVpes()
+{
+    for (auto it = pendingVpes.begin(); it != pendingVpes.end();) {
+        Vpe *caller = vpeById(it->caller);
+        if (!caller) {
+            it = pendingVpes.erase(it);
+            continue;
+        }
+        if (tryCreateVpe(*caller, *it))
+            it = pendingVpes.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Kernel::sysVpeStart(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto vpeSel = um.pull<capsel_t>();
+    Capability *cap = caller.caps.get(vpeSel, ObjType::Vpe);
+    if (!cap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    Vpe *child = vpeById(static_cast<VpeRefObj &>(*cap->obj).vpe);
+    if (!child || child->state != Vpe::State::Boot) {
+        replyError(slot, Error::NoSuchVpe);
+        return;
+    }
+    child->state = Vpe::State::Running;
+    kdtu().extStart(nodeOf(*child));
+    compute(costs.epConfig);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysVpeWait(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto vpeSel = um.pull<capsel_t>();
+    Capability *cap = caller.caps.get(vpeSel, ObjType::Vpe);
+    if (!cap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    Vpe *child = vpeById(static_cast<VpeRefObj &>(*cap->obj).vpe);
+    if (!child) {
+        replyError(slot, Error::NoSuchVpe);
+        return;
+    }
+    if (child->state == Vpe::State::Exited) {
+        uint8_t buf[64];
+        Marshaller m(buf, sizeof(buf));
+        m << Error::None << static_cast<int64_t>(child->exitCode);
+        reply(slot, buf, static_cast<uint32_t>(m.size()));
+        return;
+    }
+    // Defer the reply until the child exits (Sec. 4.5.4's deferral idea).
+    child->waiters.emplace_back(KEP_SYSC, slot);
+}
+
+void
+Kernel::sysVpeExit(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto code = um.pull<int64_t>();
+    // Exit has no reply; free the ring slot explicitly.
+    kdtu().ackMsg(KEP_SYSC, slot);
+    finishVpe(caller, static_cast<int>(code));
+}
+
+void
+Kernel::finishVpe(Vpe &v, int exitCode)
+{
+    if (v.state == Vpe::State::Exited)
+        return;
+    v.state = Vpe::State::Exited;
+    v.exitCode = exitCode;
+    logtrace("kernel: vpe%u exited, freeing pe%u", v.id, v.pe);
+
+    // Reclaim the PE: reset its DTU and mark it available again.
+    kdtu().extReset(nodeOf(v));
+    platform.pe(v.pe).release();
+    peBusy[v.pe] = false;
+
+    for (auto [ep, slot] : v.waiters) {
+        uint8_t buf[64];
+        Marshaller m(buf, sizeof(buf));
+        m << Error::None << static_cast<int64_t>(exitCode);
+        replyOnEp(ep, slot, buf, static_cast<uint32_t>(m.size()));
+    }
+    v.waiters.clear();
+
+    // A PE was released: satisfy queued VPE creations (Sec. 3.3).
+    if (queueVpes)
+        flushPendingVpes();
+}
+
+void
+Kernel::sysCreateRgate(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto dstSel = um.pull<capsel_t>();
+    auto slots = um.pull<uint64_t>();
+    auto slotSize = um.pull<uint64_t>();
+    if (slots == 0 || slots > MAX_SLOTS ||
+        slotSize < sizeof(MessageHeader)) {
+        replyError(slot, Error::InvalidArgs);
+        return;
+    }
+    if (caller.caps.get(dstSel)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+    caller.caps.put(dstSel, std::make_shared<RGateObj>(
+                                caller.id, static_cast<uint32_t>(slots),
+                                static_cast<uint32_t>(slotSize)));
+    compute(costs.capOp);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysCreateSgate(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto dstSel = um.pull<capsel_t>();
+    auto rgateSel = um.pull<capsel_t>();
+    auto label = um.pull<label_t>();
+    auto credits = um.pull<uint64_t>();
+
+    Capability *rgCap = caller.caps.get(rgateSel, ObjType::RGate);
+    if (!rgCap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    if (caller.caps.get(dstSel)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+    auto rgate = std::static_pointer_cast<RGateObj>(rgCap->obj);
+    caller.caps.put(dstSel,
+                    std::make_shared<SGateObj>(
+                        rgate, label, static_cast<uint32_t>(credits)),
+                    rgCap);
+    compute(costs.capOp);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysReqMem(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto dstSel = um.pull<capsel_t>();
+    auto size = um.pull<uint64_t>();
+    auto perms = um.pull<uint64_t>();
+
+    size = (size + 63) & ~uint64_t{63};
+    if (size == 0 || dramNext + size > dramEnd) {
+        replyError(slot, Error::NoSpace);
+        return;
+    }
+    if (caller.caps.get(dstSel)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+    goff_t off = dramNext;
+    dramNext += size;
+    caller.caps.put(dstSel, std::make_shared<MemObj>(
+                                platform.dramNode(), off, size,
+                                static_cast<uint8_t>(perms & MEM_RW)));
+    compute(costs.capOp);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysDeriveMem(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto srcSel = um.pull<capsel_t>();
+    auto dstSel = um.pull<capsel_t>();
+    auto off = um.pull<uint64_t>();
+    auto size = um.pull<uint64_t>();
+    auto perms = um.pull<uint64_t>();
+
+    Capability *src = caller.caps.get(srcSel, ObjType::Mem);
+    if (!src) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    auto &mem = static_cast<MemObj &>(*src->obj);
+    if (off > mem.size || size > mem.size - off || size == 0) {
+        replyError(slot, Error::OutOfBounds);
+        return;
+    }
+    if (caller.caps.get(dstSel)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+    caller.caps.put(dstSel,
+                    std::make_shared<MemObj>(
+                        mem.node, mem.off + off, size,
+                        static_cast<uint8_t>(perms & mem.perms)),
+                    src);
+    compute(costs.capOp);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysActivate(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto capSel = um.pull<capsel_t>();
+    auto ep = um.pull<uint64_t>();
+    auto bufAddr = um.pull<uint64_t>();
+
+    if (ep < kif::FIRST_FREE_EP || ep >= EP_COUNT) {
+        replyError(slot, Error::InvalidArgs);
+        return;
+    }
+    Capability *cap = caller.caps.get(capSel);
+    if (!cap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    Error e = doActivate(caller, cap, static_cast<epid_t>(ep),
+                         static_cast<spmaddr_t>(bufAddr));
+    if (e == Error::None && cap->obj->type == ObjType::SGate) {
+        auto &sg = static_cast<SGateObj &>(*cap->obj);
+        if (!sg.rgate->activated) {
+            // Receiver not ready: defer the reply (Sec. 4.5.4).
+            pendingActs[sg.rgate.get()].push_back(
+                PendingAct{caller.id, capSel, static_cast<epid_t>(ep),
+                           slot});
+            return;
+        }
+    }
+    replyError(slot, e);
+}
+
+Error
+Kernel::doActivate(Vpe &caller, Capability *cap, epid_t ep,
+                   spmaddr_t bufAddr)
+{
+    uint32_t node = nodeOf(caller);
+    compute(costs.epConfig);
+
+    switch (cap->obj->type) {
+      case ObjType::RGate: {
+        auto &rg = static_cast<RGateObj &>(*cap->obj);
+        if (rg.owner != caller.id)
+            return Error::NoPerm;
+        RecvEpCfg cfg;
+        cfg.bufAddr = bufAddr;
+        cfg.slotCount = rg.slots;
+        cfg.slotSize = rg.slotSize;
+        // The kernel has verified the ring placement, so replies on the
+        // stored header information are safe (Sec. 4.4.4).
+        cfg.replyProtected = true;
+        kdtu().extConfigRecv(node, ep, cfg);
+        rg.activated = true;
+        rg.node = node;
+        rg.ep = ep;
+        cap->activatedEp = ep;
+        flushPendingActivations(&rg);
+        return Error::None;
+      }
+      case ObjType::SGate: {
+        auto &sg = static_cast<SGateObj &>(*cap->obj);
+        if (!sg.rgate->activated)
+            return Error::None;  // deferred by the caller
+        SendEpCfg cfg;
+        cfg.targetNode = sg.rgate->node;
+        cfg.targetEp = sg.rgate->ep;
+        cfg.label = sg.label;
+        cfg.credits = sg.credits;
+        cfg.maxMsgSize = sg.rgate->slotSize;
+        kdtu().extConfigSend(node, ep, cfg);
+        cap->activatedEp = ep;
+        return Error::None;
+      }
+      case ObjType::Mem: {
+        auto &mem = static_cast<MemObj &>(*cap->obj);
+        MemEpCfg cfg;
+        cfg.targetNode = mem.node;
+        cfg.offset = mem.off;
+        cfg.size = mem.size;
+        cfg.perms = mem.perms;
+        kdtu().extConfigMem(node, ep, cfg);
+        cap->activatedEp = ep;
+        return Error::None;
+      }
+      default:
+        return Error::InvalidArgs;
+    }
+}
+
+void
+Kernel::flushPendingActivations(RGateObj *rgate)
+{
+    auto it = pendingActs.find(rgate);
+    if (it == pendingActs.end())
+        return;
+    std::vector<PendingAct> pending = std::move(it->second);
+    pendingActs.erase(it);
+    for (const PendingAct &pa : pending) {
+        Vpe *v = vpeById(pa.vpe);
+        if (!v) {
+            continue;
+        }
+        Capability *cap = v->caps.get(pa.capSel, ObjType::SGate);
+        if (!cap) {
+            replyOnEpError(pa.slot, Error::NoSuchCap);
+            continue;
+        }
+        Error e = doActivate(*v, cap, pa.ep, 0);
+        replyOnEpError(pa.slot, e);
+    }
+}
+
+void
+Kernel::replyOnEpError(uint32_t slot, Error e)
+{
+    uint8_t buf[16];
+    Marshaller m(buf, sizeof(buf));
+    m << e;
+    replyOnEp(KEP_SYSC, slot, buf, static_cast<uint32_t>(m.size()));
+}
+
+void
+Kernel::sysExchange(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto vpeSel = um.pull<capsel_t>();
+    auto srcStart = um.pull<capsel_t>();
+    auto count = um.pull<uint64_t>();
+    auto dstStart = um.pull<capsel_t>();
+    auto op = um.pull<kif::ExchangeOp>();
+
+    Capability *vcap = caller.caps.get(vpeSel, ObjType::Vpe);
+    if (!vcap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    Vpe *other = vpeById(static_cast<VpeRefObj &>(*vcap->obj).vpe);
+    if (!other) {
+        replyError(slot, Error::NoSuchVpe);
+        return;
+    }
+
+    Vpe &from = op == kif::ExchangeOp::Delegate ? caller : *other;
+    Vpe &to = op == kif::ExchangeOp::Delegate ? *other : caller;
+
+    if (count == 0 || count > kif::MAX_EXCHG_CAPS) {
+        replyError(slot, Error::InvalidArgs);
+        return;
+    }
+    // Validate first: all sources present and delegable, no target clash.
+    for (uint64_t i = 0; i < count; ++i) {
+        Capability *src = from.caps.get(srcStart + i);
+        if (!src) {
+            replyError(slot, Error::NoSuchCap);
+            return;
+        }
+        if (src->obj->type == ObjType::RGate ||
+            src->obj->type == ObjType::Serv) {
+            // Receive gates are not movable (Sec. 4.5.4); services stay.
+            replyError(slot, Error::NoPerm);
+            return;
+        }
+        if (to.caps.get(dstStart + i)) {
+            replyError(slot, Error::CapExists);
+            return;
+        }
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+        Capability *src = from.caps.get(srcStart + i);
+        to.caps.put(dstStart + i, src->obj, src);
+        kstats.capsDelegated++;
+    }
+    compute(count * costs.capOp);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysCreateSrv(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto dstSel = um.pull<capsel_t>();
+    auto rgateSel = um.pull<capsel_t>();
+    auto name = um.pull<std::string>();
+
+    Capability *rgCap = caller.caps.get(rgateSel, ObjType::RGate);
+    if (!rgCap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    auto rgate = std::static_pointer_cast<RGateObj>(rgCap->obj);
+    if (!rgate->activated) {
+        replyError(slot, Error::InvalidArgs);
+        return;
+    }
+    if (services.count(name)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+    if (caller.caps.get(dstSel)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+    auto serv = std::make_shared<ServObj>(name, caller.id, rgate);
+    services[name] = serv;
+    caller.caps.put(dstSel, serv, rgCap);
+    compute(costs.capOp);
+    replyError(slot, Error::None);
+}
+
+uint64_t
+Kernel::sendToService(ServObj &serv, const void *msg, uint32_t size)
+{
+    uint64_t id = nextSrvReqId++;
+    const uint8_t *bytes = static_cast<const uint8_t *>(msg);
+    if (serv.kernelCredits == 0) {
+        // Channel exhausted: queue until a reply returns a credit.
+        serv.sendQueue.emplace_back(
+            id, std::vector<uint8_t>(bytes, bytes + size));
+        return id;
+    }
+    serv.kernelCredits--;
+    dispatchToService(serv, bytes, size, id);
+    return id;
+}
+
+void
+Kernel::dispatchToService(ServObj &serv, const uint8_t *msg, uint32_t size,
+                          uint64_t id)
+{
+    SendEpCfg cfg;
+    cfg.targetNode = serv.rgate->node;
+    cfg.targetEp = serv.rgate->ep;
+    cfg.label = 0;
+    cfg.credits = CREDITS_UNLIMITED;  // bounded by kernelCredits
+    cfg.maxMsgSize = serv.rgate->slotSize;
+    kdtu().configSend(KEP_SRV_SEND, cfg);
+
+    Spm &spm = platform.pe(kernelPe).spm();
+    spm.write(srvStage, msg, size);
+    compute(costs.epConfig + costs.marshal + costs.dtuCommand);
+    Error e = kdtu().startSend(KEP_SRV_SEND, srvStage, size, KEP_SRV_REPLY,
+                               id);
+    if (e != Error::None)
+        panic("kernel -> service send failed: %s", errorName(e));
+    kdtu().waitUntilIdle();
+    kstats.serviceRequests++;
+}
+
+void
+Kernel::sysOpenSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto dstSel = um.pull<capsel_t>();
+    auto name = um.pull<std::string>();
+    auto arg = um.pull<uint64_t>();
+
+    auto it = services.find(name);
+    if (it == services.end()) {
+        replyError(slot, Error::NoSuchService);
+        return;
+    }
+    if (caller.caps.get(dstSel)) {
+        replyError(slot, Error::CapExists);
+        return;
+    }
+
+    uint8_t buf[128];
+    Marshaller m(buf, sizeof(buf));
+    m << kif::ServiceOp::Open << arg;
+    uint64_t id = sendToService(*it->second, buf,
+                                static_cast<uint32_t>(m.size()));
+
+    PendingSrvReq req;
+    req.kind = PendingSrvReq::Kind::Open;
+    req.caller = caller.id;
+    req.slot = slot;
+    req.dstSel = dstSel;
+    req.serv = it->second;
+    pendingSrvReqs[id] = std::move(req);
+}
+
+void
+Kernel::sysExchangeSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto sessSel = um.pull<capsel_t>();
+    auto op = um.pull<kif::ExchangeOp>();
+    auto dstStart = um.pull<capsel_t>();
+    auto count = um.pull<uint64_t>();
+    auto argc = um.pull<uint64_t>();
+
+    if (count > kif::MAX_EXCHG_CAPS || argc > kif::MAX_EXCHG_ARGS) {
+        replyError(slot, Error::InvalidArgs);
+        return;
+    }
+    uint64_t args[kif::MAX_EXCHG_ARGS];
+    for (uint64_t i = 0; i < argc; ++i)
+        um >> args[i];
+
+    Capability *sessCap = caller.caps.get(sessSel, ObjType::Sess);
+    if (!sessCap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    auto sess = std::static_pointer_cast<SessObj>(sessCap->obj);
+
+    uint8_t buf[kif::MAX_SYSC_MSG];
+    Marshaller m(buf, sizeof(buf));
+    m << (op == kif::ExchangeOp::Obtain ? kif::ServiceOp::Obtain
+                                        : kif::ServiceOp::Delegate)
+      << sess->ident << count << argc;
+    for (uint64_t i = 0; i < argc; ++i)
+        m << args[i];
+    uint64_t id =
+        sendToService(*sess->serv, buf, static_cast<uint32_t>(m.size()));
+
+    PendingSrvReq req;
+    req.kind = op == kif::ExchangeOp::Obtain ? PendingSrvReq::Kind::Obtain
+                                             : PendingSrvReq::Kind::Delegate;
+    req.caller = caller.id;
+    req.slot = slot;
+    req.sess = sess;
+    req.serv = sess->serv;
+    req.dstStart = dstStart;
+    req.count = static_cast<uint32_t>(count);
+    if (req.kind == PendingSrvReq::Kind::Delegate) {
+        for (uint32_t i = 0; i < count; ++i)
+            req.srcSels.push_back(dstStart + i);
+    }
+    pendingSrvReqs[id] = std::move(req);
+}
+
+void
+Kernel::handleServiceReply(uint32_t slot)
+{
+    MessageHeader hdr = kdtu().msgHeader(KEP_SRV_REPLY, slot);
+    auto it = pendingSrvReqs.find(hdr.label);
+    if (it == pendingSrvReqs.end()) {
+        warn("service reply for unknown request %llu",
+             static_cast<unsigned long long>(hdr.label));
+        kdtu().ackMsg(KEP_SRV_REPLY, slot);
+        return;
+    }
+    PendingSrvReq req = std::move(it->second);
+    pendingSrvReqs.erase(it);
+
+    // The reply returns the kernel's channel credit; dispatch a queued
+    // request if one is waiting.
+    if (req.serv) {
+        req.serv->kernelCredits++;
+        if (!req.serv->sendQueue.empty()) {
+            auto [qid, bytes] = std::move(req.serv->sendQueue.front());
+            req.serv->sendQueue.erase(req.serv->sendQueue.begin());
+            req.serv->kernelCredits--;
+            dispatchToService(*req.serv, bytes.data(),
+                              static_cast<uint32_t>(bytes.size()), qid);
+        }
+    }
+
+    Spm &spm = platform.pe(kernelPe).spm();
+    const uint8_t *payload = spm.ptr(
+        kdtu().msgAddr(KEP_SRV_REPLY, slot) + sizeof(MessageHeader),
+        hdr.length);
+    Unmarshaller um(payload, hdr.length);
+    kdtu().ackMsg(KEP_SRV_REPLY, slot);
+
+    compute(costs.fetchMsg + costs.unmarshal);
+
+    Vpe *caller = vpeById(req.caller);
+    if (!caller)
+        return;  // the caller exited meanwhile; drop the response
+
+    auto e = um.pull<Error>();
+
+    switch (req.kind) {
+      case PendingSrvReq::Kind::Open: {
+        if (e == Error::None) {
+            auto ident = um.pull<uint64_t>();
+            caller->caps.put(req.dstSel,
+                             std::make_shared<SessObj>(req.serv, ident));
+            compute(costs.capOp);
+        }
+        replyOnEpError(req.slot, e);
+        break;
+      }
+      case PendingSrvReq::Kind::Obtain: {
+        uint8_t buf[kif::MAX_SYSC_MSG];
+        Marshaller m(buf, sizeof(buf));
+        if (e != Error::None) {
+            m << e << uint64_t{0};
+            replyOnEp(KEP_SYSC, req.slot, buf,
+                      static_cast<uint32_t>(m.size()));
+            break;
+        }
+        auto numCaps = um.pull<uint64_t>();
+        Vpe *srvVpe = vpeById(req.serv->owner);
+        Error xe = Error::None;
+        if (numCaps > req.count || !srvVpe)
+            xe = Error::InvalidArgs;
+        for (uint64_t i = 0; xe == Error::None && i < numCaps; ++i) {
+            auto srvSel = um.pull<capsel_t>();
+            Capability *src = srvVpe->caps.get(srvSel);
+            if (!src) {
+                xe = Error::NoSuchCap;
+                break;
+            }
+            if (caller->caps.get(req.dstStart + i)) {
+                xe = Error::CapExists;
+                break;
+            }
+            caller->caps.put(req.dstStart + i, src->obj, src);
+            kstats.capsDelegated++;
+            compute(costs.capOp);
+        }
+        auto numArgs = um.pull<uint64_t>();
+        m << xe << numArgs;
+        for (uint64_t i = 0; i < numArgs; ++i)
+            m << um.pull<uint64_t>();
+        replyOnEp(KEP_SYSC, req.slot, buf,
+                  static_cast<uint32_t>(m.size()));
+        break;
+      }
+      case PendingSrvReq::Kind::Delegate: {
+        Error xe = e;
+        if (xe == Error::None) {
+            auto numCaps = um.pull<uint64_t>();
+            Vpe *srvVpe = vpeById(req.serv->owner);
+            if (numCaps > req.srcSels.size() || !srvVpe)
+                xe = Error::InvalidArgs;
+            for (uint64_t i = 0; xe == Error::None && i < numCaps; ++i) {
+                auto srvDstSel = um.pull<capsel_t>();
+                Capability *src = caller->caps.get(req.srcSels[i]);
+                if (!src) {
+                    xe = Error::NoSuchCap;
+                    break;
+                }
+                if (srvVpe->caps.get(srvDstSel)) {
+                    xe = Error::CapExists;
+                    break;
+                }
+                srvVpe->caps.put(srvDstSel, src->obj, src);
+                kstats.capsDelegated++;
+                compute(costs.capOp);
+            }
+        }
+        replyOnEpError(req.slot, xe);
+        break;
+      }
+    }
+}
+
+void
+Kernel::sysRevoke(Vpe &caller, Unmarshaller &um, uint32_t slot)
+{
+    auto capSel = um.pull<capsel_t>();
+    auto own = um.pull<uint64_t>();
+
+    Capability *cap = caller.caps.get(capSel);
+    if (!cap) {
+        replyError(slot, Error::NoSuchCap);
+        return;
+    }
+    if (own) {
+        revokeRec(cap);
+    } else {
+        while (!cap->children.empty())
+            revokeRec(cap->children.back());
+    }
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::revokeRec(Capability *cap)
+{
+    while (!cap->children.empty())
+        revokeRec(cap->children.back());
+
+    kstats.capsRevoked++;
+    compute(costs.capOp);
+
+    Vpe *owner = vpeById(cap->owner);
+
+    // Hardware side effects of losing the capability.
+    if (owner && cap->activatedEp != INVALID_EP &&
+        owner->state != Vpe::State::Exited) {
+        kdtu().extInvalidateEp(nodeOf(*owner), cap->activatedEp);
+    }
+
+    switch (cap->obj->type) {
+      case ObjType::Vpe: {
+        Vpe *v = vpeById(static_cast<VpeRefObj &>(*cap->obj).vpe);
+        if (v && v->state != Vpe::State::Exited)
+            finishVpe(*v, -1);
+        break;
+      }
+      case ObjType::Serv: {
+        auto &serv = static_cast<ServObj &>(*cap->obj);
+        services.erase(serv.name);
+        break;
+      }
+      case ObjType::RGate: {
+        auto &rg = static_cast<RGateObj &>(*cap->obj);
+        auto it = pendingActs.find(&rg);
+        if (it != pendingActs.end()) {
+            auto pending = std::move(it->second);
+            pendingActs.erase(it);
+            for (const PendingAct &pa : pending)
+                replyOnEpError(pa.slot, Error::NoSuchCap);
+        }
+        rg.activated = false;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (owner)
+        owner->caps.remove(cap->sel);
+}
+
+} // namespace kernel
+} // namespace m3

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The M3 kernel: a program on a dedicated kernel PE that exercises the
+ * "final decision of whether an operation is allowed" (Sec. 3).
+ *
+ * The kernel receives system calls as DTU messages, manages VPEs and
+ * their capability tables, allocates PEs and DRAM, configures endpoints
+ * remotely (NoC-level isolation), registers services and arbitrates
+ * capability exchanges with them. No application code ever runs on the
+ * kernel PE, and the kernel never runs on application PEs.
+ */
+
+#ifndef M3_KERNEL_KERNEL_HH
+#define M3_KERNEL_KERNEL_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/cost_model.hh"
+#include "base/errors.hh"
+#include "base/marshal.hh"
+#include "kernel/caps.hh"
+#include "kernel/kif.hh"
+#include "pe/platform.hh"
+
+namespace m3
+{
+namespace kernel
+{
+
+/** Kernel-side state of one VPE (Sec. 4.5.5). */
+struct Vpe
+{
+    enum class State
+    {
+        Boot,     //!< created, not yet started
+        Running,  //!< program started
+        Exited,   //!< program called exit (or was revoked)
+    };
+
+    Vpe(vpeid_t id, std::string name, peid_t pe)
+        : id(id), name(std::move(name)), pe(pe), caps(id)
+    {
+    }
+
+    vpeid_t id;
+    std::string name;
+    peid_t pe;
+    State state = State::Boot;
+    int exitCode = 0;
+    CapTable caps;
+
+    /** Deferred VpeWait replies: (kernel recv EP, ring slot). */
+    std::vector<std::pair<epid_t, uint32_t>> waiters;
+};
+
+/** Statistics for tests and the scalability analysis. */
+struct KernelStats
+{
+    uint64_t syscalls = 0;
+    uint64_t vpesCreated = 0;
+    uint64_t capsDelegated = 0;
+    uint64_t capsRevoked = 0;
+    uint64_t serviceRequests = 0;
+};
+
+/**
+ * The kernel. Construct it, queue boot programs, call start(), then run
+ * the simulator; everything else happens via syscall messages.
+ */
+class Kernel
+{
+  public:
+    /** A capability to install in a boot VPE's table before start. */
+    struct BootCap
+    {
+        capsel_t sel;
+        uint32_t node;
+        goff_t off;
+        uint64_t size;
+        uint8_t perms;
+    };
+
+    /** A program the kernel loads during boot (services, the root app). */
+    struct BootProgram
+    {
+        peid_t pe;
+        std::string name;
+        std::function<void(vpeid_t)> main;
+        std::vector<BootCap> caps;
+    };
+
+    /**
+     * @param platform the platform; the kernel claims @p kernelPe
+     * @param kernelPe PE the kernel itself runs on
+     * @param dramAllocStart first DRAM byte the kernel may hand out
+     *        (below lies e.g. the filesystem image)
+     */
+    Kernel(Platform &platform, peid_t kernelPe, goff_t dramAllocStart);
+
+    /**
+     * Opt-in policy (Sec. 3.3's waiting-for-a-reusable-core idea): when
+     * no suitable PE is free, defer the CreateVpe reply until one is
+     * released instead of failing with NoFreePe.
+     */
+    void setQueueVpes(bool enable) { queueVpes = enable; }
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Queue a program to be loaded at boot. Call before start(). */
+    void addBootProgram(BootProgram prog);
+
+    /** Install the kernel program on its PE and start it. */
+    void start();
+
+    const KernelStats &stats() const { return kstats; }
+
+    /** Introspection for tests: VPE state by id (nullptr if unknown). */
+    const Vpe *vpe(vpeid_t id) const;
+
+    /** Kernel-internal endpoint assignment. */
+    static constexpr epid_t KEP_SYSC = 0;  //!< syscall receive ring
+    static constexpr epid_t KEP_SRV_REPLY = 1; //!< service replies
+    static constexpr epid_t KEP_SRV_SEND = 2;  //!< scratch send EP
+
+  private:
+    /** The kernel program's main loop. */
+    void run();
+
+    void bootSetup();
+
+    // --- syscall dispatch --------------------------------------------
+    void handleSyscall(uint32_t slot);
+    void reply(uint32_t slot, const void *msg, uint32_t size);
+    void replyError(uint32_t slot, Error e);
+    void replyOnEp(epid_t ep, uint32_t slot, const void *msg,
+                   uint32_t size);
+    void replyOnEpError(uint32_t slot, Error e);
+
+    void sysNoop(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysCreateVpe(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysVpeStart(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysVpeWait(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysVpeExit(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysCreateRgate(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysCreateSgate(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysReqMem(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysDeriveMem(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysActivate(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysExchange(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysCreateSrv(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysOpenSess(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysExchangeSess(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysRevoke(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+
+    // --- service interaction -----------------------------------------
+    void handleServiceReply(uint32_t slot);
+    uint64_t sendToService(ServObj &serv, const void *msg, uint32_t size);
+    void dispatchToService(ServObj &serv, const uint8_t *msg,
+                           uint32_t size, uint64_t id);
+
+    // --- helpers -------------------------------------------------------
+    Vpe *vpeById(vpeid_t id);
+    Vpe &createVpeObj(const std::string &name, peid_t pe);
+    void configureVpeEps(Vpe &vpe);
+    Error doActivate(Vpe &vpe, Capability *cap, epid_t ep,
+                     spmaddr_t bufAddr);
+    void finishVpe(Vpe &vpe, int exitCode);
+    void revokeRec(Capability *cap);
+    void flushPendingActivations(RGateObj *rgate);
+
+    uint32_t nodeOf(const Vpe &vpe) const;
+    Dtu &kdtu();
+    void compute(Cycles c);
+
+    Platform &platform;
+    peid_t kernelPe;
+    const M3Costs &costs;
+
+    // DRAM management: a bump allocator over the dynamic region.
+    goff_t dramNext;
+    goff_t dramEnd;
+
+    // VPE and PE management.
+    std::map<vpeid_t, std::unique_ptr<Vpe>> vpes;
+    vpeid_t nextVpe = 1;
+    std::vector<bool> peBusy;
+
+    // Service registry.
+    std::map<std::string, std::shared_ptr<ServObj>> services;
+    uint64_t nextSessIdent = 1;
+
+    // Deferred syscall replies.
+    struct PendingAct
+    {
+        vpeid_t vpe;
+        capsel_t capSel;
+        epid_t ep;
+        uint32_t slot;  //!< syscall ring slot to reply to
+    };
+    std::map<RGateObj *, std::vector<PendingAct>> pendingActs;
+
+    struct PendingVpeReq
+    {
+        vpeid_t caller;
+        uint32_t slot;  //!< syscall ring slot to reply to
+        capsel_t dstSel;
+        capsel_t mgateSel;
+        std::string name;
+        kif::PeTypeReq type;
+        std::string attr;
+    };
+    std::vector<PendingVpeReq> pendingVpes;
+    bool queueVpes = false;
+
+    /** Try to satisfy @p req now. @return false if no PE is free. */
+    bool tryCreateVpe(Vpe &caller, const PendingVpeReq &req);
+    void flushPendingVpes();
+
+    struct PendingSrvReq
+    {
+        enum class Kind { Open, Obtain, Delegate };
+        Kind kind;
+        vpeid_t caller;
+        uint32_t slot;        //!< syscall ring slot to reply to
+        capsel_t dstSel = 0;  //!< OpenSess: where the session cap goes
+        std::shared_ptr<ServObj> serv;
+        std::shared_ptr<SessObj> sess;
+        uint32_t dstStart = 0;  //!< Obtain: caller cap range
+        uint32_t count = 0;
+        std::vector<capsel_t> srcSels;  //!< Delegate: caller's caps
+    };
+    std::unordered_map<uint64_t, PendingSrvReq> pendingSrvReqs;
+    uint64_t nextSrvReqId = 1;
+
+    // Programs queued for loading at boot.
+    std::vector<BootProgram> bootQueue;
+
+    // SPM staging areas (allocated in bootSetup).
+    spmaddr_t syscRing = 0;
+    spmaddr_t srvRing = 0;
+    spmaddr_t stage = 0;
+    spmaddr_t srvStage = 0;
+
+    KernelStats kstats;
+};
+
+} // namespace kernel
+} // namespace m3
+
+#endif // M3_KERNEL_KERNEL_HH

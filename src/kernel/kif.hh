@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Kernel interface (KIF): the wire protocol between applications and the
+ * M3 kernel, plus the platform conventions both sides rely on.
+ *
+ * System calls are messages sent over the DTU to the kernel PE
+ * (Sec. 3, 5.3); this header defines their opcodes and layouts. It also
+ * fixes the endpoint and SPM-layout conventions the kernel establishes
+ * when it creates a VPE.
+ */
+
+#ifndef M3_KERNEL_KIF_HH
+#define M3_KERNEL_KIF_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace m3
+{
+namespace kif
+{
+
+// ---------------------------------------------------------------------
+// Platform conventions.
+// ---------------------------------------------------------------------
+
+/** EP 0 of every application PE: send EP towards the kernel (syscalls). */
+static constexpr epid_t SYSC_SEP = 0;
+/** EP 1: receive EP for syscall replies. */
+static constexpr epid_t SYSC_REP = 1;
+/** First endpoint that libm3 may use for gate multiplexing. */
+static constexpr epid_t FIRST_FREE_EP = 2;
+
+/** SPM address of the syscall-reply ringbuffer (fixed by convention). */
+static constexpr spmaddr_t SYSC_RBUF_ADDR = 0;
+/** Slots and slot size of the syscall-reply ring. */
+static constexpr uint32_t SYSC_RBUF_SLOTS = 4;
+static constexpr uint32_t SYSC_RBUF_SLOTSIZE = 512;
+/** SPM bytes reserved for system ringbuffers ([0, RESERVED_SPM)). */
+static constexpr size_t RESERVED_SPM = 4 * KiB;
+
+/** Maximum size of a syscall message (kernel ring slot size). */
+static constexpr uint32_t MAX_SYSC_MSG = 512;
+/**
+ * Slots of the kernel's syscall ring. Every VPE gets one credit, so up
+ * to KSYSC_SLOTS VPEs can have a syscall in flight (including deferred
+ * replies such as VpeWait, which hold their slot until answered).
+ */
+static constexpr uint32_t KSYSC_SLOTS = 64;
+
+// ---------------------------------------------------------------------
+// System calls.
+// ---------------------------------------------------------------------
+
+/** Syscall opcodes. Every request starts with one as uint64. */
+enum class Syscall : uint64_t
+{
+    Noop,         //!< { } -> { Error } (the Fig. 3 null syscall)
+    CreateVpe,    //!< { dstSel, mgateSel, name, peType, attr }
+                  //!< -> { Error }
+    VpeStart,     //!< { vpeSel } -> { Error }
+    VpeWait,      //!< { vpeSel } -> { Error, exitcode } (deferred)
+    VpeExit,      //!< { exitcode } -> no reply
+    CreateRgate,  //!< { dstSel, slots, slotSize } -> { Error }
+    CreateSgate,  //!< { dstSel, rgateSel, label, credits } -> { Error }
+    ReqMem,       //!< { dstSel, size, perms } -> { Error }
+    DeriveMem,    //!< { srcSel, dstSel, off, size, perms } -> { Error }
+    Activate,     //!< { capSel, ep, bufAddr } -> { Error } (may defer)
+    Exchange,     //!< { vpeSel, srcStart, count, dstStart, obtain }
+                  //!< -> { Error }
+    CreateSrv,    //!< { dstSel, rgateSel, name } -> { Error }
+    OpenSess,     //!< { dstSel, name, arg } -> { Error } (deferred)
+    ExchangeSess, //!< { sessSel, obtain, dstStart, count, args... }
+                  //!< -> { Error, args... } (deferred)
+    Revoke,       //!< { capSel, own } -> { Error }
+    COUNT,
+};
+
+/** Capability-exchange direction. */
+enum class ExchangeOp : uint64_t
+{
+    Delegate,
+    Obtain,
+};
+
+/** PE-type request for CreateVpe (mirrors PeType without the include). */
+enum class PeTypeReq : uint64_t
+{
+    General,
+    Accelerator,
+};
+
+// ---------------------------------------------------------------------
+// Service protocol: messages the kernel sends to a registered service
+// (Sec. 4.5.3: the channel is created at service registration).
+// ---------------------------------------------------------------------
+
+enum class ServiceOp : uint64_t
+{
+    Open,     //!< { Open, arg } -> { Error, ident }
+    Obtain,   //!< { Obtain, ident, argc, args... }
+              //!< -> { Error, srvSels..., args... }
+    Delegate, //!< { Delegate, ident, srvSels..., args... } -> { Error }
+    Close,    //!< { Close, ident } -> { Error }
+    Shutdown, //!< { Shutdown } -> { Error }
+};
+
+/** Maximum capability selectors in one exchange. */
+static constexpr uint32_t MAX_EXCHG_CAPS = 8;
+/** Maximum extra argument words in a session exchange. */
+static constexpr uint32_t MAX_EXCHG_ARGS = 8;
+
+} // namespace kif
+} // namespace m3
+
+#endif // M3_KERNEL_KIF_HH

@@ -1,0 +1,146 @@
+#include "libm3/cached_mem.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace m3
+{
+
+namespace
+{
+
+bool
+isPow2(uint32_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+CachedMem::CachedMem(MemGate &gate, uint32_t lineSize, uint32_t sets,
+                     uint32_t ways, Cycles hitCycles)
+    : gate(gate), lineSize(lineSize), sets(sets), ways(ways),
+      hitCycles(hitCycles), lines(static_cast<size_t>(sets) * ways)
+{
+    if (!isPow2(lineSize) || !isPow2(sets) || ways == 0)
+        fatal("cache geometry must be powers of two");
+    for (Line &l : lines)
+        l.data.resize(lineSize);
+}
+
+CachedMem::~CachedMem()
+{
+    flush();
+}
+
+Error
+CachedMem::writeBack(Line &line, uint32_t setIdx)
+{
+    goff_t addr =
+        (line.tag * sets + setIdx) * static_cast<goff_t>(lineSize);
+    cacheStats.writeBacks++;
+    Error e = gate.write(line.data.data(), lineSize, addr);
+    if (e == Error::None)
+        line.dirty = false;
+    return e;
+}
+
+CachedMem::Line *
+CachedMem::access(goff_t addr, Error &err)
+{
+    err = Error::None;
+    uint32_t setIdx = setOf(addr);
+    uint64_t tag = tagOf(addr);
+    Line *setBase = &lines[static_cast<size_t>(setIdx) * ways];
+
+    Line *victim = setBase;
+    for (uint32_t w = 0; w < ways; ++w) {
+        Line &l = setBase[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = ++useCounter;
+            cacheStats.hits++;
+            Env::cur().compute(hitCycles);
+            return &l;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lastUse < victim->lastUse) {
+            victim = &l;
+        }
+    }
+
+    // Miss: evict (write back if dirty), then fill over the DTU.
+    cacheStats.misses++;
+    if (victim->valid && victim->dirty) {
+        err = writeBack(*victim, setIdx);
+        if (err != Error::None)
+            return nullptr;
+    }
+    goff_t lineAddr = (tag * sets + setIdx) * static_cast<goff_t>(lineSize);
+    err = gate.read(victim->data.data(), lineSize, lineAddr);
+    if (err != Error::None) {
+        victim->valid = false;
+        return nullptr;
+    }
+    victim->valid = true;
+    victim->dirty = false;
+    victim->tag = tag;
+    victim->lastUse = ++useCounter;
+    return victim;
+}
+
+Error
+CachedMem::read(goff_t addr, void *dst, size_t len)
+{
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    size_t done = 0;
+    while (done < len) {
+        Error err = Error::None;
+        Line *l = access(addr + done, err);
+        if (!l)
+            return err;
+        size_t off = (addr + done) % lineSize;
+        size_t chunk = std::min<size_t>(len - done, lineSize - off);
+        std::memcpy(out + done, l->data.data() + off, chunk);
+        done += chunk;
+    }
+    return Error::None;
+}
+
+Error
+CachedMem::write(goff_t addr, const void *src, size_t len)
+{
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    size_t done = 0;
+    while (done < len) {
+        Error err = Error::None;
+        Line *l = access(addr + done, err);
+        if (!l)
+            return err;
+        size_t off = (addr + done) % lineSize;
+        size_t chunk = std::min<size_t>(len - done, lineSize - off);
+        std::memcpy(l->data.data() + off, in + done, chunk);
+        l->dirty = true;
+        done += chunk;
+    }
+    return Error::None;
+}
+
+Error
+CachedMem::flush()
+{
+    for (uint32_t setIdx = 0; setIdx < sets; ++setIdx) {
+        for (uint32_t w = 0; w < ways; ++w) {
+            Line &l = lines[static_cast<size_t>(setIdx) * ways + w];
+            if (l.valid && l.dirty) {
+                Error e = writeBack(l, setIdx);
+                if (e != Error::None)
+                    return e;
+            }
+        }
+    }
+    return Error::None;
+}
+
+} // namespace m3

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The paper's first future-work item (Sec. 7): "add caches to the PEs
+ * ... the cache will use the DTU to load/store cache lines from/into
+ * DRAM. In this way, the DTU remains the only component with access to
+ * PE-external resources."
+ *
+ * CachedMem models exactly that: load/store access to the memory behind
+ * a memory gate, through a set-associative write-back cache whose line
+ * fills and write-backs are real DTU transfers. It gives PE software
+ * byte-granular access to PE-external memory without breaking NoC-level
+ * isolation — the stepping stone towards POSIX applications the paper
+ * sketches.
+ */
+
+#ifndef M3_LIBM3_CACHED_MEM_HH
+#define M3_LIBM3_CACHED_MEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "libm3/gates.hh"
+
+namespace m3
+{
+
+/** Cache statistics. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writeBacks = 0;
+
+    double
+    hitRate() const
+    {
+        uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** A set-associative, write-back, LRU cache over a memory gate. */
+class CachedMem
+{
+  public:
+    /**
+     * @param gate the memory this cache fronts (not owned)
+     * @param lineSize bytes per line (power of two)
+     * @param sets number of sets (power of two)
+     * @param ways associativity
+     * @param hitCycles core cycles per hit access
+     */
+    CachedMem(MemGate &gate, uint32_t lineSize = 64, uint32_t sets = 64,
+              uint32_t ways = 4, Cycles hitCycles = 1);
+
+    ~CachedMem();
+
+    CachedMem(const CachedMem &) = delete;
+    CachedMem &operator=(const CachedMem &) = delete;
+
+    /** Load @p len bytes at @p addr (relative to the gate's region). */
+    Error read(goff_t addr, void *dst, size_t len);
+
+    /** Store @p len bytes at @p addr. */
+    Error write(goff_t addr, const void *src, size_t len);
+
+    /** Write all dirty lines back to the memory. */
+    Error flush();
+
+    const CacheStats &stats() const { return cacheStats; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;
+        std::vector<uint8_t> data;
+    };
+
+    /** Get the line holding @p addr, filling/evicting as needed. */
+    Line *access(goff_t addr, Error &err);
+
+    Error writeBack(Line &line, uint32_t setIdx);
+
+    uint32_t setOf(goff_t addr) const
+    {
+        return static_cast<uint32_t>((addr / lineSize) % sets);
+    }
+
+    uint64_t tagOf(goff_t addr) const { return addr / lineSize / sets; }
+
+    MemGate &gate;
+    uint32_t lineSize;
+    uint32_t sets;
+    uint32_t ways;
+    Cycles hitCycles;
+    std::vector<Line> lines;  //!< sets * ways, row-major by set
+    uint64_t useCounter = 0;
+    CacheStats cacheStats;
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_CACHED_MEM_HH

@@ -1,0 +1,348 @@
+#include "libm3/env.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "libm3/gates.hh"
+#include "libm3/vfs.hh"
+
+namespace m3
+{
+
+namespace
+{
+
+/** Current environment per fiber (fibers interleave on one host thread). */
+std::unordered_map<Fiber *, Env *> &
+envRegistry()
+{
+    static std::unordered_map<Fiber *, Env *> reg;
+    return reg;
+}
+
+} // anonymous namespace
+
+Env::Env(Platform &platform, peid_t peId, vpeid_t vpeId)
+    : platform(platform), peId(peId), vpeId(vpeId), pe(platform.pe(peId)),
+      spm(pe.spm()), dtu(pe.dtu()), cm(platform.costs()),
+      fiber(*Fiber::current())
+{
+    // Claim the SPM: the reserved system area (syscall-reply ring at its
+    // fixed address), the syscall staging buffer and the transfer buffer.
+    spm.resetAlloc();
+    spm.alloc(kif::RESERVED_SPM);
+    syscStage = spm.alloc(kif::MAX_SYSC_MSG);
+    xferBufAddr = spm.alloc(XFER_BUF_SIZE);
+
+    envRegistry()[&fiber] = this;
+}
+
+Env::~Env()
+{
+    envRegistry().erase(&fiber);
+}
+
+Vfs &
+Env::vfs()
+{
+    if (!vfsPtr)
+        vfsPtr = std::make_unique<Vfs>();
+    return *vfsPtr;
+}
+
+Env &
+Env::cur()
+{
+    Fiber *f = Fiber::current();
+    if (!f)
+        panic("Env::cur() outside a fiber");
+    auto it = envRegistry().find(f);
+    if (it == envRegistry().end())
+        panic("fiber '%s' has no environment", f->fiberName().c_str());
+    return *it->second;
+}
+
+// ---------------------------------------------------------------------
+// Endpoint multiplexing.
+// ---------------------------------------------------------------------
+
+epid_t
+Env::attach(Gate &gate)
+{
+    // "libm3 checks before the usage of a gate whether the endpoint is
+    // appropriately configured" (Sec. 4.5.4).
+    compute(cm.m3.epCheck);
+    if (gate.ep != INVALID_EP) {
+        epSlots[gate.ep].lastUse = ++useCounter;
+        return gate.ep;
+    }
+
+    // Pick a free endpoint, or evict the least recently used movable one.
+    epid_t chosen = INVALID_EP;
+    for (epid_t e = kif::FIRST_FREE_EP; e < EP_COUNT; ++e) {
+        if (!epSlots[e].gate) {
+            chosen = e;
+            break;
+        }
+    }
+    if (chosen == INVALID_EP) {
+        uint64_t best = ~uint64_t{0};
+        for (epid_t e = kif::FIRST_FREE_EP; e < EP_COUNT; ++e) {
+            Gate *g = epSlots[e].gate;
+            if (!g->pinned && epSlots[e].lastUse < best) {
+                best = epSlots[e].lastUse;
+                chosen = e;
+            }
+        }
+        if (chosen == INVALID_EP)
+            panic("VPE%u: out of endpoints (all pinned)", vpeId);
+        epSlots[chosen].gate->ep = INVALID_EP;
+    }
+
+    Error e = activate(gate.sel, chosen, gate.activateBuf());
+    if (e != Error::None)
+        panic("VPE%u: activating cap %u on EP %u failed: %s", vpeId,
+              gate.sel, chosen, errorName(e));
+
+    gate.ep = chosen;
+    epSlots[chosen].gate = &gate;
+    epSlots[chosen].lastUse = ++useCounter;
+    return chosen;
+}
+
+void
+Env::rebind(Gate &gate, epid_t ep)
+{
+    epSlots[ep].gate = &gate;
+}
+
+void
+Env::detach(Gate &gate)
+{
+    if (gate.ep != INVALID_EP) {
+        epSlots[gate.ep].gate = nullptr;
+        gate.ep = INVALID_EP;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Syscall client.
+// ---------------------------------------------------------------------
+
+Marshaller
+Env::beginSyscall()
+{
+    return Marshaller(spm.ptr(syscStage, kif::MAX_SYSC_MSG),
+                      kif::MAX_SYSC_MSG);
+}
+
+Error
+Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
+{
+    ScopedCategory os(acct(), Category::Os);
+
+    compute(cm.m3.marshal + cm.m3.dtuCommand);
+
+    for (;;) {
+        Error e = dtu.startSend(kif::SYSC_SEP, syscStage,
+                                static_cast<uint32_t>(m.size()),
+                                kif::SYSC_REP, 0);
+        if (e == Error::DtuBusy) {
+            dtu.waitUntilIdle();
+            continue;
+        }
+        if (e != Error::None)
+            panic("VPE%u: syscall send failed: %s", vpeId, errorName(e));
+        break;
+    }
+
+    Cycles t0 = platform.simulator().curCycle();
+    dtu.waitForMsg(kif::SYSC_REP);
+    Cycles elapsed = platform.simulator().curCycle() - t0;
+
+    // Attribute the round trip: the wire time of request and reply goes
+    // to Xfers, the remainder (kernel software, queueing) to OS. This is
+    // the 30 / 170 cycle split of Sec. 5.3.
+    uint32_t myNode = dtu.nodeId();
+    uint32_t kNode = 0;  // resolved below from the send EP target
+    kNode = dtu.ep(kif::SYSC_SEP).send.targetNode;
+    Cycles xfer = platform.noc().idleLatency(
+                      myNode, kNode, static_cast<uint32_t>(m.size())) +
+                  platform.noc().idleLatency(kNode, myNode, 16);
+    if (xfer > elapsed)
+        xfer = elapsed;
+    acct().chargeTo(Category::Xfer, xfer);
+    acct().chargeTo(Category::Os, elapsed - xfer);
+
+    int slot = dtu.fetchMsg(kif::SYSC_REP);
+    if (slot < 0)
+        panic("VPE%u: syscall reply ring empty after wakeup", vpeId);
+    compute(cm.m3.fetchMsg + cm.m3.unmarshal);
+
+    MessageHeader hdr = dtu.msgHeader(kif::SYSC_REP, slot);
+    const uint8_t *payload =
+        spm.ptr(dtu.msgAddr(kif::SYSC_REP, slot) + sizeof(MessageHeader),
+                hdr.length);
+    Unmarshaller um(payload, hdr.length);
+    auto err = um.pull<Error>();
+    if (err == Error::None && onReply)
+        onReply(um);
+    dtu.ackMsg(kif::SYSC_REP, slot);
+    return err;
+}
+
+Error
+Env::noop()
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::Noop;
+    return sysCall(m);
+}
+
+Error
+Env::createVpe(capsel_t dstSel, capsel_t mgateSel, const std::string &name,
+               kif::PeTypeReq type, const std::string &attr,
+               vpeid_t &vpeOut, peid_t &peOut)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::CreateVpe << dstSel << mgateSel << name << type
+      << attr;
+    return sysCall(m, [&](Unmarshaller &um) {
+        vpeOut = static_cast<vpeid_t>(um.pull<uint64_t>());
+        peOut = static_cast<peid_t>(um.pull<uint64_t>());
+    });
+}
+
+Error
+Env::vpeStart(capsel_t vpeSel)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::VpeStart << vpeSel;
+    return sysCall(m);
+}
+
+Error
+Env::vpeWait(capsel_t vpeSel, int &exitCode)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::VpeWait << vpeSel;
+    return sysCall(m, [&](Unmarshaller &um) {
+        exitCode = static_cast<int>(um.pull<int64_t>());
+    });
+}
+
+void
+Env::vpeExit(int exitCode)
+{
+    ScopedCategory os(acct(), Category::Os);
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::VpeExit << static_cast<int64_t>(exitCode);
+    compute(cm.m3.marshal + cm.m3.dtuCommand);
+    dtu.startSend(kif::SYSC_SEP, syscStage,
+                  static_cast<uint32_t>(m.size()));
+    dtu.waitUntilIdle();
+}
+
+Error
+Env::createRgate(capsel_t dstSel, uint32_t slots, uint32_t slotSize)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::CreateRgate << dstSel
+      << static_cast<uint64_t>(slots) << static_cast<uint64_t>(slotSize);
+    return sysCall(m);
+}
+
+Error
+Env::createSgate(capsel_t dstSel, capsel_t rgateSel, label_t label,
+                 uint32_t credits)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::CreateSgate << dstSel << rgateSel << label
+      << static_cast<uint64_t>(credits);
+    return sysCall(m);
+}
+
+Error
+Env::reqMem(capsel_t dstSel, uint64_t size, uint8_t perms)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::ReqMem << dstSel << size
+      << static_cast<uint64_t>(perms);
+    return sysCall(m);
+}
+
+Error
+Env::deriveMem(capsel_t srcSel, capsel_t dstSel, goff_t off, uint64_t size,
+               uint8_t perms)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::DeriveMem << srcSel << dstSel << off << size
+      << static_cast<uint64_t>(perms);
+    return sysCall(m);
+}
+
+Error
+Env::activate(capsel_t capSel, epid_t ep, spmaddr_t bufAddr)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::Activate << capSel << static_cast<uint64_t>(ep)
+      << static_cast<uint64_t>(bufAddr);
+    return sysCall(m);
+}
+
+Error
+Env::exchange(capsel_t vpeSel, capsel_t srcStart, uint32_t count,
+              capsel_t dstStart, kif::ExchangeOp op)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::Exchange << vpeSel << srcStart
+      << static_cast<uint64_t>(count) << dstStart << op;
+    return sysCall(m);
+}
+
+Error
+Env::createSrv(capsel_t dstSel, capsel_t rgateSel, const std::string &name)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::CreateSrv << dstSel << rgateSel << name;
+    return sysCall(m);
+}
+
+Error
+Env::openSess(capsel_t dstSel, const std::string &name, uint64_t arg)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::OpenSess << dstSel << name << arg;
+    return sysCall(m);
+}
+
+Error
+Env::exchangeSess(capsel_t sessSel, kif::ExchangeOp op, capsel_t dstStart,
+                  uint32_t count, const std::vector<uint64_t> &args,
+                  std::vector<uint64_t> *ret)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::ExchangeSess << sessSel << op << dstStart
+      << static_cast<uint64_t>(count)
+      << static_cast<uint64_t>(args.size());
+    for (uint64_t a : args)
+        m << a;
+    return sysCall(m, [&](Unmarshaller &um) {
+        auto numArgs = um.pull<uint64_t>();
+        for (uint64_t i = 0; i < numArgs; ++i) {
+            uint64_t v = um.pull<uint64_t>();
+            if (ret)
+                ret->push_back(v);
+        }
+    });
+}
+
+Error
+Env::revoke(capsel_t capSel, bool own)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::Revoke << capSel << static_cast<uint64_t>(own);
+    return sysCall(m);
+}
+
+} // namespace m3

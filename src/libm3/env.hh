@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The per-VPE runtime environment of libm3 (Sec. 4.5.2).
+ *
+ * Every application program gets an Env: it wraps the PE's SPM and DTU,
+ * provides the system-call client (messages to the kernel PE, Sec. 5.3),
+ * allocates capability selectors, and multiplexes the limited number of
+ * DTU endpoints among the application's gates (Sec. 4.5.4).
+ */
+
+#ifndef M3_LIBM3_ENV_HH
+#define M3_LIBM3_ENV_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/accounting.hh"
+#include "base/cost_model.hh"
+#include "base/errors.hh"
+#include "base/marshal.hh"
+#include "kernel/kif.hh"
+#include "pe/platform.hh"
+
+namespace m3
+{
+
+class Gate;
+class RecvGate;
+class Vfs;
+
+/** Size of the scratch SPM buffer used for DTU data transfers. */
+static constexpr size_t XFER_BUF_SIZE = 16 * KiB;
+
+/** The libm3 environment of one running VPE. */
+class Env
+{
+  public:
+    /**
+     * Construct the environment for the program running on @p pe.
+     * Registers itself as the current environment of the calling fiber.
+     */
+    Env(Platform &platform, peid_t pe, vpeid_t vpe);
+    ~Env();
+
+    Env(const Env &) = delete;
+    Env &operator=(const Env &) = delete;
+
+    /** The environment of the currently executing fiber. */
+    static Env &cur();
+
+    Platform &platform;
+    peid_t peId;
+    vpeid_t vpeId;
+    Pe &pe;
+    Spm &spm;
+    Dtu &dtu;
+    const CostModel &cm;
+    Fiber &fiber;
+
+    /** Charge @p c cycles of software time to the current category. */
+    void compute(Cycles c) { fiber.compute(c); }
+
+    Accounting &acct() { return fiber.accounting(); }
+
+    /** Allocate @p n contiguous capability selectors. */
+    capsel_t
+    allocSels(uint32_t n = 1)
+    {
+        capsel_t s = nextSel;
+        nextSel += n;
+        return s;
+    }
+
+    // -------------------------------------------------------------------
+    // Endpoint multiplexing (Sec. 4.5.4): before using a gate, libm3
+    // checks whether an endpoint is configured for it and performs the
+    // Activate system call if not.
+    // -------------------------------------------------------------------
+
+    /** Ensure @p gate is bound to an endpoint; returns the endpoint. */
+    epid_t attach(Gate &gate);
+
+    /** Drop the binding of @p gate (on gate destruction). */
+    void detach(Gate &gate);
+
+    /** Repoint an endpoint slot at a moved gate object. */
+    void rebind(Gate &gate, epid_t ep);
+
+    // -------------------------------------------------------------------
+    // System calls. Each wrapper marshals the request into the syscall
+    // staging buffer, performs the DTU round trip to the kernel and
+    // parses the reply.
+    // -------------------------------------------------------------------
+
+    /** The Fig. 3 null system call. */
+    Error noop();
+
+    Error createVpe(capsel_t dstSel, capsel_t mgateSel,
+                    const std::string &name, kif::PeTypeReq type,
+                    const std::string &attr, vpeid_t &vpeOut,
+                    peid_t &peOut);
+    Error vpeStart(capsel_t vpeSel);
+    Error vpeWait(capsel_t vpeSel, int &exitCode);
+    /** Tell the kernel this VPE is done. No reply (Sec. 4.5.5). */
+    void vpeExit(int exitCode);
+    Error createRgate(capsel_t dstSel, uint32_t slots, uint32_t slotSize);
+    Error createSgate(capsel_t dstSel, capsel_t rgateSel, label_t label,
+                      uint32_t credits);
+    Error reqMem(capsel_t dstSel, uint64_t size, uint8_t perms);
+    Error deriveMem(capsel_t srcSel, capsel_t dstSel, goff_t off,
+                    uint64_t size, uint8_t perms);
+    Error activate(capsel_t capSel, epid_t ep, spmaddr_t bufAddr);
+    Error exchange(capsel_t vpeSel, capsel_t srcStart, uint32_t count,
+                   capsel_t dstStart, kif::ExchangeOp op);
+    Error createSrv(capsel_t dstSel, capsel_t rgateSel,
+                    const std::string &name);
+    Error openSess(capsel_t dstSel, const std::string &name, uint64_t arg);
+    /**
+     * Exchange capabilities over a session; the service arbitrates
+     * (Sec. 4.5.3). @p args/@p ret carry protocol-specific words.
+     */
+    Error exchangeSess(capsel_t sessSel, kif::ExchangeOp op,
+                       capsel_t dstStart, uint32_t count,
+                       const std::vector<uint64_t> &args,
+                       std::vector<uint64_t> *ret = nullptr);
+    Error revoke(capsel_t capSel, bool own);
+
+    /** SPM scratch buffer for chunked DTU transfers. */
+    spmaddr_t xferBuf() const { return xferBufAddr; }
+
+    /** The VPE's mount table (created on first use). */
+    Vfs &vfs();
+
+  private:
+    friend class Gate;
+
+    /**
+     * Generic syscall round trip: send the marshalled request, wait for
+     * the kernel's reply, parse the leading error code and hand the rest
+     * to @p onReply. Cycle attribution: the message transfers are charged
+     * to Category::Xfer, everything else to Category::Os (Sec. 5.3).
+     */
+    Error sysCall(Marshaller &m,
+                  const std::function<void(Unmarshaller &)> &onReply = {});
+
+    /** Begin a syscall message in the staging buffer. */
+    Marshaller beginSyscall();
+
+    spmaddr_t syscStage = 0;
+    spmaddr_t xferBufAddr = 0;
+    capsel_t nextSel = 64;
+
+    // Endpoint multiplexer state.
+    struct EpSlot
+    {
+        Gate *gate = nullptr;
+        uint64_t lastUse = 0;
+    };
+    std::array<EpSlot, EP_COUNT> epSlots;
+    uint64_t useCounter = 0;
+
+    std::unique_ptr<Vfs> vfsPtr;
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_ENV_HH

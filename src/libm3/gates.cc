@@ -1,0 +1,372 @@
+#include "libm3/gates.hh"
+
+#include "base/logging.hh"
+
+namespace m3
+{
+
+Gate::~Gate()
+{
+    env.detach(*this);
+}
+
+Gate::Gate(Gate &&other) noexcept
+    : env(other.env), sel(other.sel), ep(other.ep), pinned(other.pinned),
+      lastUse(other.lastUse)
+{
+    if (ep != INVALID_EP) {
+        env.rebind(*this, ep);
+        other.ep = INVALID_EP;
+    }
+    other.sel = INVALID_SEL;
+}
+
+// ---------------------------------------------------------------------
+// RecvGate.
+// ---------------------------------------------------------------------
+
+RecvGate::RecvGate(Env &env, uint32_t slots, uint32_t slotSize)
+    : Gate(env, env.allocSels()), slots(slots), slotSz(slotSize),
+      bufAddr(env.spm.alloc(slots * slotSize)),
+      replyStage(env.spm.alloc(slotSize))
+{
+    Error e = env.createRgate(sel, slots, slotSize);
+    if (e != Error::None)
+        panic("creating receive gate failed: %s", errorName(e));
+    // Receive gates cannot be moved once messages may arrive
+    // (Sec. 4.5.4), so they are activated eagerly and pinned.
+    pinned = true;
+    acquire();
+}
+
+bool
+RecvGate::hasMsg()
+{
+    return env.dtu.hasMsg(ep);
+}
+
+GateIStream
+RecvGate::receive()
+{
+    env.dtu.waitForMsg(ep);
+    return GateIStream(*this, env.dtu.fetchMsg(ep));
+}
+
+GateIStream
+RecvGate::tryReceive()
+{
+    return GateIStream(*this, env.dtu.fetchMsg(ep));
+}
+
+// ---------------------------------------------------------------------
+// GateIStream.
+// ---------------------------------------------------------------------
+
+GateIStream::GateIStream(RecvGate &rgate, int slot)
+    : rg(&rgate), slot(slot), um(nullptr, 0)
+{
+    if (slot >= 0) {
+        Env &env = rg->environment();
+        hdr = env.dtu.msgHeader(rg->boundEp(), slot);
+        const uint8_t *payload = env.spm.ptr(
+            env.dtu.msgAddr(rg->boundEp(), slot) + sizeof(MessageHeader),
+            hdr.length);
+        um = Unmarshaller(payload, hdr.length);
+    }
+}
+
+GateIStream::GateIStream(GateIStream &&other) noexcept
+    : rg(other.rg), slot(other.slot), hdr(other.hdr), um(other.um)
+{
+    other.slot = -1;
+}
+
+GateIStream::~GateIStream()
+{
+    if (slot >= 0)
+        ack();
+}
+
+void
+GateIStream::ack()
+{
+    if (slot >= 0) {
+        rg->environment().dtu.ackMsg(rg->boundEp(), slot);
+        slot = -1;
+    }
+}
+
+Error
+GateIStream::reply(const void *msg, uint32_t size)
+{
+    if (slot < 0)
+        return Error::InvalidArgs;
+    Env &env = rg->environment();
+    env.spm.write(rg->replyStage, msg, size);
+    env.compute(env.cm.m3.marshal + env.cm.m3.dtuCommand);
+    Error e = env.dtu.startReply(rg->boundEp(), slot, rg->replyStage,
+                                 size);
+    if (e == Error::None) {
+        env.dtu.waitUntilIdle();
+        slot = -1;  // replying freed the ring slot
+    }
+    return e;
+}
+
+Error
+GateIStream::replyError(Error err)
+{
+    uint8_t buf[16];
+    Marshaller m(buf, sizeof(buf));
+    m << err;
+    return reply(buf, static_cast<uint32_t>(m.size()));
+}
+
+Marshaller
+GateIStream::replyStream()
+{
+    Env &env = rg->environment();
+    return Marshaller(env.spm.ptr(rg->replyStage, rg->slotSize()),
+                      rg->slotSize() - sizeof(MessageHeader));
+}
+
+Error
+GateIStream::replyStreamSend(Marshaller &m)
+{
+    if (slot < 0)
+        return Error::InvalidArgs;
+    Env &env = rg->environment();
+    env.compute(env.cm.m3.marshal + env.cm.m3.dtuCommand);
+    Error e = env.dtu.startReply(rg->boundEp(), slot, rg->replyStage,
+                                 static_cast<uint32_t>(m.size()));
+    if (e == Error::None) {
+        env.dtu.waitUntilIdle();
+        slot = -1;
+    }
+    return e;
+}
+
+// ---------------------------------------------------------------------
+// SendGate.
+// ---------------------------------------------------------------------
+
+SendGate
+SendGate::create(Env &env, RecvGate &target, label_t label,
+                 uint32_t credits)
+{
+    capsel_t sel = env.allocSels();
+    Error e = env.createSgate(sel, target.capSel(), label, credits);
+    if (e != Error::None)
+        panic("creating send gate failed: %s", errorName(e));
+    return SendGate(env, sel, target.slotSize(),
+                    credits != CREDITS_UNLIMITED);
+}
+
+SendGate::SendGate(Env &env, capsel_t sel, uint32_t maxMsgSize,
+                   bool finiteCredits)
+    : Gate(env, sel), maxMsgSize(maxMsgSize),
+      stage(env.spm.alloc(maxMsgSize))
+{
+    // Gates whose remaining credits live in the endpoint registers must
+    // not be evicted (rebinding would reset the budget); pin them.
+    pinned = finiteCredits;
+}
+
+uint8_t *
+SendGate::stagePtr()
+{
+    return env.spm.ptr(stage, maxMsgSize);
+}
+
+Marshaller
+SendGate::ostream()
+{
+    return Marshaller(stagePtr(), maxMsgSize - sizeof(MessageHeader));
+}
+
+Error
+SendGate::send(Marshaller &m, RecvGate *replyGate, label_t replyLabel)
+{
+    env.compute(env.cm.m3.marshal);
+    return sendRaw(static_cast<uint32_t>(m.size()), replyGate, replyLabel);
+}
+
+Error
+SendGate::sendRaw(uint32_t size, RecvGate *replyGate, label_t replyLabel)
+{
+    epid_t e = acquire();
+    epid_t replyEp = INVALID_EP;
+    if (replyGate)
+        replyEp = replyGate->boundEp() != INVALID_EP
+                      ? replyGate->boundEp()
+                      : replyGate->acquire();
+    env.compute(env.cm.m3.dtuCommand);
+    for (;;) {
+        Error err = env.dtu.startSend(e, stage, size, replyEp, replyLabel);
+        if (err == Error::DtuBusy) {
+            env.dtu.waitUntilIdle();
+            continue;
+        }
+        return err;
+    }
+}
+
+GateIStream
+SendGate::call(Marshaller &m, RecvGate &replyGate)
+{
+    Error e = send(m, &replyGate, 0);
+    if (e != Error::None)
+        panic("send for call failed: %s", errorName(e));
+    Cycles t0 = env.platform.simulator().curCycle();
+    env.dtu.waitForMsg(replyGate.boundEp());
+    env.acct().charge(env.platform.simulator().curCycle() - t0);
+    env.compute(env.cm.m3.fetchMsg + env.cm.m3.unmarshal);
+    return replyGate.tryReceive();
+}
+
+// ---------------------------------------------------------------------
+// MemGate.
+// ---------------------------------------------------------------------
+
+MemGate
+MemGate::create(Env &env, uint64_t size, uint8_t perms)
+{
+    capsel_t sel = env.allocSels();
+    Error e = env.reqMem(sel, size, perms);
+    if (e != Error::None)
+        panic("allocating %llu bytes of DRAM failed: %s",
+              static_cast<unsigned long long>(size), errorName(e));
+    return MemGate(env, sel, size);
+}
+
+MemGate::MemGate(Env &env, capsel_t sel, uint64_t size)
+    : Gate(env, sel), regionSize(size)
+{
+}
+
+MemGate
+MemGate::derive(goff_t off, uint64_t size, uint8_t perms)
+{
+    capsel_t dst = env.allocSels();
+    Error e = env.deriveMem(sel, dst, off, size, perms);
+    if (e != Error::None)
+        panic("deriving memory gate failed: %s", errorName(e));
+    return MemGate(env, dst, size);
+}
+
+namespace
+{
+
+/**
+ * Scalability-study backdoor (Sec. 5.7): functional access to the
+ * memory behind an endpoint, used when data transfers are replaced by
+ * spins of the uncontended transfer time.
+ */
+MemTarget *
+targetOf(Env &env, const MemEpCfg &cfg)
+{
+    if (cfg.targetNode == env.platform.dramNode())
+        return &env.platform.dram();
+    return &env.platform.pe(cfg.targetNode).spm();
+}
+
+/** Uncontended duration of a @p len byte transfer on this endpoint. */
+Cycles
+spinDuration(Env &env, const MemEpCfg &cfg, size_t len)
+{
+    Noc &noc = env.platform.noc();
+    uint32_t self = env.dtu.nodeId();
+    MemTarget *mem = targetOf(env, cfg);
+    return noc.idleLatency(self, cfg.targetNode, 0) +
+           mem->accessLatency() +
+           noc.idleLatency(cfg.targetNode, self,
+                           static_cast<uint32_t>(len));
+}
+
+} // anonymous namespace
+
+Error
+MemGate::read(void *dst, size_t len, goff_t off)
+{
+    epid_t e = acquire();
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    size_t done = 0;
+    while (done < len) {
+        size_t chunk = std::min(len - done, XFER_BUF_SIZE);
+        env.compute(env.cm.m3.dtuCommand);
+        if (env.cm.spinDataTransfers) {
+            const MemEpCfg &cfg = env.dtu.ep(e).mem;
+            if (!(cfg.perms & MEM_R))
+                return Error::NoPerm;
+            if (off + done > cfg.size || chunk > cfg.size - (off + done))
+                return Error::OutOfBounds;
+            targetOf(env, cfg)->read(cfg.offset + off + done, out + done,
+                                     chunk);
+            Cycles dur = spinDuration(env, cfg, chunk);
+            env.acct().chargeTo(Category::Xfer, dur);
+            env.fiber.sleep(dur);
+            done += chunk;
+            continue;
+        }
+        Error err = env.dtu.startRead(e, env.xferBuf(), off + done,
+                                      chunk);
+        if (err != Error::None)
+            return err;
+        Cycles t0 = env.platform.simulator().curCycle();
+        env.dtu.waitUntilIdle();
+        env.acct().chargeTo(Category::Xfer,
+                            env.platform.simulator().curCycle() - t0);
+        // The app buffer conceptually lives in the SPM; the copy is an
+        // alias, not a modelled transfer.
+        std::memcpy(out + done, env.spm.ptr(env.xferBuf(), chunk), chunk);
+        done += chunk;
+    }
+    return Error::None;
+}
+
+Error
+MemGate::write(const void *src, size_t len, goff_t off)
+{
+    epid_t e = acquire();
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    size_t done = 0;
+    while (done < len) {
+        size_t chunk = std::min(len - done, XFER_BUF_SIZE);
+        env.compute(env.cm.m3.dtuCommand);
+        if (env.cm.spinDataTransfers) {
+            const MemEpCfg &cfg = env.dtu.ep(e).mem;
+            if (!(cfg.perms & MEM_W))
+                return Error::NoPerm;
+            if (off + done > cfg.size || chunk > cfg.size - (off + done))
+                return Error::OutOfBounds;
+            targetOf(env, cfg)->write(cfg.offset + off + done, in + done,
+                                      chunk);
+            Cycles dur = spinDuration(env, cfg, chunk);
+            env.acct().chargeTo(Category::Xfer, dur);
+            env.fiber.sleep(dur);
+            done += chunk;
+            continue;
+        }
+        std::memcpy(env.spm.ptr(env.xferBuf(), chunk), in + done, chunk);
+        Error err = env.dtu.startWrite(e, env.xferBuf(), off + done,
+                                       chunk);
+        if (err != Error::None)
+            return err;
+        Cycles t0 = env.platform.simulator().curCycle();
+        env.dtu.waitUntilIdle();
+        env.acct().chargeTo(Category::Xfer,
+                            env.platform.simulator().curCycle() - t0);
+        done += chunk;
+    }
+    return Error::None;
+}
+
+Error
+MemGate::zero(size_t len, goff_t off)
+{
+    epid_t e = acquire();
+    env.compute(env.cm.m3.dtuCommand);
+    return env.dtu.startZero(e, off, len);
+}
+
+} // namespace m3

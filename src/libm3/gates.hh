@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Gates: the software abstraction for communication and memory access
+ * over the DTU (Sec. 4.5.4): receive gates, send gates and memory gates,
+ * each associated with a capability and lazily bound to an endpoint.
+ */
+
+#ifndef M3_LIBM3_GATES_HH
+#define M3_LIBM3_GATES_HH
+
+#include <cstring>
+
+#include "base/errors.hh"
+#include "base/marshal.hh"
+#include "libm3/env.hh"
+
+namespace m3
+{
+
+/** Base of all gates: a capability selector plus the EP binding state. */
+class Gate
+{
+  public:
+    Gate(Env &env, capsel_t sel) : env(env), sel(sel) {}
+    virtual ~Gate();
+
+    Gate(const Gate &) = delete;
+    Gate &operator=(const Gate &) = delete;
+    Gate &operator=(Gate &&) = delete;
+
+    /**
+     * Gates are movable; a live endpoint binding follows the object.
+     * Do not move a RecvGate while received messages are in flight.
+     */
+    Gate(Gate &&other) noexcept;
+
+    capsel_t capSel() const { return sel; }
+    epid_t boundEp() const { return ep; }
+    bool isPinned() const { return pinned; }
+
+    /** Revoke the underlying capability (including all grants). */
+    Error revoke() { return env.revoke(sel, true); }
+
+    Env &environment() { return env; }
+
+    /** Ensure this gate is bound to an endpoint (Sec. 4.5.4). */
+    epid_t acquire() { return env.attach(*this); }
+
+  protected:
+    friend class Env;
+
+    /** Buffer address passed to Activate (receive gates only). */
+    virtual spmaddr_t activateBuf() const { return 0; }
+
+    Env &env;
+    capsel_t sel;
+    epid_t ep = INVALID_EP;
+    bool pinned = false;
+    uint64_t lastUse = 0;
+};
+
+class RecvGate;
+
+/**
+ * A received message: an unmarshalling view into the ringbuffer slot.
+ * Acknowledges (frees) the slot on destruction.
+ */
+class GateIStream
+{
+  public:
+    GateIStream(RecvGate &rgate, int slot);
+    GateIStream(GateIStream &&other) noexcept;
+    ~GateIStream();
+
+    GateIStream(const GateIStream &) = delete;
+    GateIStream &operator=(const GateIStream &) = delete;
+
+    bool valid() const { return slot >= 0; }
+    const MessageHeader &header() const { return hdr; }
+    label_t label() const { return hdr.label; }
+
+    template <typename T>
+    GateIStream &
+    operator>>(T &v)
+    {
+        um >> v;
+        return *this;
+    }
+
+    template <typename T>
+    T
+    pull()
+    {
+        return um.pull<T>();
+    }
+
+    /** The leading error word every reply in our protocols starts with. */
+    Error pullError() { return um.pull<Error>(); }
+
+    /** Reply to this message (frees the slot). */
+    Error reply(const void *msg, uint32_t size);
+    Error replyError(Error e);
+
+    /** Begin building a reply in the receive gate's staging buffer. */
+    Marshaller replyStream();
+    Error replyStreamSend(Marshaller &m);
+
+    /** Explicitly free the slot without replying. */
+    void ack();
+
+  private:
+    RecvGate *rg;
+    int slot;
+    MessageHeader hdr;
+    Unmarshaller um;
+};
+
+/** A receive gate: a ringbuffer for incoming messages (Sec. 4.5.4). */
+class RecvGate : public Gate
+{
+  public:
+    /**
+     * Create a receive gate: allocates the ringbuffer in the local SPM,
+     * creates the kernel object and activates it on an endpoint.
+     * Receive gates stay pinned: they cannot be moved once active.
+     */
+    RecvGate(Env &env, uint32_t slots, uint32_t slotSize);
+
+    uint32_t slotSize() const { return slotSz; }
+    spmaddr_t bufferAddr() const { return bufAddr; }
+
+    /** True if a message is pending. */
+    bool hasMsg();
+
+    /** Block until a message arrives, then fetch it. */
+    GateIStream receive();
+
+    /** Fetch without blocking; the result is invalid if none pending. */
+    GateIStream tryReceive();
+
+  protected:
+    spmaddr_t activateBuf() const override { return bufAddr; }
+
+  private:
+    friend class GateIStream;
+
+    uint32_t slots;
+    uint32_t slotSz;
+    spmaddr_t bufAddr;
+    spmaddr_t replyStage;
+};
+
+/** A send gate: the right to send messages to a receive gate. */
+class SendGate : public Gate
+{
+  public:
+    /**
+     * Create a send gate towards @p target with a receiver-chosen
+     * @p label and @p credits messages of budget (Sec. 4.4.3).
+     */
+    static SendGate create(Env &env, RecvGate &target, label_t label,
+                           uint32_t credits);
+
+    /**
+     * Bind a send gate to a capability obtained from another VPE or a
+     * service. @p maxMsgSize is the target ring's slot size (part of the
+     * protocol contract with the capability's origin).
+     */
+    SendGate(Env &env, capsel_t sel, uint32_t maxMsgSize,
+             bool finiteCredits);
+
+    /** Begin building a message in the staging buffer. */
+    Marshaller ostream();
+
+    /**
+     * Send the built message. If @p replyGate is given, the receiver can
+     * reply to it. Blocks while the gate is out of credits.
+     */
+    Error send(Marshaller &m, RecvGate *replyGate = nullptr,
+               label_t replyLabel = 0);
+
+    /** Send raw bytes (already in the staging buffer via stagePtr()). */
+    Error sendRaw(uint32_t size, RecvGate *replyGate = nullptr,
+                  label_t replyLabel = 0);
+
+    /**
+     * Synchronous call: send and wait for the reply on @p replyGate
+     * (most libm3 abstractions combine both, Sec. 4.5.6).
+     */
+    GateIStream call(Marshaller &m, RecvGate &replyGate);
+
+    uint8_t *stagePtr();
+    uint32_t maxMsg() const { return maxMsgSize; }
+
+  private:
+    uint32_t maxMsgSize;
+    spmaddr_t stage;
+};
+
+/** A memory gate: RDMA-style access to a region of remote memory. */
+class MemGate : public Gate
+{
+  public:
+    /** Allocate @p size bytes of DRAM from the kernel (Sec. 4.5.4). */
+    static MemGate create(Env &env, uint64_t size, uint8_t perms);
+
+    /** Bind to an obtained/derived memory capability. */
+    MemGate(Env &env, capsel_t sel, uint64_t size);
+
+    /** Derive a gate for the sub-range [off, off+size). */
+    MemGate derive(goff_t off, uint64_t size, uint8_t perms);
+
+    /**
+     * Read @p len bytes at offset @p off into @p dst. The data moves
+     * through the DTU in XFER_BUF_SIZE chunks; the wait is charged to
+     * Category::Xfer.
+     */
+    Error read(void *dst, size_t len, goff_t off);
+
+    /** Write @p len bytes from @p src to offset @p off. */
+    Error write(const void *src, size_t len, goff_t off);
+
+    /** Ask the memory to zero [off, off+len) in the background. */
+    Error zero(size_t len, goff_t off);
+
+    uint64_t size() const { return regionSize; }
+
+  private:
+    uint64_t regionSize;
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_GATES_HH

@@ -1,0 +1,150 @@
+#include "libm3/m3system.hh"
+
+#include "base/logging.hh"
+
+namespace m3
+{
+
+M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
+{
+    if (cfg.withFs && cfg.fsInstances == 0)
+        fatal("withFs requires at least one fs instance");
+
+    PlatformSpec spec;
+    spec.costs = cfg.costs;
+    spec.dramBytes = cfg.dramBytes;
+    uint32_t generalPes = 1 /*kernel*/ + fsCount() + cfg.appPes;
+    spec.pes.assign(generalPes, PeDesc::general());
+    for (const PeDesc &d : cfg.extraPes)
+        spec.pes.push_back(d);
+
+    plat = std::make_unique<Platform>(sim, spec);
+
+    goff_t dramAllocStart = 0;
+    for (uint32_t k = 0; k < fsCount(); ++k) {
+        images.push_back(std::make_unique<m3fs::FsImage>(
+            plat->dram(), dramAllocStart, cfg.fsSpec));
+        dramAllocStart += images.back()->sizeBytes();
+    }
+
+    kern = std::make_unique<kernel::Kernel>(*plat, kernelPe(),
+                                            dramAllocStart);
+
+    for (uint32_t k = 0; k < fsCount(); ++k) {
+        m3fs::ServerConfig srvCfg = cfg.fsCfg;
+        srvCfg.fsBytes = images[k]->sizeBytes();
+        srvCfg.name = M3SystemCfg::fsName(k);
+
+        kernel::Kernel::BootProgram fsProg;
+        fsProg.pe = fsPe(k);
+        fsProg.name = srvCfg.name;
+        fsProg.caps.push_back(kernel::Kernel::BootCap{
+            srvCfg.fsMemSel, plat->dramNode(),
+            static_cast<goff_t>(k) * images[k]->sizeBytes(),
+            images[k]->sizeBytes(), MEM_RW});
+        Platform *platPtr = plat.get();
+        peid_t pe = fsPe(k);
+        fsProg.main = [platPtr, pe, srvCfg](vpeid_t id) {
+            Env env(*platPtr, pe, id);
+            int rc = m3fs::serverMain(srvCfg);
+            env.vpeExit(rc);
+        };
+        kern->addBootProgram(std::move(fsProg));
+    }
+}
+
+void
+M3System::runRoot(const std::string &name, std::function<int()> main)
+{
+    if (rootInstalled)
+        fatal("runRoot called twice");
+    rootInstalled = true;
+
+    kernel::Kernel::BootProgram rootProg;
+    rootProg.pe = rootPe();
+    rootProg.name = name;
+    Platform *platPtr = plat.get();
+    peid_t pe = rootPe();
+    M3System *self = this;
+    rootProg.main = [platPtr, pe, self, main = std::move(main)](vpeid_t id) {
+        Env env(*platPtr, pe, id);
+        int rc = main();
+        self->rootExit = rc;
+        self->rootDone = true;
+        self->rootAcct = env.fiber.accounting();
+        env.vpeExit(rc);
+    };
+    kern->addBootProgram(std::move(rootProg));
+    kern->start();
+}
+
+Accounting
+M3System::appAccounting() const
+{
+    Accounting total;
+    std::vector<std::string> systemPrefixes;
+    systemPrefixes.push_back("pe" + std::to_string(kernelPe()) + ":");
+    for (uint32_t k = 0; k < fsCount(); ++k)
+        systemPrefixes.push_back("pe" + std::to_string(fsPe(k)) + ":");
+    sim.forEachFiber([&](Fiber &f) {
+        const std::string &n = f.fiberName();
+        for (const std::string &p : systemPrefixes)
+            if (n.rfind(p, 0) == 0)
+                return;
+        total.merge(f.accounting());
+    });
+    return total;
+}
+
+void
+M3System::printStats() const
+{
+    std::printf("==== M3System stats @ cycle %llu ====\n",
+                static_cast<unsigned long long>(sim.curCycle()));
+    const kernel::KernelStats &ks = kern->stats();
+    std::printf("kernel: %llu syscalls, %llu VPEs, %llu caps delegated, "
+                "%llu revoked, %llu service requests\n",
+                static_cast<unsigned long long>(ks.syscalls),
+                static_cast<unsigned long long>(ks.vpesCreated),
+                static_cast<unsigned long long>(ks.capsDelegated),
+                static_cast<unsigned long long>(ks.capsRevoked),
+                static_cast<unsigned long long>(ks.serviceRequests));
+    const NocStats &ns = plat->noc().stats();
+    std::printf("noc: %llu packets, %llu payload bytes, "
+                "%llu contention stall cycles\n",
+                static_cast<unsigned long long>(ns.packets),
+                static_cast<unsigned long long>(ns.payloadBytes),
+                static_cast<unsigned long long>(ns.contentionStalls));
+    for (peid_t p = 0; p < plat->peCount(); ++p) {
+        const DtuStats &ds = plat->pe(p).dtu().stats();
+        if (!ds.msgsSent && !ds.msgsReceived && !ds.memReads &&
+            !ds.memWrites)
+            continue;
+        std::printf("pe%-2u dtu: %6llu sent %6llu recvd %4llu dropped | "
+                    "%6llu rd (%llu B) %6llu wr (%llu B)\n",
+                    p, static_cast<unsigned long long>(ds.msgsSent),
+                    static_cast<unsigned long long>(ds.msgsReceived),
+                    static_cast<unsigned long long>(ds.msgsDropped),
+                    static_cast<unsigned long long>(ds.memReads),
+                    static_cast<unsigned long long>(ds.bytesRead),
+                    static_cast<unsigned long long>(ds.memWrites),
+                    static_cast<unsigned long long>(ds.bytesWritten));
+    }
+}
+
+bool
+M3System::simulate(Cycles limit)
+{
+    sim.simulate(limit);
+    if (!rootDone && sim.queue().empty()) {
+        auto blocked = sim.blockedFibers();
+        std::string names;
+        for (const auto &n : blocked)
+            names += n + " ";
+        warn("simulation drained without root exit; blocked fibers: %s",
+             names.c_str());
+    }
+    return rootDone;
+}
+
+} // namespace m3

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * M3System: the all-in-one harness that assembles a simulated M3 machine
+ * — platform, kernel, filesystem image + m3fs service — and runs a root
+ * application on it. Every test, example and benchmark builds on this.
+ */
+
+#ifndef M3_LIBM3_M3SYSTEM_HH
+#define M3_LIBM3_M3SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.hh"
+#include "libm3/env.hh"
+#include "m3fs/fs_image.hh"
+#include "m3fs/server.hh"
+#include "pe/platform.hh"
+#include "sim/simulator.hh"
+
+namespace m3
+{
+
+/** Configuration of a simulated M3 machine. */
+struct M3SystemCfg
+{
+    /** General-purpose application PEs (beyond kernel and fs PEs). */
+    uint32_t appPes = 4;
+    /** Additional special PEs (accelerators). */
+    std::vector<PeDesc> extraPes;
+    /** DRAM capacity. */
+    size_t dramBytes = 64 * MiB;
+    /** All calibration parameters. */
+    CostModel costs;
+    /** Whether to boot an m3fs instance. */
+    bool withFs = true;
+    /**
+     * Number of m3fs instances (Sec. 7: multiple service instances are
+     * the paper's future work; Fig. 6 shows why). Instance k registers
+     * as "m3fs" (k = 0) or "m3fs<k>" and serves its own image.
+     */
+    uint32_t fsInstances = 1;
+    /** Content of the filesystem image(s) (replicated per instance). */
+    m3fs::FsImageSpec fsSpec;
+    /** m3fs server parameters (append granularity etc.). */
+    m3fs::ServerConfig fsCfg;
+
+    /** Service name of instance @p k. */
+    static std::string
+    fsName(uint32_t k)
+    {
+        return k == 0 ? "m3fs" : "m3fs" + std::to_string(k);
+    }
+};
+
+/** A booted M3 machine. */
+class M3System
+{
+  public:
+    explicit M3System(M3SystemCfg cfg);
+
+    M3System(const M3System &) = delete;
+    M3System &operator=(const M3System &) = delete;
+
+    Simulator &simulator() { return sim; }
+    Platform &platform() { return *plat; }
+    kernel::Kernel &kernelInstance() { return *kern; }
+
+    /** The image served by fs instance @p k. */
+    m3fs::FsImage *
+    fsImage(uint32_t k = 0)
+    {
+        return k < images.size() ? images[k].get() : nullptr;
+    }
+
+    peid_t kernelPe() const { return 0; }
+    uint32_t fsCount() const { return cfg.withFs ? cfg.fsInstances : 0; }
+    peid_t fsPe(uint32_t k = 0) const
+    {
+        return cfg.withFs ? 1 + k : INVALID_PE;
+    }
+    peid_t rootPe() const { return 1 + fsCount(); }
+
+    /**
+     * Install @p main as the root application (a boot program loaded by
+     * the kernel). Call before simulate(); can only be called once.
+     */
+    void runRoot(const std::string &name, std::function<int()> main);
+
+    /**
+     * Run the machine until the event queue drains or @p limit passes.
+     * @return true if the root program finished
+     */
+    bool simulate(Cycles limit = ~Cycles(0));
+
+    bool rootFinished() const { return rootDone; }
+    int rootExitCode() const { return rootExit; }
+
+    /** Accounting of the root program (for breakdown reporting). */
+    const Accounting &rootAccounting() const { return rootAcct; }
+
+    /**
+     * Merged accounting of all application fibers (root plus spawned
+     * VPEs), excluding the kernel and fs-service fibers whose time is
+     * already reflected in the clients' syscall/IPC waits.
+     */
+    Accounting appAccounting() const;
+
+    /** Current cycle (end-to-end time measurements). */
+    Cycles now() const { return sim.curCycle(); }
+
+    /**
+     * Print a machine-wide statistics summary (kernel activity, per-PE
+     * DTU traffic, NoC totals) to stdout — the simulator's equivalent
+     * of an end-of-run stats dump.
+     */
+    void printStats() const;
+
+  private:
+    M3SystemCfg cfg;
+    Simulator sim;
+    std::unique_ptr<Platform> plat;
+    std::vector<std::unique_ptr<m3fs::FsImage>> images;
+    std::unique_ptr<kernel::Kernel> kern;
+
+    bool rootInstalled = false;
+    bool rootDone = false;
+    int rootExit = -1;
+    Accounting rootAcct;
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_M3SYSTEM_HH

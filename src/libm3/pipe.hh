@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Pipes (Sec. 4.5.7): a unidirectional data channel between exactly one
+ * writer and one reader. The data travels through a software-managed
+ * ringbuffer in DRAM that both ends access with memory gates; messages
+ * synchronise reader and writer. After setup, the kernel is not involved:
+ * the communication happens directly between the two PEs.
+ *
+ * The pipe creator always owns the receive gate; the peer end (usually a
+ * child VPE) holds a send gate and a memory gate, delegated by the
+ * creator. The message flow is therefore always peer -> creator with
+ * creator replies, which supports both directions:
+ *  - creator reads, peer writes (push): the peer announces filled chunks,
+ *    the creator acknowledges consumed ones;
+ *  - creator writes, peer reads (pull): the peer requests chunks, the
+ *    creator replies with filled ones.
+ * Either way the ring chunks and the send-gate credits bound the data in
+ * flight.
+ */
+
+#ifndef M3_LIBM3_PIPE_HH
+#define M3_LIBM3_PIPE_HH
+
+#include <memory>
+
+#include "libm3/gates.hh"
+#include "libm3/vfs.hh"
+#include "libm3/vpe.hh"
+
+namespace m3
+{
+
+/** Default capability selectors where the peer finds its pipe caps. */
+static constexpr capsel_t PIPE_PEER_SELS = 16;
+
+/** Pipe wire protocol. */
+enum class PipeMsg : uint64_t
+{
+    Chunk, //!< peer -> creator: { Chunk, ringOff, len } (push mode)
+    Req,   //!< peer -> creator: { Req } (pull mode)
+    Eof,   //!< peer -> creator: { Eof } (push mode, no more data)
+};
+
+/** The creator-side pipe object. */
+class Pipe
+{
+  public:
+    static constexpr size_t DEFAULT_RING_BYTES = 64 * KiB;
+    static constexpr uint32_t DEFAULT_CHUNKS = 8;
+
+    /**
+     * @param env the creator's environment
+     * @param creatorWrites direction: true = creator is the writer
+     * @param ringBytes size of the DRAM ringbuffer ("large ringbuffers
+     *        maximise the parallelism of readers and writers", Sec. 4.5.7)
+     * @param chunks number of ring chunks (bounds data in flight)
+     */
+    Pipe(Env &env, bool creatorWrites,
+         size_t ringBytes = DEFAULT_RING_BYTES,
+         uint32_t chunks = DEFAULT_CHUNKS);
+
+    /**
+     * Delegate the peer-side capabilities (send gate, ring memory) to
+     * @p vpe at selectors [dstStart, dstStart+2). Must happen before the
+     * peer end is constructed over there.
+     */
+    Error delegateTo(VPE &vpe, capsel_t dstStart = PIPE_PEER_SELS);
+
+    /** The creator's end of the pipe as a File. */
+    std::unique_ptr<File> host();
+
+    size_t chunkSize() const { return ringBytes / chunks; }
+
+    // Internal state, accessed by the host-end File implementations.
+    Env &env;
+    bool creatorWrites;
+    size_t ringBytes;
+    uint32_t chunks;
+    RecvGate rgate;
+    std::unique_ptr<SendGate> peerSgate;  //!< delegated to the peer
+    MemGate ring;
+};
+
+/**
+ * Construct the peer's end of a pipe from the delegated capabilities.
+ * @param peerWrites direction: true = the peer is the writer
+ */
+std::unique_ptr<File> pipePeer(Env &env, bool peerWrites,
+                               capsel_t selStart = PIPE_PEER_SELS,
+                               size_t ringBytes = Pipe::DEFAULT_RING_BYTES,
+                               uint32_t chunks = Pipe::DEFAULT_CHUNKS);
+
+} // namespace m3
+
+#endif // M3_LIBM3_PIPE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The pipe filesystem (Sec. 4.5.8): integrates pipes into the VFS so it
+ * is transparent for applications whether they access a pipe or a file
+ * in m3fs. Pipe ends are registered under names; open() hands them out
+ * through the ordinary File interface.
+ */
+
+#ifndef M3_LIBM3_PIPEFS_HH
+#define M3_LIBM3_PIPEFS_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "libm3/vfs.hh"
+
+namespace m3
+{
+
+/**
+ * A mountable registry of pipe ends. The pipe creator (or the peer
+ * setup code) registers a factory per name; opening the path yields
+ * the File end, after which reads and writes are indistinguishable
+ * from file I/O.
+ */
+class PipeFs : public FileSystem
+{
+  public:
+    using Factory = std::function<std::unique_ptr<File>()>;
+
+    /** Register the end of a pipe under @p name (e.g. "/in"). */
+    void
+    add(const std::string &name, Factory factory)
+    {
+        factories[name] = std::move(factory);
+    }
+
+    std::unique_ptr<File>
+    open(const std::string &path, uint32_t, Error &err) override
+    {
+        auto it = factories.find(path);
+        if (it == factories.end()) {
+            err = Error::NoSuchFile;
+            return nullptr;
+        }
+        // A pipe end is exclusive: hand it out once.
+        Factory f = std::move(it->second);
+        factories.erase(it);
+        err = Error::None;
+        return f();
+    }
+
+    Error
+    stat(const std::string &path, FileInfo &info) override
+    {
+        if (!factories.count(path))
+            return Error::NoSuchFile;
+        info = FileInfo{};
+        info.mode = M_FILE;
+        return Error::None;
+    }
+
+    Error mkdir(const std::string &) override { return Error::NoPerm; }
+    Error unlink(const std::string &) override { return Error::NoPerm; }
+
+    Error
+    link(const std::string &, const std::string &) override
+    {
+        return Error::NoPerm;
+    }
+
+    Error
+    rename(const std::string &, const std::string &) override
+    {
+        return Error::NoPerm;
+    }
+
+    Error
+    readdir(const std::string &, std::vector<DirEntry> &entries) override
+    {
+        for (const auto &[name, factory] : factories)
+            entries.push_back(DirEntry{0, name});
+        return Error::None;
+    }
+
+  private:
+    std::map<std::string, Factory> factories;
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_PIPEFS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The program registry: maps executable paths to program entry points.
+ *
+ * On the real platform, VPE::exec loads a binary from m3fs into the
+ * target PE's SPM and the core starts executing it. In this simulator the
+ * file bytes are transferred for real (modelling the load cost), and the
+ * behaviour behind the entry point is the C++ functor registered here
+ * under the same path.
+ */
+
+#ifndef M3_LIBM3_PROGRAMS_HH
+#define M3_LIBM3_PROGRAMS_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace m3
+{
+
+/** Global registry of executable entry points, keyed by fs path. */
+class Programs
+{
+  public:
+    using Main = std::function<int()>;
+
+    /** Register (or replace) the entry point for @p path. */
+    static void
+    reg(const std::string &path, Main main)
+    {
+        table()[path] = std::move(main);
+    }
+
+    /** Look up an entry point; returns an empty function if unknown. */
+    static Main
+    lookup(const std::string &path)
+    {
+        auto it = table().find(path);
+        return it == table().end() ? Main{} : it->second;
+    }
+
+  private:
+    static std::map<std::string, Main> &
+    table()
+    {
+        static std::map<std::string, Main> t;
+        return t;
+    }
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_PROGRAMS_HH

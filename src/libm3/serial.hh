@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal serial-output abstraction, as used in the paper's lambda
+ * example (Sec. 4.5.5). Lines are prefixed with the writing PE.
+ */
+
+#ifndef M3_LIBM3_SERIAL_HH
+#define M3_LIBM3_SERIAL_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "libm3/env.hh"
+
+namespace m3
+{
+
+/** A line-buffered serial console shared by all PEs. */
+class Serial
+{
+  public:
+    /** The serial stream of the current VPE. */
+    static Serial &
+    get()
+    {
+        static Serial instance;
+        return instance;
+    }
+
+    template <typename T>
+    Serial &
+    operator<<(const T &v)
+    {
+        std::ostringstream tmp;
+        tmp << v;
+        line += tmp.str();
+        flushLines();
+        return *this;
+    }
+
+  private:
+    void
+    flushLines()
+    {
+        size_t nl = line.find('\n');
+        while (nl != std::string::npos) {
+            std::printf("[pe%u] %s\n", Env::cur().peId,
+                        line.substr(0, nl).c_str());
+            line.erase(0, nl + 1);
+            nl = line.find('\n');
+        }
+    }
+
+    std::string line;
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_SERIAL_HH

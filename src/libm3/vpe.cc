@@ -1,0 +1,135 @@
+#include "libm3/vpe.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "libm3/programs.hh"
+#include "libm3/vfs.hh"
+
+namespace m3
+{
+
+VPE::VPE(Env &env, const std::string &name, kif::PeTypeReq type,
+         const std::string &attr)
+    : env(env), name(name), vpeSel(env.allocSels()),
+      mgateSel(env.allocSels())
+{
+    creationError = env.createVpe(vpeSel, mgateSel, name, type, attr,
+                                  childVpe, childPe);
+    if (creationError == Error::None) {
+        memGate = std::make_unique<MemGate>(
+            env, mgateSel,
+            env.platform.pe(childPe).desc().spmDataSize);
+    }
+}
+
+Error
+VPE::startWith(const std::string &progName, std::function<int()> fn)
+{
+    Platform &platform = env.platform;
+    peid_t pe = childPe;
+    vpeid_t id = childVpe;
+    platform.pe(pe).installProgram(
+        progName, [&platform, pe, id, fn = std::move(fn)] {
+            Env childEnv(platform, pe, id);
+            int rc = fn();
+            childEnv.vpeExit(rc);
+        });
+    return env.vpeStart(vpeSel);
+}
+
+Error
+VPE::run(std::function<int()> fn)
+{
+    if (creationError != Error::None)
+        return creationError;
+
+    ScopedCategory os(env.acct(), Category::Os);
+    env.compute(env.cm.m3.cloneSetup);
+
+    // Transfer code, static data, the used heap and the stack to the
+    // same addresses on the other PE (Sec. 4.5.5). The image content is
+    // behavioural only in this simulator; the transfer cost is real.
+    std::vector<uint8_t> image(CLONE_IMAGE_BYTES, 0);
+    Error e = memGate->write(image.data(), image.size(),
+                             kif::RESERVED_SPM);
+    if (e != Error::None)
+        return e;
+
+    return startWith(name + ":clone", std::move(fn));
+}
+
+Error
+VPE::exec(const std::string &path)
+{
+    if (creationError != Error::None)
+        return creationError;
+
+    Programs::Main main = Programs::lookup(path);
+    if (!main)
+        return Error::NoSuchFile;
+
+    ScopedCategory os(env.acct(), Category::Os);
+    env.compute(env.cm.m3.execSetup);
+
+    // Load the executable from the filesystem into the target PE's
+    // local memory (Sec. 4.5.5): read it through the file's memory
+    // capabilities and push it through the loading memory gate.
+    Error e = Error::None;
+    std::unique_ptr<File> file = env.vfs().open(path, FILE_R, e);
+    if (e != Error::None)
+        return e;
+
+    std::vector<uint8_t> buf(XFER_BUF_SIZE);
+    goff_t dst = kif::RESERVED_SPM;
+    for (;;) {
+        ssize_t n = file->read(buf.data(), buf.size());
+        if (n < 0)
+            return static_cast<Error>(-n);
+        if (n == 0)
+            break;
+        size_t chunk = static_cast<size_t>(n);
+        if (dst + chunk > memGate->size())
+            chunk = memGate->size() - dst;  // image larger than the SPM
+        if (chunk) {
+            e = memGate->write(buf.data(), chunk, dst);
+            if (e != Error::None)
+                return e;
+            dst += chunk;
+        }
+    }
+
+    return startWith(path, std::move(main));
+}
+
+Error
+VPE::delegate(capsel_t srcStart, uint32_t count, capsel_t dstStart)
+{
+    return env.exchange(vpeSel, srcStart, count, dstStart,
+                        kif::ExchangeOp::Delegate);
+}
+
+Error
+VPE::obtain(capsel_t srcStart, uint32_t count, capsel_t dstStart)
+{
+    return env.exchange(vpeSel, srcStart, count, dstStart,
+                        kif::ExchangeOp::Obtain);
+}
+
+int
+VPE::wait()
+{
+    int code = -1;
+    Error e = env.vpeWait(vpeSel, code);
+    if (e != Error::None)
+        return -1;
+    return code;
+}
+
+Error
+VPE::revoke()
+{
+    return env.revoke(vpeSel, true);
+}
+
+} // namespace m3

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The VPE abstraction of libm3 (Sec. 4.5.5): create a virtual PE on a
+ * suitable physical PE, load it by cloning the caller (run) or from an
+ * executable in the filesystem (exec), exchange capabilities with it,
+ * and wait for its exit code.
+ */
+
+#ifndef M3_LIBM3_VPE_HH
+#define M3_LIBM3_VPE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "libm3/gates.hh"
+
+namespace m3
+{
+
+/**
+ * A virtual processing element owned by the calling VPE. Construction
+ * performs the CreateVpe system call, which also yields a memory gate
+ * for the target PE's local memory for application loading.
+ */
+class VPE
+{
+  public:
+    /** Bytes moved by a clone: code, static data, used heap and stack. */
+    static constexpr size_t CLONE_IMAGE_BYTES = 24 * KiB;
+
+    /**
+     * Ask the kernel for a PE of the given type/attribute.
+     * Check err() before use; creation fails when no PE is free.
+     */
+    VPE(Env &env, const std::string &name,
+        kif::PeTypeReq type = kif::PeTypeReq::General,
+        const std::string &attr = "");
+
+    VPE(const VPE &) = delete;
+    VPE &operator=(const VPE &) = delete;
+
+    /** Error state of the creation. */
+    Error err() const { return creationError; }
+
+    /**
+     * Clone the caller onto the target PE and run @p fn there, like the
+     * paper's lambda example (Sec. 4.5.5). The functor's captures carry
+     * the arguments; the image transfer is performed through the memory
+     * gate. Asynchronous: returns once the child was started.
+     */
+    Error run(std::function<int()> fn);
+
+    /**
+     * Load the executable at @p path from the filesystem onto the target
+     * PE and start it (the exec flavour of loading, Sec. 4.5.5).
+     */
+    Error exec(const std::string &path);
+
+    /** Delegate own capabilities [srcStart, srcStart+count) to the VPE. */
+    Error delegate(capsel_t srcStart, uint32_t count, capsel_t dstStart);
+
+    /** Obtain the VPE's capabilities [srcStart, ...) into own table. */
+    Error obtain(capsel_t srcStart, uint32_t count, capsel_t dstStart);
+
+    /** Wait until the child exited; returns its exit code. */
+    int wait();
+
+    /** Revoke the VPE capability: the kernel resets the PE. */
+    Error revoke();
+
+    capsel_t sel() const { return vpeSel; }
+    vpeid_t id() const { return childVpe; }
+    peid_t peId() const { return childPe; }
+
+    /** The memory gate for the child's local memory. */
+    MemGate &mem() { return *memGate; }
+
+  private:
+    Error startWith(const std::string &progName, std::function<int()> fn);
+
+    Env &env;
+    std::string name;
+    capsel_t vpeSel = INVALID_SEL;
+    capsel_t mgateSel = INVALID_SEL;
+    vpeid_t childVpe = INVALID_VPE;
+    peid_t childPe = INVALID_PE;
+    Error creationError;
+    std::unique_ptr<MemGate> memGate;
+};
+
+} // namespace m3
+
+#endif // M3_LIBM3_VPE_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The m3fs server's meta-data buffer cache: block-granular caching of
+ * the filesystem image in the service's SPM, backed by DTU transfers
+ * through the service's memory gate. Writes are write-back: dirty
+ * blocks are written out on eviction and on the explicit flush the
+ * server performs after each request. Write-through would turn every
+ * bitmap bit into a DTU round trip and serialise the whole service
+ * behind meta-data updates.
+ */
+
+#ifndef M3_M3FS_BLOCK_CACHE_HH
+#define M3_M3FS_BLOCK_CACHE_HH
+
+#include <cstring>
+#include <vector>
+
+#include "libm3/gates.hh"
+#include "m3fs/fs_core.hh"
+
+namespace m3
+{
+namespace m3fs
+{
+
+/** Cache statistics for tests and ablations. */
+struct BlockCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writeBacks = 0;
+};
+
+/** An LRU block cache implementing BlockAccess over a MemGate. */
+class BlockCache : public BlockAccess
+{
+  public:
+    /**
+     * @param mem gate covering the filesystem image
+     * @param blockSize the filesystem's block size
+     * @param numBufs number of cached blocks
+     */
+    BlockCache(MemGate &mem, uint32_t blockSize, uint32_t numBufs)
+        : mem(mem), blockSize(blockSize), bufs(numBufs)
+    {
+        for (Buf &b : bufs)
+            b.data.resize(blockSize);
+    }
+
+    void
+    read(goff_t off, void *dst, size_t len) override
+    {
+        uint8_t *out = static_cast<uint8_t *>(dst);
+        while (len > 0) {
+            Buf &b = getBlock(static_cast<blockno_t>(off / blockSize));
+            size_t boff = off % blockSize;
+            size_t chunk = std::min<size_t>(len, blockSize - boff);
+            std::memcpy(out, b.data.data() + boff, chunk);
+            out += chunk;
+            off += chunk;
+            len -= chunk;
+        }
+    }
+
+    void
+    write(goff_t off, const void *src, size_t len) override
+    {
+        const uint8_t *in = static_cast<const uint8_t *>(src);
+        while (len > 0) {
+            Buf &b = getBlock(static_cast<blockno_t>(off / blockSize));
+            size_t boff = off % blockSize;
+            size_t chunk = std::min<size_t>(len, blockSize - boff);
+            std::memcpy(b.data.data() + boff, in, chunk);
+            b.dirty = true;
+            in += chunk;
+            off += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Write all dirty blocks back to the image in DRAM. */
+    void
+    flushAll()
+    {
+        for (Buf &b : bufs)
+            if (b.valid && b.dirty)
+                flush(b);
+    }
+
+    const BlockCacheStats &stats() const { return cacheStats; }
+
+  private:
+    struct Buf
+    {
+        blockno_t no = 0xffffffff;
+        std::vector<uint8_t> data;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    void
+    flush(Buf &b)
+    {
+        mem.write(b.data.data(), blockSize,
+                  static_cast<goff_t>(b.no) * blockSize);
+        b.dirty = false;
+        cacheStats.writeBacks++;
+    }
+
+    Buf &
+    getBlock(blockno_t no)
+    {
+        Buf *victim = &bufs[0];
+        for (Buf &b : bufs) {
+            if (b.valid && b.no == no) {
+                b.lastUse = ++useCounter;
+                cacheStats.hits++;
+                return b;
+            }
+            if (!b.valid || b.lastUse < victim->lastUse)
+                victim = &b;
+        }
+        cacheStats.misses++;
+        if (victim->valid && victim->dirty)
+            flush(*victim);
+        victim->no = no;
+        victim->valid = true;
+        victim->dirty = false;
+        victim->lastUse = ++useCounter;
+        mem.read(victim->data.data(), blockSize,
+                 static_cast<goff_t>(no) * blockSize);
+        return *victim;
+    }
+
+    MemGate &mem;
+    uint32_t blockSize;
+    std::vector<Buf> bufs;
+    uint64_t useCounter = 0;
+    BlockCacheStats cacheStats;
+};
+
+} // namespace m3fs
+} // namespace m3
+
+#endif // M3_M3FS_BLOCK_CACHE_HH

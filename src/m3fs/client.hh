@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The m3fs client: implements libm3's FileSystem/File interfaces on top
+ * of a session with the m3fs server (Sec. 4.5.8). Meta-data operations
+ * are messages to the service; data access goes directly to the memory
+ * where the file is stored, through memory capabilities obtained
+ * per extent.
+ */
+
+#ifndef M3_M3FS_CLIENT_HH
+#define M3_M3FS_CLIENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "libm3/gates.hh"
+#include "libm3/vfs.hh"
+#include "m3fs/fs_defs.hh"
+#include "m3fs/fs_proto.hh"
+
+namespace m3
+{
+
+class VPE;
+
+namespace m3fs
+{
+
+class M3fsFile;
+
+/** A mounted m3fs instance: one session with the server. */
+class M3fsSession : public FileSystem,
+                    public std::enable_shared_from_this<M3fsSession>
+{
+  public:
+    /**
+     * Open a session with the service @p srvName and obtain the
+     * session's communication channel.
+     */
+    static std::shared_ptr<M3fsSession> create(Env &env, Error &err,
+                                               const std::string &srvName
+                                               = "m3fs");
+
+    /** Convenience: create a session and mount it at @p prefix. */
+    static Error mount(Env &env, const std::string &prefix,
+                       const std::string &srvName = "m3fs");
+
+    /** Default selectors for delegated mounts (clone/exec, Sec. 4.5.5). */
+    static constexpr capsel_t MOUNT_SELS = 24;
+
+    /**
+     * Pass this mount to a child VPE: delegates the session capability
+     * and the channel send gate to [dstStart, dstStart+2). The libm3 way
+     * of making the filesystem available on the child without new
+     * service round trips.
+     */
+    Error delegateTo(m3::VPE &vpe, capsel_t dstStart = MOUNT_SELS);
+
+    /** Child side: bind to a delegated mount and mount it at @p prefix. */
+    static Error bindMount(Env &env, const std::string &prefix,
+                           capsel_t selStart = MOUNT_SELS);
+
+    ~M3fsSession() override;
+
+    std::unique_ptr<File> open(const std::string &path, uint32_t flags,
+                               Error &err) override;
+    Error stat(const std::string &path, FileInfo &info) override;
+    Error mkdir(const std::string &path) override;
+    Error unlink(const std::string &path) override;
+    Error link(const std::string &oldPath,
+               const std::string &newPath) override;
+    Error rename(const std::string &oldPath,
+                 const std::string &newPath) override;
+    Error readdir(const std::string &path,
+                  std::vector<m3::DirEntry> &entries) override;
+
+    /**
+     * Blocks a write requests per allocation (Sec. 5.5: the paper's
+     * sweet spot of 256 is the default; Fig. 4 sweeps it).
+     */
+    uint32_t appendBlocks = DEFAULT_APPEND_BLOCKS;
+
+  private:
+    friend class M3fsFile;
+
+    M3fsSession(Env &env, capsel_t sessSel);
+
+    /** Synchronous meta-data call on the session channel. */
+    GateIStream call(Marshaller &m);
+
+    /** Obtain one capability + return args over the session. */
+    Error obtain(const std::vector<uint64_t> &args, capsel_t &capOut,
+                 std::vector<uint64_t> &ret);
+
+    Env &env;
+    capsel_t sessSel;
+    std::unique_ptr<RecvGate> replyGate;
+    std::unique_ptr<SendGate> channel;
+};
+
+/** An open m3fs file. */
+class M3fsFile : public File
+{
+  public:
+    M3fsFile(std::shared_ptr<M3fsSession> fs, uint32_t fid, uint32_t flags,
+             uint64_t size, uint32_t serverExtents);
+    ~M3fsFile() override;
+
+    ssize_t read(void *buf, size_t len) override;
+    ssize_t write(const void *buf, size_t len) override;
+    ssize_t seek(ssize_t off, SeekMode whence) override;
+    Error stat(FileInfo &info) override;
+
+  private:
+    /** One obtained location: a memory capability over an extent. */
+    struct Loc
+    {
+        std::unique_ptr<MemGate> gate;
+        uint64_t fileOff;
+        uint64_t len;
+    };
+
+    /** Find (or fetch) the location covering @p pos; nullptr at end. */
+    Loc *locate(uint64_t pos, Error &err);
+
+    /** Fetch the next not-yet-obtained extent location. */
+    Error fetchNext();
+
+    /** Allocate fresh blocks at the end of the file. */
+    Error append();
+
+    std::shared_ptr<M3fsSession> fs;
+    uint32_t fid;
+    uint32_t flags;
+    uint64_t size;
+    uint64_t pos = 0;
+    uint32_t serverExtents;   //!< extents known to exist server-side
+    uint32_t nextExtIdx = 0;  //!< next extent index to fetch
+    uint64_t coveredBytes = 0; //!< bytes covered by obtained locations
+    std::vector<Loc> locs;
+};
+
+} // namespace m3fs
+} // namespace m3
+
+#endif // M3_M3FS_CLIENT_HH

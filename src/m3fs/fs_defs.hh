@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The on-disk (in-DRAM) format of m3fs (Sec. 4.5.8): a classical UNIX
+ * layout — superblock, inode and block bitmaps, inode table, directories
+ * with pointers to inodes — with extent-based file data so contiguous
+ * pieces of memory can be handed out as memory capabilities.
+ */
+
+#ifndef M3_M3FS_FS_DEFS_HH
+#define M3_M3FS_FS_DEFS_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace m3
+{
+namespace m3fs
+{
+
+static constexpr uint32_t FS_MAGIC = 0x4d334653;  // "M3FS"
+
+/** Default block size (Sec. 5.4: m3fs used 1 KiB blocks). */
+static constexpr uint32_t DEFAULT_BLOCK_SIZE = 1024;
+
+/** Number of direct extent slots in an inode. */
+static constexpr uint32_t INODE_DIRECT = 6;
+
+/** Blocks a write appends at once to bound fragmentation (Sec. 5.5). */
+static constexpr uint32_t DEFAULT_APPEND_BLOCKS = 256;
+
+using blockno_t = uint32_t;
+using inodeno_t = uint32_t;
+
+static constexpr inodeno_t INVALID_INO = 0xffffffff;
+
+/** A contiguous run of blocks (Sec. 4.5.8). */
+struct Extent
+{
+    blockno_t start = 0;  //!< first block (0 = unused slot)
+    uint32_t len = 0;     //!< number of blocks
+};
+
+/** The superblock, stored in block 0. */
+struct SuperBlock
+{
+    uint32_t magic;
+    uint32_t blockSize;
+    uint32_t totalBlocks;
+    uint32_t totalInodes;
+    blockno_t ibmStart;    //!< inode bitmap
+    uint32_t ibmBlocks;
+    blockno_t bbmStart;    //!< block bitmap
+    uint32_t bbmBlocks;
+    blockno_t itabStart;   //!< inode table
+    uint32_t itabBlocks;
+    blockno_t dataStart;   //!< first data block
+    inodeno_t rootIno;
+    blockno_t allocHint;   //!< next-fit pointer for block allocation
+
+    bool valid() const { return magic == FS_MAGIC; }
+};
+
+/**
+ * An inode. The data is referenced by a "tree of tables containing
+ * extents" (Sec. 4.5.8): INODE_DIRECT direct slots, one indirect block
+ * full of extents, and one double-indirect block of pointers to further
+ * extent blocks.
+ */
+struct Inode
+{
+    inodeno_t ino;
+    uint32_t mode;        //!< M_FILE or M_DIR
+    uint32_t links;
+    uint32_t extents;     //!< number of used extent slots
+    uint64_t size;        //!< bytes
+    Extent direct[INODE_DIRECT];
+    blockno_t indirect;   //!< block of Extent entries, 0 if none
+    blockno_t dindirect;  //!< block of blocknos of Extent blocks
+};
+
+static constexpr uint32_t INODE_SIZE = 128;
+static_assert(sizeof(Inode) <= INODE_SIZE, "inode exceeds its slot");
+
+/** A fixed-size directory entry. */
+struct DirEntry
+{
+    inodeno_t ino;     //!< INVALID_INO marks a free slot
+    uint8_t nameLen;
+    char name[27];
+};
+
+static constexpr uint32_t DIRENTRY_SIZE = 32;
+static_assert(sizeof(DirEntry) == DIRENTRY_SIZE, "unexpected padding");
+
+/** Maximum file-name component length. */
+static constexpr uint32_t MAX_NAME_LEN = 27;
+
+} // namespace m3fs
+} // namespace m3
+
+#endif // M3_M3FS_FS_DEFS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The m3fs server: an OS service implemented as an application
+ * (Sec. 4.5.1, 4.5.8). It registers with the kernel, serves meta-data
+ * operations over its session channels, and hands out the locations of
+ * file data as memory capabilities so clients read and write the data
+ * directly, without involving the service.
+ */
+
+#ifndef M3_M3FS_SERVER_HH
+#define M3_M3FS_SERVER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "m3fs/fs_defs.hh"
+
+namespace m3
+{
+namespace m3fs
+{
+
+/** Configuration of one server instance. */
+struct ServerConfig
+{
+    /** Capability selector of the boot-granted fs-image memory cap. */
+    capsel_t fsMemSel = 1;
+    /** Size of the filesystem image in bytes. */
+    uint64_t fsBytes = 0;
+    /** Service name to register. */
+    std::string name = "m3fs";
+    /** Blocks appended per allocation (Sec. 5.5: 256 is the sweet spot). */
+    uint32_t appendBlocks = DEFAULT_APPEND_BLOCKS;
+    /** Meta-data cache size in blocks (SPM budget: ring + cache). */
+    uint32_t cacheBlocks = 128;
+    /**
+     * If false, freshly allocated blocks are zeroed synchronously via a
+     * DTU write instead of relying on the background zero-block pool
+     * (ablation for the Sec. 5.4 design point).
+     */
+    bool backgroundZero = true;
+};
+
+/** Entry point of the server program (run as a boot VPE). */
+int serverMain(const ServerConfig &cfg);
+
+} // namespace m3fs
+} // namespace m3
+
+#endif // M3_M3FS_SERVER_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The interface of a memory that can be the target of a DTU memory
+ * endpoint: the platform's DRAM module, or another PE's scratchpad
+ * (used e.g. for application loading, Sec. 4.5.5).
+ */
+
+#ifndef M3_MEM_MEM_TARGET_HH
+#define M3_MEM_MEM_TARGET_HH
+
+#include <cstddef>
+
+#include "base/types.hh"
+
+namespace m3
+{
+
+/**
+ * A byte-addressable memory reachable over the NoC. Data access is
+ * immediate (functional); timing is composed by the DTU from the NoC
+ * transfer time plus this memory's accessLatency().
+ */
+class MemTarget
+{
+  public:
+    virtual ~MemTarget() = default;
+
+    /** Capacity in bytes. */
+    virtual size_t size() const = 0;
+
+    /** Copy @p len bytes at @p off into @p dst. Bounds-checked. */
+    virtual void read(goff_t off, void *dst, size_t len) = 0;
+
+    /** Copy @p len bytes from @p src to @p off. Bounds-checked. */
+    virtual void write(goff_t off, const void *src, size_t len) = 0;
+
+    /** Set @p len bytes at @p off to zero. */
+    virtual void zero(goff_t off, size_t len) = 0;
+
+    /** Fixed access latency per request, in cycles. */
+    virtual Cycles accessLatency() const = 0;
+};
+
+} // namespace m3
+
+#endif // M3_MEM_MEM_TARGET_HH

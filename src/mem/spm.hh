@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-PE scratchpad memory (SPM).
+ *
+ * The prototype platform's PEs have no caches and no MMU; the SPM is the
+ * only directly addressable memory (Sec. 4.1). Software on the PE accesses
+ * it with plain load/store (modelled as direct pointer access); everything
+ * PE-external must be moved in and out through the DTU.
+ *
+ * A trivial bump allocator carves the data SPM into the regions software
+ * needs (message buffers, ringbuffers, file I/O buffers). Real M3 places
+ * code/data/heap/stack by linker script; the allocator plays that role.
+ */
+
+#ifndef M3_MEM_SPM_HH
+#define M3_MEM_SPM_HH
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "mem/mem_target.hh"
+
+namespace m3
+{
+
+/** A PE-local scratchpad, also usable as a remote DTU memory target. */
+class Spm : public MemTarget
+{
+  public:
+    explicit Spm(size_t bytes) : bytes(bytes), data(new uint8_t[bytes])
+    {
+        std::memset(data.get(), 0, bytes);
+    }
+
+    size_t size() const override { return bytes; }
+
+    void
+    read(goff_t off, void *dst, size_t len) override
+    {
+        check(off, len);
+        std::memcpy(dst, data.get() + off, len);
+    }
+
+    void
+    write(goff_t off, const void *src, size_t len) override
+    {
+        check(off, len);
+        std::memcpy(data.get() + off, src, len);
+    }
+
+    void
+    zero(goff_t off, size_t len) override
+    {
+        check(off, len);
+        std::memset(data.get() + off, 0, len);
+    }
+
+    /** SPM access is single-cycle from the NoC side. */
+    Cycles accessLatency() const override { return 1; }
+
+    /** Direct pointer for the local core's load/store accesses. */
+    uint8_t *
+    ptr(spmaddr_t addr, size_t len = 0)
+    {
+        check(addr, len);
+        return data.get() + addr;
+    }
+
+    /**
+     * Allocate @p len bytes of SPM (8-byte aligned). Panics when the SPM
+     * is exhausted: on the real platform that is a link/alloc failure.
+     */
+    spmaddr_t
+    alloc(size_t len)
+    {
+        bumpPos = (bumpPos + 7) & ~size_t{7};
+        if (bumpPos + len > bytes)
+            panic("SPM exhausted: %zu + %zu > %zu", bumpPos, len, bytes);
+        spmaddr_t addr = static_cast<spmaddr_t>(bumpPos);
+        bumpPos += len;
+        return addr;
+    }
+
+    /** Reset the allocator (used when a new program takes over the PE). */
+    void
+    resetAlloc()
+    {
+        bumpPos = 0;
+    }
+
+    /** Bytes currently allocated. */
+    size_t allocated() const { return bumpPos; }
+
+  private:
+    void
+    check(goff_t off, size_t len) const
+    {
+        if (off > bytes || len > bytes - off)
+            panic("SPM access out of bounds: %llu + %zu > %zu",
+                  static_cast<unsigned long long>(off), len, bytes);
+    }
+
+    size_t bytes;
+    std::unique_ptr<uint8_t[]> data;
+    size_t bumpPos = 0;
+};
+
+} // namespace m3
+
+#endif // M3_MEM_SPM_HH

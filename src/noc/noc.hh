@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Packet-switched network-on-chip model.
+ *
+ * The platform's PEs and the DRAM module are attached to a 2D mesh of
+ * routers. Packets are routed with XY dimension-order routing; each
+ * directed link has a bandwidth of HwCosts::nocBytesPerCycle and a
+ * per-hop latency. Contention is modelled: a packet occupies every link
+ * on its path for its serialisation time, and later packets wanting the
+ * same link wait (virtual cut-through approximation).
+ *
+ * The NoC transports opaque payloads: the sender provides a closure that
+ * is executed at the destination when the tail of the packet arrives.
+ * Protocol interpretation (messages, memory reads/writes, external DTU
+ * configuration) lives in the DTU and DRAM modules.
+ */
+
+#ifndef M3_NOC_NOC_HH
+#define M3_NOC_NOC_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/cost_model.hh"
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace m3
+{
+
+/** Identifier of a node (attachment point) on the NoC. */
+using nocid_t = uint32_t;
+
+/** Aggregate NoC statistics, exposed for tests and the microcore bench. */
+struct NocStats
+{
+    uint64_t packets = 0;
+    uint64_t payloadBytes = 0;
+    Cycles contentionStalls = 0;
+};
+
+/**
+ * The mesh interconnect. Nodes are numbered row-major on a cols x rows
+ * grid; the platform assigns PEs and the DRAM module to node ids.
+ */
+class Noc
+{
+  public:
+    using DeliverFn = std::function<void()>;
+
+    /**
+     * @param eq event queue for packet delivery
+     * @param hw hardware cost parameters (bandwidth, hop latency)
+     * @param cols mesh width
+     * @param rows mesh height
+     */
+    Noc(EventQueue &eq, const HwCosts &hw, uint32_t cols, uint32_t rows);
+
+    /** Number of attachable node slots (cols * rows). */
+    uint32_t nodeCount() const { return cols * rows; }
+
+    /**
+     * Inject a packet. The closure @p deliver runs at the destination at
+     * the cycle the packet's tail arrives.
+     *
+     * @param src source node
+     * @param dst destination node
+     * @param payloadBytes payload size; the wire also carries a header of
+     *        HwCosts::msgHeaderSize bytes
+     * @param deliver executed on arrival
+     * @return the cycle at which the packet will be delivered
+     */
+    Cycles send(nocid_t src, nocid_t dst, uint32_t payloadBytes,
+                DeliverFn deliver);
+
+    /**
+     * Pure timing query: transfer latency for @p payloadBytes from
+     * @p src to @p dst on an idle network.
+     */
+    Cycles idleLatency(nocid_t src, nocid_t dst,
+                       uint32_t payloadBytes) const;
+
+    /** Number of router hops between two nodes (Manhattan distance + 1). */
+    uint32_t hops(nocid_t src, nocid_t dst) const;
+
+    const NocStats &stats() const { return nocStats; }
+    void resetStats() { nocStats = NocStats{}; }
+
+  private:
+    /** A directed link between adjacent routers (or router and node). */
+    struct Link
+    {
+        Cycles nextFree = 0;
+    };
+
+    /** Key for the directed link from router a to router b. */
+    static uint64_t
+    linkKey(uint32_t a, uint32_t b)
+    {
+        return (static_cast<uint64_t>(a) << 32) | b;
+    }
+
+    /** Serialisation time of a packet with @p payloadBytes of payload. */
+    Cycles
+    serialisation(uint32_t payloadBytes) const
+    {
+        uint32_t wire = payloadBytes + hw.msgHeaderSize;
+        return (wire + hw.nocBytesPerCycle - 1) / hw.nocBytesPerCycle;
+    }
+
+    /** XY route from @p src to @p dst as a list of router ids. */
+    std::vector<uint32_t> route(nocid_t src, nocid_t dst) const;
+
+    EventQueue &eq;
+    HwCosts hw;
+    uint32_t cols;
+    uint32_t rows;
+    std::unordered_map<uint64_t, Link> links;
+    NocStats nocStats;
+};
+
+} // namespace m3
+
+#endif // M3_NOC_NOC_HH

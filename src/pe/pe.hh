@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A processing element: core + local scratchpad + DTU (the paper's
+ * definition of "PE", Sec. 2.2). The core itself is not modelled at
+ * instruction level; PE software is a C++ functor run on a fiber, and
+ * its instruction cost is charged through the fiber's compute().
+ */
+
+#ifndef M3_PE_PE_HH
+#define M3_PE_PE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/cost_model.hh"
+#include "base/types.hh"
+#include "dtu/dtu.hh"
+#include "mem/spm.hh"
+#include "noc/noc.hh"
+#include "pe/pe_desc.hh"
+#include "sim/simulator.hh"
+
+namespace m3
+{
+
+/**
+ * One PE of the platform. Programs are installed as functors and started
+ * when the DTU receives a start command (or directly, for boot).
+ */
+class Pe
+{
+  public:
+    using Program = std::function<void()>;
+
+    Pe(Simulator &sim, const PeDesc &desc, Noc &noc, peid_t id,
+       uint32_t nocId, const HwCosts &hw)
+        : sim(sim), peDesc(desc), peId(id),
+          spmMem(std::make_unique<Spm>(desc.spmDataSize)),
+          dtuUnit(std::make_unique<Dtu>(sim.queue(), noc, *spmMem, nocId,
+                                        hw))
+    {
+        dtuUnit->setStartHook([this] { startProgram(); });
+    }
+
+    peid_t id() const { return peId; }
+    const PeDesc &desc() const { return peDesc; }
+    Spm &spm() { return *spmMem; }
+    Dtu &dtu() { return *dtuUnit; }
+
+    /**
+     * Install the program that runs when this PE is started. On the real
+     * platform the binary has been copied into the SPM beforehand (the
+     * copy cost is modelled by the actual DTU transfers that the loader
+     * performs); here the functor carries the behaviour.
+     */
+    void
+    installProgram(std::string name, Program body)
+    {
+        pendingName = std::move(name);
+        pendingBody = std::move(body);
+    }
+
+    /** Start the installed program on a fresh fiber. */
+    Fiber *
+    startProgram()
+    {
+        if (!pendingBody)
+            panic("PE%u started without an installed program", peId);
+        Program body = std::move(pendingBody);
+        pendingBody = nullptr;
+        fiber = &sim.run("pe" + std::to_string(peId) + ":" + pendingName,
+                         std::move(body));
+        return fiber;
+    }
+
+    /** The fiber of the currently/last running program (or nullptr). */
+    Fiber *programFiber() { return fiber; }
+
+    /** True if a program is installed or still running. */
+    bool
+    busy() const
+    {
+        return pendingBody != nullptr || (fiber && !fiber->finished());
+    }
+
+    /** Mark the PE free again (after the kernel reclaimed it). */
+    void
+    release()
+    {
+        fiber = nullptr;
+        pendingBody = nullptr;
+        spmMem->resetAlloc();
+    }
+
+  private:
+    Simulator &sim;
+    PeDesc peDesc;
+    peid_t peId;
+    std::unique_ptr<Spm> spmMem;
+    std::unique_ptr<Dtu> dtuUnit;
+
+    std::string pendingName;
+    Program pendingBody;
+    Fiber *fiber = nullptr;
+};
+
+} // namespace m3
+
+#endif // M3_PE_PE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Static description of a processing element: its type and attributes.
+ * The kernel allocates PEs to VPEs by matching against these descriptors
+ * (applications "can request a specific type of PE", Sec. 4.5.5).
+ */
+
+#ifndef M3_PE_PE_DESC_HH
+#define M3_PE_PE_DESC_HH
+
+#include <string>
+
+#include "base/types.hh"
+
+namespace m3
+{
+
+/** Broad classes of PEs on the platform. */
+enum class PeType : uint8_t
+{
+    /** A general-purpose core (the Xtensa-like default). */
+    General,
+    /** A core with domain-specific instruction extensions (Sec. 5.8). */
+    Accelerator,
+};
+
+/** Descriptor of one PE. */
+struct PeDesc
+{
+    PeType type = PeType::General;
+    /** Free-form attribute matched on allocation, e.g. "fft". */
+    std::string attr;
+    /** Data scratchpad capacity. */
+    size_t spmDataSize = SPM_DATA_SIZE;
+    /** Code scratchpad capacity (used for load-cost modelling). */
+    size_t spmCodeSize = SPM_CODE_SIZE;
+
+    static PeDesc
+    general()
+    {
+        return PeDesc{};
+    }
+
+    static PeDesc
+    accel(std::string attr)
+    {
+        PeDesc d;
+        d.type = PeType::Accelerator;
+        d.attr = std::move(attr);
+        return d;
+    }
+
+    bool
+    matches(PeType wantedType, const std::string &wantedAttr) const
+    {
+        if (type != wantedType)
+            return false;
+        return wantedAttr.empty() || attr == wantedAttr;
+    }
+};
+
+} // namespace m3
+
+#endif // M3_PE_PE_DESC_HH

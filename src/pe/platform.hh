@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The Tomahawk-like platform: a set of PEs and one DRAM module, connected
+ * by a packet-switched mesh NoC (Sec. 4.1). The platform wires the DTUs'
+ * node-id resolvers and owns the global cost model.
+ */
+
+#ifndef M3_PE_PLATFORM_HH
+#define M3_PE_PLATFORM_HH
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "base/cost_model.hh"
+#include "base/types.hh"
+#include "mem/dram.hh"
+#include "noc/noc.hh"
+#include "pe/pe.hh"
+#include "sim/simulator.hh"
+
+namespace m3
+{
+
+/** Build-time description of a platform instance. */
+struct PlatformSpec
+{
+    /** Descriptors of the PEs; index is the peid. */
+    std::vector<PeDesc> pes;
+    /** Capacity of the DRAM module. */
+    size_t dramBytes = 64 * MiB;
+    /** All cost/calibration parameters. */
+    CostModel costs;
+    /** Mesh width; 0 selects a near-square mesh automatically. */
+    uint32_t meshCols = 0;
+
+    /** Convenience: @p n general-purpose PEs. */
+    static PlatformSpec
+    generalPurpose(uint32_t n)
+    {
+        PlatformSpec s;
+        s.pes.assign(n, PeDesc::general());
+        return s;
+    }
+};
+
+/** The assembled platform. NoC node ids: PE i -> i, DRAM -> pes.size(). */
+class Platform
+{
+  public:
+    Platform(Simulator &sim, PlatformSpec spec)
+        : sim(sim), costModel(spec.costs),
+          nodeTotal(static_cast<uint32_t>(spec.pes.size()) + 1),
+          mesh(std::make_unique<Noc>(sim.queue(), spec.costs.hw,
+                                     meshColsFor(spec),
+                                     meshRowsFor(spec))),
+          dramMem(std::make_unique<Dram>(spec.dramBytes,
+                                         spec.costs.hw.dramLatency))
+    {
+        for (peid_t i = 0; i < spec.pes.size(); ++i) {
+            peList.push_back(std::make_unique<Pe>(sim, spec.pes[i], *mesh,
+                                                  i, i, spec.costs.hw));
+        }
+        // Wire the DTUs: node -> peer DTU, node -> memory target. Memory
+        // endpoints can address the DRAM and any PE's SPM (used for
+        // application loading, Sec. 4.5.5).
+        auto dtuResolver = [this](uint32_t node) -> Dtu * {
+            if (node < peList.size())
+                return &peList[node]->dtu();
+            return nullptr;
+        };
+        auto memResolver = [this](uint32_t node) -> MemTarget * {
+            if (node == dramNode())
+                return dramMem.get();
+            if (node < peList.size())
+                return &peList[node]->spm();
+            return nullptr;
+        };
+        for (auto &p : peList)
+            p->dtu().connect(dtuResolver, memResolver);
+    }
+
+    Simulator &simulator() { return sim; }
+    const CostModel &costs() const { return costModel; }
+    Noc &noc() { return *mesh; }
+    Dram &dram() { return *dramMem; }
+
+    uint32_t peCount() const { return static_cast<uint32_t>(peList.size()); }
+    Pe &pe(peid_t id) { return *peList.at(id); }
+
+    /** NoC node of PE @p id (identity mapping by construction). */
+    uint32_t nocIdOf(peid_t id) const { return id; }
+
+    /** NoC node of the DRAM module. */
+    uint32_t dramNode() const { return nodeTotal - 1; }
+
+  private:
+    static uint32_t
+    meshColsFor(const PlatformSpec &spec)
+    {
+        uint32_t nodes = static_cast<uint32_t>(spec.pes.size()) + 1;
+        if (spec.meshCols)
+            return spec.meshCols;
+        return static_cast<uint32_t>(
+            std::ceil(std::sqrt(static_cast<double>(nodes))));
+    }
+
+    static uint32_t
+    meshRowsFor(const PlatformSpec &spec)
+    {
+        uint32_t nodes = static_cast<uint32_t>(spec.pes.size()) + 1;
+        uint32_t c = meshColsFor(spec);
+        return (nodes + c - 1) / c;
+    }
+
+    Simulator &sim;
+    CostModel costModel;
+    uint32_t nodeTotal;
+    std::unique_ptr<Noc> mesh;
+    std::unique_ptr<Dram> dramMem;
+    std::vector<std::unique_ptr<Pe>> peList;
+};
+
+} // namespace m3
+
+#endif // M3_PE_PLATFORM_HH

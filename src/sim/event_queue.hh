@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The discrete-event core: a global clock and a min-heap of events.
+ *
+ * Everything in the platform (NoC packet delivery, DTU command completion,
+ * fiber wakeups) is an event. Ties at the same cycle are broken by
+ * insertion order, which keeps the simulation fully deterministic.
+ */
+
+#ifndef M3_SIM_EVENT_QUEUE_HH
+#define M3_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace m3
+{
+
+/**
+ * A time-ordered queue of callbacks. The queue owns the simulated clock:
+ * curCycle() advances exactly when an event at a later cycle is executed.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** The current simulated cycle. */
+    Cycles curCycle() const { return now; }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void
+    schedule(Cycles delay, Callback cb)
+    {
+        scheduleAbs(now + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute cycle @p when (must not be in the past). */
+    void
+    scheduleAbs(Cycles when, Callback cb)
+    {
+        if (when < now)
+            panic("event scheduled in the past (%llu < %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now));
+        events.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return events.size(); }
+
+    /**
+     * Execute the earliest pending event, advancing the clock to its cycle.
+     * @return false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (events.empty())
+            return false;
+        // The callback may schedule new events, so move it out first.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        now = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or the clock passes @p limit.
+     * @return the number of events executed.
+     */
+    uint64_t
+    run(Cycles limit = ~Cycles(0))
+    {
+        uint64_t executed = 0;
+        while (!events.empty() && events.top().when <= limit) {
+            runOne();
+            ++executed;
+        }
+        return executed;
+    }
+
+  private:
+    struct Event
+    {
+        Cycles when;
+        uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    Cycles now = 0;
+    uint64_t nextSeq = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+};
+
+} // namespace m3
+
+#endif // M3_SIM_EVENT_QUEUE_HH

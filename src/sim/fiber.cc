@@ -1,0 +1,135 @@
+#include "sim/fiber.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace m3
+{
+
+namespace
+{
+
+/** The fiber currently executing, or nullptr while in the main context. */
+thread_local Fiber *currentFiber = nullptr;
+
+/** Handoff slot for the trampoline (makecontext takes no pointers). */
+thread_local Fiber *startingFiber = nullptr;
+
+} // anonymous namespace
+
+Fiber::Fiber(EventQueue &eq, std::string name, Func fn)
+    : eq(eq), name(std::move(name)), fn(std::move(fn)),
+      stack(new char[stackSize])
+{
+}
+
+Fiber::~Fiber()
+{
+    if (state == State::Running)
+        panic("fiber '%s' destroyed while running", name.c_str());
+}
+
+Fiber *
+Fiber::current()
+{
+    return currentFiber;
+}
+
+void
+Fiber::start()
+{
+    if (state != State::Created)
+        panic("fiber '%s' started twice", name.c_str());
+    state = State::Ready;
+    eq.schedule(0, [this] { dispatch(); });
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = startingFiber;
+    startingFiber = nullptr;
+    self->fn();
+    self->state = State::Finished;
+    for (Fiber *j : self->joiners)
+        j->unblock();
+    self->joiners.clear();
+    self->yieldToMain();
+    panic("finished fiber '%s' resumed", self->name.c_str());
+}
+
+void
+Fiber::dispatch()
+{
+    if (state == State::Finished)
+        panic("dispatch of finished fiber '%s'", name.c_str());
+    if (state == State::Created || (state == State::Ready && !context.uc_stack.ss_sp)) {
+        getcontext(&context);
+        context.uc_stack.ss_sp = stack.get();
+        context.uc_stack.ss_size = stackSize;
+        context.uc_link = &mainContext;
+        startingFiber = this;
+        makecontext(&context, &Fiber::trampoline, 0);
+    }
+    Fiber *prev = currentFiber;
+    currentFiber = this;
+    state = State::Running;
+    swapcontext(&mainContext, &context);
+    currentFiber = prev;
+}
+
+void
+Fiber::yieldToMain()
+{
+    swapcontext(&context, &mainContext);
+}
+
+void
+Fiber::sleep(Cycles cycles)
+{
+    if (currentFiber != this)
+        panic("sleep called from outside fiber '%s'", name.c_str());
+    state = State::Ready;
+    eq.schedule(cycles, [this] { dispatch(); });
+    yieldToMain();
+}
+
+void
+Fiber::block()
+{
+    if (currentFiber != this)
+        panic("block called from outside fiber '%s'", name.c_str());
+    if (wakeupPending) {
+        wakeupPending = false;
+        return;
+    }
+    state = State::Blocked;
+    yieldToMain();
+}
+
+void
+Fiber::unblock()
+{
+    if (state == State::Blocked) {
+        state = State::Ready;
+        eq.schedule(0, [this] { dispatch(); });
+    } else if (state != State::Finished) {
+        // The fiber has not blocked yet; remember the wakeup.
+        wakeupPending = true;
+    }
+}
+
+void
+Fiber::join()
+{
+    Fiber *self = current();
+    if (!self)
+        panic("join on '%s' called from the main context", name.c_str());
+    while (state != State::Finished) {
+        joiners.push_back(self);
+        self->block();
+    }
+}
+
+} // namespace m3

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cooperative fibers: the execution vehicle for simulated PE software.
+ *
+ * Every PE program (the kernel, an application, an OS service) runs on one
+ * Fiber. Fibers interleave under the control of the EventQueue: a fiber
+ * only runs while the main context dispatches it, and it gives up control
+ * by sleeping for simulated cycles or by blocking on a condition. Charging
+ * simulated time is therefore explicit: compute(n) both accounts n cycles
+ * and lets the rest of the platform make progress during them.
+ */
+
+#ifndef M3_SIM_FIBER_HH
+#define M3_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/accounting.hh"
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace m3
+{
+
+/**
+ * A cooperatively scheduled execution context tied to an EventQueue.
+ *
+ * Lifecycle: constructed -> start() schedules the first dispatch ->
+ * the body runs, interleaved with sleeps/blocks -> body returns ->
+ * Finished (joiners are woken).
+ */
+class Fiber
+{
+  public:
+    using Func = std::function<void()>;
+
+    enum class State
+    {
+        Created,   //!< not yet started
+        Ready,     //!< a dispatch event is scheduled
+        Running,   //!< currently executing on the fiber stack
+        Blocked,   //!< waiting for unblock()
+        Finished,  //!< body returned
+    };
+
+    /**
+     * @param eq the event queue driving this fiber
+     * @param name diagnostic name (shows up in traces and deadlock dumps)
+     * @param fn the body to execute
+     */
+    Fiber(EventQueue &eq, std::string name, Func fn);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Schedule the first dispatch at the current cycle. */
+    void start();
+
+    /** @return the fiber currently executing, or nullptr in main context. */
+    static Fiber *current();
+
+    /** Sleep for @p cycles simulated cycles (callable from inside only). */
+    void sleep(Cycles cycles);
+
+    /**
+     * Charge @p cycles of simulated software time to the current
+     * accounting category and let simulated time pass.
+     */
+    void
+    compute(Cycles cycles)
+    {
+        acct.charge(cycles);
+        sleep(cycles);
+    }
+
+    /** Like compute(), but attributed to an explicit category. */
+    void
+    computeAs(Category c, Cycles cycles)
+    {
+        acct.chargeTo(c, cycles);
+        sleep(cycles);
+    }
+
+    /**
+     * Block until another party calls unblock(). A wakeup that raced ahead
+     * (unblock() before block()) is not lost: block() then returns
+     * immediately and consumes the pending wakeup.
+     */
+    void block();
+
+    /** Wake a blocked fiber (or pre-arm the next block()). */
+    void unblock();
+
+    /** Block the calling fiber until this fiber's body has returned. */
+    void join();
+
+    bool finished() const { return state == State::Finished; }
+    State currentState() const { return state; }
+    const std::string &fiberName() const { return name; }
+
+    /** Cycle accounting for this fiber's breakdowns. */
+    Accounting &accounting() { return acct; }
+
+    /** The event queue this fiber runs on. */
+    EventQueue &queue() { return eq; }
+
+  private:
+    static void trampoline();
+
+    /** Main-context side: switch into the fiber. */
+    void dispatch();
+
+    /** Fiber side: switch back to the main context. */
+    void yieldToMain();
+
+    static constexpr size_t stackSize = 512 * KiB;
+
+    EventQueue &eq;
+    std::string name;
+    Func fn;
+    State state = State::Created;
+    bool wakeupPending = false;
+    std::vector<Fiber *> joiners;
+    Accounting acct;
+
+    std::unique_ptr<char[]> stack;
+    ucontext_t context{};
+    ucontext_t mainContext{};
+};
+
+} // namespace m3
+
+#endif // M3_SIM_FIBER_HH

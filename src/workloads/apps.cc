@@ -1,0 +1,354 @@
+#include "workloads/apps.hh"
+
+#include <complex>
+#include <cstring>
+
+#include "accel/fft.hh"
+#include "base/random.hh"
+#include "libm3/pipe.hh"
+#include "libm3/programs.hh"
+#include "libm3/vfs.hh"
+#include "libm3/vpe.hh"
+#include "m3fs/client.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+// ---------------------------------------------------------------------
+// cat+tr.
+// ---------------------------------------------------------------------
+
+FsSetup
+catTrSetup(const CatTrParams &p)
+{
+    FsSetup s;
+    s.dirs = {p.root + "/in", p.root + "/out"};
+    s.files.push_back({p.root + "/in/input", p.fileBytes, 4242});
+    if (!p.root.empty())
+        s.dirs.insert(s.dirs.begin(), p.root);
+    return s;
+}
+
+namespace
+{
+
+/** The tr step: substitute 'a' with 'b', charging per-byte cost. */
+template <typename ChargeFn>
+void
+trBytes(uint8_t *buf, size_t n, double perByte, ChargeFn charge)
+{
+    for (size_t i = 0; i < n; ++i)
+        if (buf[i] == 'a')
+            buf[i] = 'b';
+    charge(static_cast<Cycles>(static_cast<double>(n) * perByte));
+}
+
+} // anonymous namespace
+
+int
+catTrM3(Env &env, const CatTrParams &p)
+{
+    // Parent = tr (reads the pipe); child = cat (writes the file into
+    // the pipe).
+    Pipe pipe(env, /*creatorWrites=*/false);
+    VPE child(env, "cat");
+    if (child.err() != Error::None)
+        return 1;
+    if (pipe.delegateTo(child) != Error::None)
+        return 2;
+    // Pass the mount to the child (clone inherits the filesystem).
+    std::string rest;
+    auto *fs = dynamic_cast<m3fs::M3fsSession *>(
+        env.vfs().resolve("/x", rest));
+    if (!fs || fs->delegateTo(child) != Error::None)
+        return 2;
+
+    uint32_t bufSize = p.bufSize;
+    std::string inPath = p.root + "/in/input";
+    Error runErr = child.run([bufSize, inPath] {
+        Env &cenv = Env::cur();
+        if (m3fs::M3fsSession::bindMount(cenv, "/") != Error::None)
+            return 1;
+        Error e = Error::None;
+        auto in = cenv.vfs().open(inPath, FILE_R, e);
+        if (!in)
+            return 2;
+        auto out = pipePeer(cenv, /*peerWrites=*/true);
+        std::vector<uint8_t> buf(bufSize);
+        for (;;) {
+            ssize_t n = in->read(buf.data(), buf.size());
+            if (n < 0)
+                return 3;
+            if (n == 0)
+                break;
+            if (out->write(buf.data(), static_cast<size_t>(n)) != n)
+                return 4;
+        }
+        return 0;
+    });
+    if (runErr != Error::None)
+        return 3;
+
+    Error e = Error::None;
+    auto out = env.vfs().open(p.root + "/out/result",
+                              FILE_W | FILE_CREATE, e);
+    if (!out)
+        return 4;
+    auto in = pipe.host();
+    std::vector<uint8_t> buf(p.bufSize);
+    const double perByte = env.cm.compute.trPerByte;
+    for (;;) {
+        ssize_t n = in->read(buf.data(), buf.size());
+        if (n < 0)
+            return 5;
+        if (n == 0)
+            break;
+        trBytes(buf.data(), static_cast<size_t>(n), perByte,
+                [&](Cycles c) {
+                    env.fiber.computeAs(Category::App, c);
+                });
+        if (out->write(buf.data(), static_cast<size_t>(n)) != n)
+            return 6;
+    }
+    return child.wait() == 0 ? 0 : 7;
+}
+
+int
+catTrLx(lx::Process &proc, const CatTrParams &p)
+{
+    int fds[2];
+    if (proc.pipe(fds) != Error::None)
+        return 1;
+
+    uint32_t bufSize = p.bufSize;
+    std::string inPath = p.root + "/in/input";
+    int child = proc.fork([fds, bufSize, inPath](lx::Process &c) {
+        c.close(fds[0]);  // the child only writes into the pipe
+        int in = c.open(inPath, 1 /*R*/);
+        if (in < 0)
+            return 1;
+        std::vector<uint8_t> buf(bufSize);
+        for (;;) {
+            ssize_t n = c.read(in, buf.data(), buf.size());
+            if (n < 0)
+                return 2;
+            if (n == 0)
+                break;
+            if (c.write(fds[1], buf.data(), static_cast<size_t>(n)) != n)
+                return 3;
+        }
+        c.close(in);
+        c.close(fds[1]);
+        return 0;
+    });
+    proc.close(fds[1]);
+
+    int out = proc.open(p.root + "/out/result", 2 | 4 /*W|CREATE*/);
+    if (out < 0)
+        return 2;
+    std::vector<uint8_t> buf(p.bufSize);
+    const double perByte =
+        proc.machine().config().compute.trPerByte;
+    for (;;) {
+        ssize_t n = proc.read(fds[0], buf.data(), buf.size());
+        if (n < 0)
+            return 3;
+        if (n == 0)
+            break;
+        trBytes(buf.data(), static_cast<size_t>(n), perByte,
+                [&](Cycles c) { proc.compute(c); });
+        if (proc.write(out, buf.data(), static_cast<size_t>(n)) != n)
+            return 4;
+    }
+    proc.close(out);
+    proc.close(fds[0]);
+    return proc.waitpid(child) == 0 ? 0 : 5;
+}
+
+// ---------------------------------------------------------------------
+// The FFT filter chain (Sec. 5.8).
+// ---------------------------------------------------------------------
+
+FsSetup
+fftSetup(const FftParams &p)
+{
+    FsSetup s;
+    s.dirs = {"/bin", "/out"};
+    // The FFT executable the parent execs onto the chosen PE.
+    s.files.push_back({p.binary, 24 * KiB, 777});
+    return s;
+}
+
+namespace
+{
+
+/** The child: read chunks from the pipe, transform, write to a file. */
+int
+fftChildMain(const FftParams p)
+{
+    Env &env = Env::cur();
+    if (m3fs::M3fsSession::bindMount(env, "/") != Error::None)
+        return 1;
+    Error e = Error::None;
+    auto out = env.vfs().open(p.output, FILE_W | FILE_CREATE, e);
+    if (!out)
+        return 2;
+    auto in = pipePeer(env, /*peerWrites=*/false);
+
+    const bool onAccel =
+        env.pe.desc().type == PeType::Accelerator &&
+        env.pe.desc().attr == accel::FFT_ATTR;
+    const size_t points = p.chunkBytes / sizeof(std::complex<float>);
+    std::vector<std::complex<float>> chunk(points);
+
+    for (;;) {
+        ssize_t n = in->read(chunk.data(), p.chunkBytes);
+        if (n < 0)
+            return 3;
+        if (n == 0)
+            break;
+        size_t got = static_cast<size_t>(n) /
+                     sizeof(std::complex<float>);
+        // Pad to a power of two if the tail chunk is short.
+        size_t fftN = 1;
+        while (fftN < got)
+            fftN <<= 1;
+        std::fill(chunk.begin() + got, chunk.begin() + fftN,
+                  std::complex<float>(0, 0));
+        accel::fft(chunk.data(), fftN);
+        env.fiber.computeAs(Category::App,
+                            accel::fftCost(fftN, env.cm.compute,
+                                           onAccel));
+        if (out->write(chunk.data(),
+                       fftN * sizeof(std::complex<float>)) < 0)
+            return 4;
+    }
+    return 0;
+}
+
+/** Deterministic random input samples. */
+std::vector<std::complex<float>>
+fftInput(size_t bytes)
+{
+    Random rng(31337);
+    std::vector<std::complex<float>> data(bytes /
+                                          sizeof(std::complex<float>));
+    for (auto &c : data)
+        c = {static_cast<float>(rng.nextDouble() * 2 - 1),
+             static_cast<float>(rng.nextDouble() * 2 - 1)};
+    return data;
+}
+
+} // anonymous namespace
+
+void
+registerFftProgram(const FftParams &p)
+{
+    Programs::reg(p.binary, [p] { return fftChildMain(p); });
+}
+
+int
+fftChainM3(Env &env, const FftParams &p)
+{
+    // The parent code is identical for the software and the accelerator
+    // version; only the requested PE type differs (Sec. 5.8).
+    VPE child(env, "fft",
+              p.useAccel ? kif::PeTypeReq::Accelerator
+                         : kif::PeTypeReq::General,
+              p.useAccel ? accel::FFT_ATTR : "");
+    if (child.err() != Error::None)
+        return 1;
+    Pipe pipe(env, /*creatorWrites=*/true);
+    if (pipe.delegateTo(child) != Error::None)
+        return 2;
+    // exec passes the mounts along as well (Sec. 4.5.5).
+    std::string rest;
+    auto *fs = dynamic_cast<m3fs::M3fsSession *>(
+        env.vfs().resolve("/x", rest));
+    if (!fs || fs->delegateTo(child) != Error::None)
+        return 2;
+    if (child.exec(p.binary) != Error::None)
+        return 3;
+
+    // Generate random numbers and stream them into the pipe.
+    auto data = fftInput(p.dataBytes);
+    {
+        auto out = pipe.host();
+        const uint8_t *bytes =
+            reinterpret_cast<const uint8_t *>(data.data());
+        size_t total = data.size() * sizeof(std::complex<float>);
+        size_t sent = 0;
+        while (sent < total) {
+            size_t chunk = std::min(p.chunkBytes, total - sent);
+            if (out->write(bytes + sent, chunk) !=
+                static_cast<ssize_t>(chunk))
+                return 4;
+            sent += chunk;
+        }
+    }  // EOF on destruction
+    return child.wait() == 0 ? 0 : 5;
+}
+
+int
+fftChainLx(lx::Process &proc, const FftParams &p)
+{
+    int fds[2];
+    if (proc.pipe(fds) != Error::None)
+        return 1;
+
+    FftParams params = p;
+    int child = proc.fork(
+        [fds, params](lx::Process &c) {
+            c.close(fds[1]);  // the child only reads from the pipe
+            int out = c.open(params.output, 2 | 4);
+            if (out < 0)
+                return 1;
+            const size_t points =
+                params.chunkBytes / sizeof(std::complex<float>);
+            std::vector<std::complex<float>> chunk(points);
+            for (;;) {
+                ssize_t n = c.read(fds[0], chunk.data(),
+                                   params.chunkBytes);
+                if (n < 0)
+                    return 2;
+                if (n == 0)
+                    break;
+                size_t got = static_cast<size_t>(n) /
+                             sizeof(std::complex<float>);
+                size_t fftN = 1;
+                while (fftN < got)
+                    fftN <<= 1;
+                std::fill(chunk.begin() + got, chunk.begin() + fftN,
+                          std::complex<float>(0, 0));
+                accel::fft(chunk.data(), fftN);
+                c.compute(accel::fftCost(
+                    fftN, c.machine().config().compute, false));
+                c.write(out, chunk.data(),
+                        fftN * sizeof(std::complex<float>));
+            }
+            c.close(out);
+            c.close(fds[0]);
+            return 0;
+        },
+        /*withExec=*/true);
+    proc.close(fds[0]);
+
+    auto data = fftInput(p.dataBytes);
+    const uint8_t *bytes = reinterpret_cast<const uint8_t *>(data.data());
+    size_t total = data.size() * sizeof(std::complex<float>);
+    size_t sent = 0;
+    while (sent < total) {
+        size_t chunk = std::min(p.chunkBytes, total - sent);
+        if (proc.write(fds[1], bytes + sent, chunk) !=
+            static_cast<ssize_t>(chunk))
+            return 2;
+        sent += chunk;
+    }
+    proc.close(fds[1]);
+    return proc.waitpid(child) == 0 ? 0 : 3;
+}
+
+} // namespace workloads
+} // namespace m3

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The natively-implemented benchmark applications (Sec. 5.6, 5.8):
+ * cat+tr — a child streams a 64 KiB file into a pipe while the parent
+ * substitutes bytes and writes the result to a new file — and the FFT
+ * filter chain of the accelerator study. Each exists for both systems,
+ * using the same code structure ("the same code for M3 and Linux,
+ * except for programming against libm3", Sec. 5.6).
+ */
+
+#ifndef M3_WORKLOADS_APPS_HH
+#define M3_WORKLOADS_APPS_HH
+
+#include "libm3/env.hh"
+#include "linuxsim/machine.hh"
+#include "workloads/trace.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+/** Parameters of cat+tr. */
+struct CatTrParams
+{
+    size_t fileBytes = 64 * KiB;  //!< the paper's 64 KiB file
+    uint32_t bufSize = 4096;      //!< the paper's 4 KiB buffers
+    std::string root;             //!< path prefix (scalability study)
+};
+
+/** Initial filesystem state for cat+tr. */
+FsSetup catTrSetup(const CatTrParams &p);
+
+/**
+ * cat+tr on M3: requires a mounted filesystem and one free PE for the
+ * child VPE. @return 0 on success.
+ */
+int catTrM3(Env &env, const CatTrParams &p);
+
+/** cat+tr on the Linux baseline (fork + pipe). */
+int catTrLx(lx::Process &proc, const CatTrParams &p);
+
+/** Parameters of the FFT chain (Sec. 5.8). */
+struct FftParams
+{
+    size_t dataBytes = 32 * KiB;  //!< random numbers streamed in total
+    size_t chunkBytes = 4 * KiB;  //!< pipe chunk = one FFT batch
+    bool useAccel = false;        //!< request the FFT accelerator PE
+    std::string binary = "/bin/fft";  //!< executable path for exec
+    std::string output = "/out/fft.dat";
+};
+
+/** Initial filesystem state for the FFT chain (includes the binary). */
+FsSetup fftSetup(const FftParams &p);
+
+/** Register the FFT child program under p.binary. */
+void registerFftProgram(const FftParams &p);
+
+/**
+ * The FFT chain on M3: create a VPE (accelerator PE if requested), exec
+ * the FFT application on it, stream random data through a pipe; the
+ * child transforms and writes the result to a file. The parent code is
+ * identical for the software and the accelerator version (Sec. 5.8).
+ */
+int fftChainM3(Env &env, const FftParams &p);
+
+/** The FFT chain on the Linux baseline (software FFT only). */
+int fftChainLx(lx::Process &proc, const FftParams &p);
+
+} // namespace workloads
+} // namespace m3
+
+#endif // M3_WORKLOADS_APPS_HH

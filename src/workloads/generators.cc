@@ -1,0 +1,212 @@
+#include "workloads/generators.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+namespace
+{
+
+/** The tar/untar member files: 60-500 KiB each, 1.2 MiB in total. */
+const std::vector<size_t> tarSizes = {
+    60 * KiB, 100 * KiB, 150 * KiB, 200 * KiB, 240 * KiB, 480 * KiB,
+};
+
+constexpr uint32_t TAR_HEADER = 512;
+
+uint64_t
+totalTarBytes()
+{
+    uint64_t total = 0;
+    for (size_t s : tarSizes)
+        total += TAR_HEADER + s;
+    return total;
+}
+
+} // anonymous namespace
+
+Workload
+makeTar(const ComputeCosts &compute)
+{
+    Workload w;
+    w.name = "tar";
+    w.setup.dirs = {"/in", "/out"};
+    for (size_t i = 0; i < tarSizes.size(); ++i)
+        w.setup.files.push_back({"/in/f" + std::to_string(i),
+                                 tarSizes[i], 1000 + i});
+
+    // BusyBox tar: open the archive, then per member stat the file,
+    // write the header and stream the contents (sendfile on Linux,
+    // Sec. 5.6).
+    Trace &t = w.trace;
+    t.push_back({TraceOp::Kind::Open, "/out/archive.tar", "",
+                 2 | 4 | 8 /*W|CREATE|TRUNC*/, 0});
+    t.push_back({TraceOp::Kind::Readdir, "/in", "", 0, 0});
+    for (size_t i = 0; i < tarSizes.size(); ++i) {
+        std::string path = "/in/f" + std::to_string(i);
+        t.push_back({TraceOp::Kind::Stat, path, "", 0, 0});
+        t.push_back({TraceOp::Kind::Open, path, "", 1 /*R*/, 1});
+        // Header construction in userspace.
+        TraceOp hdrComp{TraceOp::Kind::Compute};
+        hdrComp.len = static_cast<uint64_t>(
+            TAR_HEADER * compute.tarHeaderPerByte);
+        t.push_back(hdrComp);
+        TraceOp hdr{TraceOp::Kind::Write};
+        hdr.fdSlot = 0;
+        hdr.len = TAR_HEADER;
+        hdr.chunkSize = TAR_HEADER;
+        t.push_back(hdr);
+        TraceOp body{TraceOp::Kind::Sendfile};
+        body.fdSlot = 0;   // archive (destination)
+        body.fdSlot2 = 1;  // member (source)
+        body.len = tarSizes[i];
+        t.push_back(body);
+        t.push_back({TraceOp::Kind::Close, "", "", 0, 1});
+    }
+    t.push_back({TraceOp::Kind::Close, "", "", 0, 0});
+    return w;
+}
+
+Workload
+makeUntar(const ComputeCosts &compute)
+{
+    Workload w;
+    w.name = "untar";
+    w.setup.dirs = {"/in", "/out"};
+    w.setup.files.push_back({"/in/archive.tar", totalTarBytes(), 2000});
+
+    Trace &t = w.trace;
+    t.push_back({TraceOp::Kind::Open, "/in/archive.tar", "", 1, 0});
+    uint64_t off = 0;
+    for (size_t i = 0; i < tarSizes.size(); ++i) {
+        // Read and parse the member header.
+        TraceOp hdr{TraceOp::Kind::Read};
+        hdr.fdSlot = 0;
+        hdr.len = TAR_HEADER;
+        hdr.chunkSize = TAR_HEADER;
+        t.push_back(hdr);
+        TraceOp hdrComp{TraceOp::Kind::Compute};
+        hdrComp.len = static_cast<uint64_t>(
+            TAR_HEADER * compute.tarHeaderPerByte);
+        t.push_back(hdrComp);
+        off += TAR_HEADER;
+
+        std::string path = "/out/f" + std::to_string(i);
+        t.push_back({TraceOp::Kind::Open, path, "", 2 | 4 | 8, 1});
+        TraceOp body{TraceOp::Kind::Sendfile};
+        body.fdSlot = 1;   // destination file
+        body.fdSlot2 = 0;  // archive
+        body.len = tarSizes[i];
+        t.push_back(body);
+        t.push_back({TraceOp::Kind::Close, "", "", 0, 1});
+        off += tarSizes[i];
+    }
+    t.push_back({TraceOp::Kind::Close, "", "", 0, 0});
+    return w;
+}
+
+Workload
+makeFind(const ComputeCosts &)
+{
+    Workload w;
+    w.name = "find";
+    // A 40-item tree (Sec. 5.6): 8 directories, 32 files.
+    w.setup.dirs = {"/tree"};
+    std::vector<std::string> dirs = {"/tree"};
+    for (int d = 0; d < 8; ++d) {
+        std::string dir = "/tree/d" + std::to_string(d);
+        w.setup.dirs.push_back(dir);
+        dirs.push_back(dir);
+    }
+    int fileNo = 0;
+    for (size_t d = 0; d < dirs.size() && fileNo < 32; ++d) {
+        for (int i = 0; i < 4 && fileNo < 32; ++i, ++fileNo) {
+            w.setup.files.push_back(
+                {dirs[d] + "/file" + std::to_string(fileNo), 256,
+                 3000u + static_cast<uint64_t>(fileNo)});
+        }
+    }
+
+    // find: readdir each directory, stat every entry (mostly stat
+    // calls, Sec. 5.6).
+    Trace &t = w.trace;
+    for (const std::string &dir : dirs) {
+        t.push_back({TraceOp::Kind::Readdir, dir, "", 0, 0});
+        t.push_back({TraceOp::Kind::Stat, dir, "", 0, 0});
+    }
+    for (const SetupFile &f : w.setup.files)
+        t.push_back({TraceOp::Kind::Stat, f.path, "", 0, 0});
+    // Per-entry matching work in userspace is tiny.
+    TraceOp comp{TraceOp::Kind::Compute};
+    comp.len = 40 * 60;
+    t.push_back(comp);
+    return w;
+}
+
+Workload
+makeSqlite(const ComputeCosts &compute)
+{
+    Workload w;
+    w.name = "sqlite";
+    w.setup.dirs = {"/db"};
+
+    Trace &t = w.trace;
+    t.push_back({TraceOp::Kind::Open, "/db/test.db", "", 1 | 2 | 4, 0});
+
+    auto statement = [&](bool writesDb) {
+        // Parse + plan + execute: computation dominates (Sec. 5.6).
+        TraceOp comp{TraceOp::Kind::Compute};
+        comp.len = compute.sqliteStatement;
+        t.push_back(comp);
+        if (writesDb) {
+            // Rollback journal: create, write, sync, apply, delete.
+            t.push_back({TraceOp::Kind::Open, "/db/test.db-journal", "",
+                         2 | 4 | 8, 1});
+            TraceOp jw{TraceOp::Kind::Write};
+            jw.fdSlot = 1;
+            jw.len = 1024;
+            jw.chunkSize = 1024;
+            t.push_back(jw);
+            t.push_back({TraceOp::Kind::Fsync, "", "", 0, 1});
+            t.push_back({TraceOp::Kind::Close, "", "", 0, 1});
+            TraceOp seek{TraceOp::Kind::Seek};
+            seek.fdSlot = 0;
+            seek.len = 0;
+            t.push_back(seek);
+            TraceOp dbw{TraceOp::Kind::Write};
+            dbw.fdSlot = 0;
+            dbw.len = 2 * 4096;
+            t.push_back(dbw);
+            t.push_back({TraceOp::Kind::Fsync, "", "", 0, 0});
+            t.push_back({TraceOp::Kind::Unlink, "/db/test.db-journal",
+                         "", 0, 0});
+        } else {
+            TraceOp seek{TraceOp::Kind::Seek};
+            seek.fdSlot = 0;
+            seek.len = 0;
+            t.push_back(seek);
+            TraceOp rd{TraceOp::Kind::Read};
+            rd.fdSlot = 0;
+            rd.len = 2 * 4096;
+            t.push_back(rd);
+        }
+    };
+
+    statement(true);  // CREATE TABLE
+    for (int i = 0; i < 8; ++i)
+        statement(true);  // INSERT
+    statement(false);     // SELECT
+    t.push_back({TraceOp::Kind::Close, "", "", 0, 0});
+    return w;
+}
+
+std::vector<Workload>
+makeAllTraceWorkloads(const ComputeCosts &compute)
+{
+    return {makeTar(compute), makeUntar(compute), makeFind(compute),
+            makeSqlite(compute)};
+}
+
+} // namespace workloads
+} // namespace m3

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Synthetic trace generators for the Sec. 5.6 application benchmarks,
+ * with the parameters the paper states: tar/untar over files between
+ * 60 and 500 KiB with 1.2 MiB in total, find over a 40-item directory
+ * tree, and a compute-dominated sqlite session (create table, 8 inserts,
+ * a select).
+ */
+
+#ifndef M3_WORKLOADS_GENERATORS_HH
+#define M3_WORKLOADS_GENERATORS_HH
+
+#include "base/cost_model.hh"
+#include "workloads/trace.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+/** tar: pack /in/f* (60-500 KiB, 1.2 MiB total) into /out/archive.tar. */
+Workload makeTar(const ComputeCosts &compute);
+
+/** untar: unpack the same archive into /out. */
+Workload makeUntar(const ComputeCosts &compute);
+
+/** find: walk a directory tree of 40 items, stat every entry. */
+Workload makeFind(const ComputeCosts &compute);
+
+/** sqlite: create a table, insert 8 rows, select them (Sec. 5.6). */
+Workload makeSqlite(const ComputeCosts &compute);
+
+/** All four trace-driven workloads in the paper's order. */
+std::vector<Workload> makeAllTraceWorkloads(const ComputeCosts &compute);
+
+} // namespace workloads
+} // namespace m3
+
+#endif // M3_WORKLOADS_GENERATORS_HH

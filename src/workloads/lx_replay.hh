@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Trace replay against the Linux baseline: executes the same recorded
+ * syscall trace through the baseline's process syscall interface.
+ */
+
+#ifndef M3_WORKLOADS_LX_REPLAY_HH
+#define M3_WORKLOADS_LX_REPLAY_HH
+
+#include "linuxsim/machine.hh"
+#include "workloads/trace.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+/** Replay @p trace in process @p proc. @return 0 on success. */
+int replayTraceLx(lx::Process &proc, const Trace &trace);
+
+/** Populate the baseline's tmpfs with the workload's initial state. */
+void applySetupToTmpfs(const FsSetup &setup, lx::Tmpfs &fs);
+
+} // namespace workloads
+} // namespace m3
+
+#endif // M3_WORKLOADS_LX_REPLAY_HH

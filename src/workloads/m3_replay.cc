@@ -1,0 +1,133 @@
+#include "workloads/m3_replay.hh"
+
+#include <array>
+#include <memory>
+
+#include "libm3/vfs.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+void
+applySetupToImage(const FsSetup &setup, m3fs::FsImageSpec &spec)
+{
+    for (const std::string &d : setup.dirs)
+        spec.dirs.push_back(d);
+    for (const SetupFile &f : setup.files) {
+        spec.files.push_back({f.path,
+                              m3fs::FsImage::patternData(f.size, f.seed),
+                              0xffffffff});
+    }
+}
+
+int
+replayTraceM3(Env &env, const Trace &trace)
+{
+    Vfs &vfs = env.vfs();
+    std::array<std::unique_ptr<File>, 8> slots;
+    std::vector<uint8_t> buf(64 * KiB);
+
+    for (size_t step = 0; step < trace.size(); ++step) {
+        const TraceOp &op = trace[step];
+        Error e = Error::None;
+        switch (op.kind) {
+          case TraceOp::Kind::Open:
+            slots[op.fdSlot] = vfs.open(op.path, op.flags, e);
+            if (!slots[op.fdSlot])
+                return static_cast<int>(step) + 1;
+            break;
+          case TraceOp::Kind::Close:
+            slots[op.fdSlot].reset();
+            break;
+          case TraceOp::Kind::Read: {
+            uint64_t done = 0;
+            while (done < op.len) {
+                size_t chunk = std::min<uint64_t>(op.chunkSize,
+                                                  op.len - done);
+                ssize_t n = slots[op.fdSlot]->read(buf.data(), chunk);
+                if (n < 0)
+                    return static_cast<int>(step) + 1;
+                if (n == 0)
+                    break;
+                done += static_cast<uint64_t>(n);
+            }
+            break;
+          }
+          case TraceOp::Kind::Write: {
+            uint64_t done = 0;
+            while (done < op.len) {
+                size_t chunk = std::min<uint64_t>(op.chunkSize,
+                                                  op.len - done);
+                ssize_t n = slots[op.fdSlot]->write(buf.data(), chunk);
+                if (n <= 0)
+                    return static_cast<int>(step) + 1;
+                done += static_cast<uint64_t>(n);
+            }
+            break;
+          }
+          case TraceOp::Kind::Seek:
+            slots[op.fdSlot]->seek(static_cast<ssize_t>(op.len),
+                                   SeekMode::Set);
+            break;
+          case TraceOp::Kind::Sendfile: {
+            // No sendfile on M3: stream through a user buffer with the
+            // paper's 4 KiB chunks (Sec. 5.6).
+            uint64_t done = 0;
+            while (done < op.len) {
+                size_t chunk = std::min<uint64_t>(op.chunkSize,
+                                                  op.len - done);
+                ssize_t n = slots[op.fdSlot2]->read(buf.data(), chunk);
+                if (n < 0)
+                    return static_cast<int>(step) + 1;
+                if (n == 0)
+                    break;
+                if (slots[op.fdSlot]->write(buf.data(),
+                                            static_cast<size_t>(n)) != n)
+                    return static_cast<int>(step) + 1;
+                done += static_cast<uint64_t>(n);
+            }
+            break;
+          }
+          case TraceOp::Kind::Stat: {
+            FileInfo info;
+            if (vfs.stat(op.path, info) != Error::None)
+                return static_cast<int>(step) + 1;
+            break;
+          }
+          case TraceOp::Kind::Mkdir:
+            if (vfs.mkdir(op.path) != Error::None)
+                return static_cast<int>(step) + 1;
+            break;
+          case TraceOp::Kind::Unlink:
+            if (vfs.unlink(op.path) != Error::None)
+                return static_cast<int>(step) + 1;
+            break;
+          case TraceOp::Kind::Link:
+            if (vfs.link(op.path, op.path2) != Error::None)
+                return static_cast<int>(step) + 1;
+            break;
+          case TraceOp::Kind::Rename:
+            if (vfs.rename(op.path, op.path2) != Error::None)
+                return static_cast<int>(step) + 1;
+            break;
+          case TraceOp::Kind::Readdir: {
+            std::vector<DirEntry> entries;
+            if (vfs.readdir(op.path, entries) != Error::None)
+                return static_cast<int>(step) + 1;
+            break;
+          }
+          case TraceOp::Kind::Fsync:
+            // m3fs is in-memory; there is nothing to sync (Sec. 4.5.8).
+            break;
+          case TraceOp::Kind::Compute:
+            env.fiber.computeAs(Category::App, op.len);
+            break;
+        }
+    }
+    return 0;
+}
+
+} // namespace workloads
+} // namespace m3

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Trace replay against the M3 stack: executes a recorded syscall trace
+ * through libm3's VFS/file API on the current VPE (Sec. 5.6: "a program
+ * that replays the syscalls ... using the corresponding API on M3").
+ */
+
+#ifndef M3_WORKLOADS_M3_REPLAY_HH
+#define M3_WORKLOADS_M3_REPLAY_HH
+
+#include "libm3/env.hh"
+#include "m3fs/fs_image.hh"
+#include "workloads/trace.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+/**
+ * Replay @p trace on the current VPE. The VPE must have the workload's
+ * filesystem mounted at "/".
+ * @return 0 on success, a step-identifying error code otherwise
+ */
+int replayTraceM3(Env &env, const Trace &trace);
+
+/** Add a workload's initial files/dirs to an m3fs image spec. */
+void applySetupToImage(const FsSetup &setup, m3fs::FsImageSpec &spec);
+
+} // namespace workloads
+} // namespace m3
+
+#endif // M3_WORKLOADS_M3_REPLAY_HH

@@ -1,0 +1,308 @@
+#include "workloads/runners.hh"
+
+#include "base/logging.hh"
+#include "libm3/m3system.hh"
+#include "libm3/vpe.hh"
+#include "m3fs/client.hh"
+#include "workloads/generators.hh"
+#include "workloads/lx_replay.hh"
+#include "workloads/m3_replay.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+namespace
+{
+
+M3SystemCfg
+makeM3Cfg(const FsSetup &setup, const M3RunOpts &opts)
+{
+    M3SystemCfg cfg;
+    cfg.appPes = opts.appPes;
+    cfg.costs = opts.costs;
+    cfg.fsCfg.appendBlocks = opts.fsAppendBlocks;
+    cfg.fsCfg.backgroundZero = opts.fsBackgroundZero;
+    FsSetup adjusted = setup;
+    applySetupToImage(adjusted, cfg.fsSpec);
+    for (auto &f : cfg.fsSpec.files)
+        f.blocksPerExtent = opts.fsBlocksPerExtent;
+    // Size the image generously for the workload's writes.
+    cfg.fsSpec.totalBlocks = 32768;  // 32 MiB at 1 KiB blocks
+    return cfg;
+}
+
+/** Boot M3, run @p body as root (after mounting), report the result. */
+RunResult
+runOnM3(M3SystemCfg cfg, const std::function<int(Env &)> &body)
+{
+    RunResult res;
+    M3System sys(std::move(cfg));
+    sys.runRoot("bench", [&] {
+        Env &env = Env::cur();
+        if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+            return 100;
+        env.acct().reset();
+        Cycles t0 = env.platform.simulator().curCycle();
+        int rc = body(env);
+        res.wall = env.platform.simulator().curCycle() - t0;
+        return rc;
+    });
+    if (!sys.simulate())
+        fatal("M3 benchmark run did not finish");
+    res.rc = sys.rootExitCode();
+    res.acct = sys.appAccounting();
+    return res;
+}
+
+lx::LinuxConfig
+makeLxCfg(const LxRunOpts &opts)
+{
+    lx::LinuxConfig cfg;
+    cfg.costs = opts.costs;
+    cfg.compute = opts.compute;
+    cfg.cacheAlwaysHit = opts.cacheAlwaysHit;
+    return cfg;
+}
+
+RunResult
+runOnLx(const lx::LinuxConfig &cfg, const FsSetup &setup,
+        const std::function<int(lx::Process &)> &body)
+{
+    RunResult res;
+    lx::Machine m(cfg);
+    applySetupToTmpfs(setup, m.fs());
+    Cycles t0 = 0, t1 = 0;
+    int rc = -1;
+    m.spawnInit("bench", [&](lx::Process &p) {
+        p.accounting().reset();
+        t0 = m.now();
+        rc = body(p);
+        t1 = m.now();
+        return rc;
+    });
+    m.simulate();
+    res.rc = rc;
+    res.wall = t1 - t0;
+    res.acct = m.mergedAccounting();
+    return res;
+}
+
+} // anonymous namespace
+
+RunResult
+runM3Trace(const Workload &workload, const M3RunOpts &opts)
+{
+    M3SystemCfg cfg = makeM3Cfg(workload.setup, opts);
+    const Trace &trace = workload.trace;
+    return runOnM3(cfg, [&trace](Env &env) {
+        return replayTraceM3(env, trace);
+    });
+}
+
+RunResult
+runLxTrace(const Workload &workload, const LxRunOpts &opts)
+{
+    return runOnLx(makeLxCfg(opts), workload.setup,
+                   [&](lx::Process &p) {
+                       return replayTraceLx(p, workload.trace);
+                   });
+}
+
+RunResult
+runM3CatTr(const CatTrParams &p, const M3RunOpts &opts)
+{
+    M3SystemCfg cfg = makeM3Cfg(catTrSetup(p), opts);
+    return runOnM3(cfg, [&p](Env &env) { return catTrM3(env, p); });
+}
+
+RunResult
+runLxCatTr(const CatTrParams &p, const LxRunOpts &opts)
+{
+    return runOnLx(makeLxCfg(opts), catTrSetup(p),
+                   [&](lx::Process &proc) { return catTrLx(proc, p); });
+}
+
+RunResult
+runM3Fft(const FftParams &p, const M3RunOpts &opts)
+{
+    registerFftProgram(p);
+    M3SystemCfg cfg = makeM3Cfg(fftSetup(p), opts);
+    if (p.useAccel)
+        cfg.extraPes.push_back(PeDesc::accel("fft"));
+    return runOnM3(cfg, [&p](Env &env) { return fftChainM3(env, p); });
+}
+
+RunResult
+runLxFft(const FftParams &p, const LxRunOpts &opts)
+{
+    return runOnLx(makeLxCfg(opts), fftSetup(p),
+                   [&](lx::Process &proc) { return fftChainLx(proc, p); });
+}
+
+// ---------------------------------------------------------------------
+// Scalability (Sec. 5.7).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Give every path of @p w an instance-private prefix. */
+Workload
+namespaced(const Workload &w, uint32_t instance)
+{
+    std::string prefix = "/i" + std::to_string(instance);
+    Workload out = w;
+    out.setup.dirs.clear();
+    out.setup.dirs.push_back(prefix);
+    for (const std::string &d : w.setup.dirs)
+        out.setup.dirs.push_back(prefix + d);
+    for (auto &f : out.setup.files)
+        f.path = prefix + f.path;
+    for (auto &op : out.trace) {
+        if (!op.path.empty())
+            op.path = prefix + op.path;
+        if (!op.path2.empty())
+            op.path2 = prefix + op.path2;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+ScalabilityResult
+runM3Scalability(const std::string &benchName, uint32_t instances,
+                 const M3RunOpts &opts)
+{
+    ScalabilityResult result;
+    result.instances.assign(instances, 0);
+
+    const bool isCatTr = benchName == "cat+tr";
+    uint32_t pesPerInstance = isCatTr ? 2 : 1;
+
+    // Build the per-instance workloads (trace benches only).
+    std::vector<Workload> perInstance;
+    Workload base;
+    if (!isCatTr) {
+        auto all = makeAllTraceWorkloads(opts.costs.compute);
+        for (const Workload &w : all)
+            if (w.name == benchName)
+                base = w;
+        if (base.name.empty())
+            fatal("unknown scalability bench '%s'", benchName.c_str());
+        for (uint32_t i = 0; i < instances; ++i)
+            perInstance.push_back(namespaced(base, i));
+    }
+
+    M3SystemCfg cfg;
+    cfg.appPes = 1 + instances * pesPerInstance;
+    cfg.costs = opts.costs;
+    cfg.fsInstances = opts.fsInstances;
+    cfg.dramBytes = 256 * MiB;  // images + one pipe ring per instance
+    // Sec. 5.7: DRAM transfers become spins of equal time.
+    cfg.costs.spinDataTransfers = true;
+    cfg.fsCfg.appendBlocks = opts.fsAppendBlocks;
+    cfg.fsSpec.totalBlocks = 65536;  // room for every instance
+    cfg.fsSpec.totalInodes = 2048;
+    const uint32_t fsN = opts.fsInstances;
+    for (uint32_t i = 0; i < instances; ++i) {
+        FsSetup setup;
+        if (isCatTr) {
+            CatTrParams instParams;
+            instParams.root = "/i" + std::to_string(i);
+            setup = catTrSetup(instParams);
+        } else {
+            setup = perInstance[i].setup;
+        }
+        applySetupToImage(setup, cfg.fsSpec);
+    }
+
+    M3System sys(cfg);
+    std::vector<Cycles> durations(instances, 0);
+    std::vector<int> rcs(instances, -1);
+
+    sys.runRoot("orchestrator", [&] {
+        Env &env = Env::cur();
+        if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+            return 100;
+        std::vector<std::unique_ptr<VPE>> vpes;
+        for (uint32_t i = 0; i < instances; ++i) {
+            auto vpe = std::make_unique<VPE>(
+                env, "inst" + std::to_string(i));
+            if (vpe->err() != Error::None)
+                return 101;
+            std::string srv = M3SystemCfg::fsName(i % fsN);
+            if (isCatTr) {
+                CatTrParams instParams;
+                instParams.root = "/i" + std::to_string(i);
+                vpe->run([i, &durations, &rcs, instParams, srv] {
+                    Env &ienv = Env::cur();
+                    if (m3fs::M3fsSession::mount(ienv, "/", srv) !=
+                        Error::None) {
+                        rcs[i] = 200;
+                        return 1;
+                    }
+                    Cycles t0 = ienv.platform.simulator().curCycle();
+                    rcs[i] = catTrM3(ienv, instParams);
+                    durations[i] =
+                        ienv.platform.simulator().curCycle() - t0;
+                    return rcs[i];
+                });
+            } else {
+                const Trace *trace = &perInstance[i].trace;
+                vpe->run([i, &durations, &rcs, trace, srv] {
+                    Env &ienv = Env::cur();
+                    if (m3fs::M3fsSession::mount(ienv, "/", srv) !=
+                        Error::None) {
+                        rcs[i] = 200;
+                        return 1;
+                    }
+                    Cycles t0 = ienv.platform.simulator().curCycle();
+                    rcs[i] = replayTraceM3(ienv, *trace);
+                    durations[i] =
+                        ienv.platform.simulator().curCycle() - t0;
+                    return rcs[i];
+                });
+            }
+            vpes.push_back(std::move(vpe));
+            // Instances are launched back to back, not in lockstep: a
+            // short stagger avoids measuring an artificial thundering
+            // herd of setup syscalls that no real deployment exhibits.
+            Fiber::current()->sleep(2000);
+        }
+        int bad = 0;
+        for (auto &vpe : vpes)
+            if (vpe->wait() != 0)
+                ++bad;
+        return bad;
+    });
+    if (!sys.simulate()) {
+        for (uint32_t i = 0; i < instances; ++i)
+            warn("instance %u rc=%d dur=%llu", i, rcs[i],
+                 static_cast<unsigned long long>(durations[i]));
+        for (peid_t p = 0; p < sys.platform().peCount(); ++p) {
+            const DtuStats &ds = sys.platform().pe(p).dtu().stats();
+            if (ds.msgsDropped || ds.creditDenials)
+                warn("pe%u: dropped=%llu creditDenials=%llu", p,
+                     static_cast<unsigned long long>(ds.msgsDropped),
+                     static_cast<unsigned long long>(ds.creditDenials));
+        }
+        result.rc = -2;
+        return result;
+    }
+
+    result.rc = sys.rootExitCode();
+    Cycles sum = 0;
+    for (uint32_t i = 0; i < instances; ++i) {
+        if (rcs[i] != 0)
+            result.rc = result.rc ? result.rc : 300 + static_cast<int>(i);
+        sum += durations[i];
+        result.instances[i] = durations[i];
+    }
+    result.avgInstance = instances ? sum / instances : 0;
+    return result;
+}
+
+} // namespace workloads
+} // namespace m3

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Benchmark runners: boot a fresh machine (M3 or the Linux baseline),
+ * execute one workload, and report wall time plus the App/OS/Xfers
+ * breakdown the paper's figures use.
+ */
+
+#ifndef M3_WORKLOADS_RUNNERS_HH
+#define M3_WORKLOADS_RUNNERS_HH
+
+#include <functional>
+
+#include "base/accounting.hh"
+#include "base/cost_model.hh"
+#include "workloads/apps.hh"
+#include "workloads/trace.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+/** Outcome of one benchmark run. */
+struct RunResult
+{
+    int rc = -1;          //!< 0 on success
+    Cycles wall = 0;      //!< end-to-end cycles of the benchmark phase
+    Accounting acct;      //!< App/OS/Xfers attribution
+
+    Cycles app() const { return acct.total(Category::App); }
+    Cycles os() const { return acct.total(Category::Os); }
+    Cycles xfer() const { return acct.total(Category::Xfer); }
+};
+
+/** Extra knobs for M3 runs. */
+struct M3RunOpts
+{
+    CostModel costs;
+    uint32_t appPes = 4;
+    /** m3fs instances (Sec. 7 future work; sharded by client). */
+    uint32_t fsInstances = 1;
+    uint32_t fsAppendBlocks = 256;  //!< m3fs allocation granularity
+    bool fsBackgroundZero = true;
+    uint32_t fsBlocksPerExtent = 0xffffffff;  //!< image fragmentation
+};
+
+/** Extra knobs for Linux runs. */
+struct LxRunOpts
+{
+    LinuxCosts costs = LinuxCosts::xtensa();
+    ComputeCosts compute;
+    bool cacheAlwaysHit = false;  //!< the Lx-$ bars
+};
+
+/** Replay a trace workload on a freshly booted M3 machine. */
+RunResult runM3Trace(const Workload &workload, const M3RunOpts &opts = {});
+
+/** Replay a trace workload on the Linux baseline. */
+RunResult runLxTrace(const Workload &workload, const LxRunOpts &opts = {});
+
+/** cat+tr on M3 (needs 2 PEs). */
+RunResult runM3CatTr(const CatTrParams &p, const M3RunOpts &opts = {});
+
+/** cat+tr on Linux. */
+RunResult runLxCatTr(const CatTrParams &p, const LxRunOpts &opts = {});
+
+/** The FFT chain on M3 (software or accelerator PE). */
+RunResult runM3Fft(const FftParams &p, const M3RunOpts &opts = {});
+
+/** The FFT chain on Linux (software). */
+RunResult runLxFft(const FftParams &p, const LxRunOpts &opts = {});
+
+/**
+ * The Sec. 5.7 scalability experiment: @p instances instances of the
+ * named workload run in parallel on one M3 machine with a single kernel
+ * and a single m3fs instance; DRAM data transfers are replaced by spins
+ * of equal time. @return the average per-instance wall time.
+ */
+struct ScalabilityResult
+{
+    int rc = -1;
+    Cycles avgInstance = 0;
+    std::vector<Cycles> instances;
+};
+
+ScalabilityResult runM3Scalability(const std::string &benchName,
+                                   uint32_t instances,
+                                   const M3RunOpts &opts = {});
+
+} // namespace workloads
+} // namespace m3
+
+#endif // M3_WORKLOADS_RUNNERS_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the base utilities: marshalling, RNG determinism,
+ * cycle accounting and error names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/accounting.hh"
+#include "base/errors.hh"
+#include "base/marshal.hh"
+#include "base/random.hh"
+
+namespace m3
+{
+namespace
+{
+
+TEST(Marshal, RoundTripIntegers)
+{
+    uint8_t buf[256];
+    Marshaller m(buf, sizeof(buf));
+    m << uint64_t{42} << uint32_t{7} << int64_t{-3} << uint8_t{255};
+    ASSERT_EQ(m.items(), 4u);
+
+    Unmarshaller u(buf, m.size());
+    EXPECT_EQ(u.pull<uint64_t>(), 42u);
+    EXPECT_EQ(u.pull<uint32_t>(), 7u);
+    EXPECT_EQ(u.pull<int64_t>(), -3);
+    EXPECT_EQ(u.pull<uint8_t>(), 255);
+}
+
+TEST(Marshal, RoundTripStrings)
+{
+    uint8_t buf[256];
+    Marshaller m(buf, sizeof(buf));
+    m << std::string("hello") << uint64_t{1} << std::string("")
+      << "c-string";
+
+    Unmarshaller u(buf, m.size());
+    EXPECT_EQ(u.pull<std::string>(), "hello");
+    EXPECT_EQ(u.pull<uint64_t>(), 1u);
+    EXPECT_EQ(u.pull<std::string>(), "");
+    EXPECT_EQ(u.pull<std::string>(), "c-string");
+}
+
+TEST(Marshal, ItemsAreEightByteAligned)
+{
+    uint8_t buf[256];
+    Marshaller m(buf, sizeof(buf));
+    m << uint8_t{1} << uint8_t{2};
+    // Two one-byte items occupy two 8-byte slots.
+    EXPECT_EQ(m.size(), 9u);
+
+    Unmarshaller u(buf, 16);
+    EXPECT_EQ(u.pull<uint8_t>(), 1);
+    EXPECT_EQ(u.pull<uint8_t>(), 2);
+}
+
+TEST(Marshal, EnumsRoundTrip)
+{
+    enum class E : uint64_t { A = 5, B = 9 };
+    uint8_t buf[64];
+    Marshaller m(buf, sizeof(buf));
+    m << E::B << Error::NoCredits;
+
+    Unmarshaller u(buf, m.size());
+    EXPECT_EQ(u.pull<E>(), E::B);
+    EXPECT_EQ(u.pull<Error>(), Error::NoCredits);
+}
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, RangesRespected)
+{
+    Random r(7);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = r.nextRange(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Accounting, ChargesToStackTop)
+{
+    Accounting acc;
+    acc.charge(10);  // default category: App
+    acc.push(Category::Os);
+    acc.charge(20);
+    acc.push(Category::Xfer);
+    acc.charge(5);
+    acc.pop();
+    acc.charge(1);
+    acc.pop();
+
+    EXPECT_EQ(acc.total(Category::App), 10u);
+    EXPECT_EQ(acc.total(Category::Os), 21u);
+    EXPECT_EQ(acc.total(Category::Xfer), 5u);
+    EXPECT_EQ(acc.totalBusy(), 36u);
+}
+
+TEST(Accounting, ScopedCategoryRestores)
+{
+    Accounting acc;
+    {
+        ScopedCategory s(acc, Category::Xfer);
+        acc.charge(3);
+    }
+    acc.charge(4);
+    EXPECT_EQ(acc.total(Category::Xfer), 3u);
+    EXPECT_EQ(acc.total(Category::App), 4u);
+}
+
+TEST(Accounting, MergeAddsCounters)
+{
+    Accounting a, b;
+    a.chargeTo(Category::Os, 10);
+    b.chargeTo(Category::Os, 5);
+    b.chargeTo(Category::Xfer, 2);
+    a.merge(b);
+    EXPECT_EQ(a.total(Category::Os), 15u);
+    EXPECT_EQ(a.total(Category::Xfer), 2u);
+}
+
+TEST(Errors, NamesAreUnique)
+{
+    EXPECT_STREQ(errorName(Error::None), "None");
+    EXPECT_STREQ(errorName(Error::NoCredits), "NoCredits");
+    EXPECT_STRNE(errorName(Error::NoSuchFile), errorName(Error::NoSpace));
+}
+
+TEST(Accounting, CategoryNames)
+{
+    EXPECT_STREQ(categoryName(Category::App), "App");
+    EXPECT_STREQ(categoryName(Category::Os), "OS");
+    EXPECT_STREQ(categoryName(Category::Xfer), "Xfers");
+}
+
+} // anonymous namespace
+} // namespace m3

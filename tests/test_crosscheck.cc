@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cross-system equivalence: both OSes run the same benchmark code on
+ * the same input bytes, so their *outputs* must match bit for bit —
+ * cat+tr's substituted file and the FFT chain's transformed samples.
+ * This pins down that the performance comparison compares equal work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "libm3/m3system.hh"
+#include "m3fs/client.hh"
+#include "workloads/apps.hh"
+#include "workloads/lx_replay.hh"
+#include "workloads/m3_replay.hh"
+
+namespace m3
+{
+namespace workloads
+{
+namespace
+{
+
+/** Read a whole file from the Linux baseline's tmpfs. */
+std::vector<uint8_t>
+tmpfsFile(lx::Tmpfs &fs, const std::string &path)
+{
+    lx::TmpResolve r = fs.resolve(path);
+    if (!r.node)
+        return {};
+    std::vector<uint8_t> out(r.node->size);
+    for (size_t off = 0; off < out.size(); ++off) {
+        auto [page, fresh] = r.node->page(off / lx::PAGE_SIZE);
+        (void)fresh;
+        out[off] = page[off % lx::PAGE_SIZE];
+    }
+    return out;
+}
+
+TEST(CrossCheck, CatTrProducesIdenticalOutput)
+{
+    CatTrParams p;
+
+    // --- M3 -----------------------------------------------------------
+    M3SystemCfg cfg;
+    cfg.appPes = 3;
+    applySetupToImage(catTrSetup(p), cfg.fsSpec);
+    M3System sys(std::move(cfg));
+    sys.runRoot("cattr", [&] {
+        Env &env = Env::cur();
+        if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+            return 100;
+        return catTrM3(env, p);
+    });
+    ASSERT_TRUE(sys.simulate());
+    ASSERT_EQ(sys.rootExitCode(), 0);
+    std::vector<uint8_t> m3Out;
+    ASSERT_EQ(sys.fsImage()->core().readFile("/out/result", m3Out),
+              Error::None);
+
+    // --- Linux ----------------------------------------------------------
+    lx::Machine machine{lx::LinuxConfig{}};
+    applySetupToTmpfs(catTrSetup(p), machine.fs());
+    int rc = -1;
+    machine.spawnInit("cattr", [&](lx::Process &proc) {
+        rc = catTrLx(proc, p);
+        return rc;
+    });
+    machine.simulate();
+    ASSERT_EQ(rc, 0);
+    std::vector<uint8_t> lxOut = tmpfsFile(machine.fs(), "/out/result");
+
+    // --- Host reference --------------------------------------------------
+    auto expect = m3fs::FsImage::patternData(p.fileBytes, 4242);
+    for (auto &b : expect)
+        if (b == 'a')
+            b = 'b';
+
+    ASSERT_EQ(m3Out.size(), expect.size());
+    EXPECT_EQ(m3Out, expect);
+    ASSERT_EQ(lxOut.size(), expect.size());
+    EXPECT_EQ(lxOut, expect);
+}
+
+TEST(CrossCheck, FftChainsProduceIdenticalOutput)
+{
+    FftParams p;
+    p.binary = "/bin/fft-xc";
+    registerFftProgram(p);
+
+    // --- M3 -----------------------------------------------------------
+    M3SystemCfg cfg;
+    cfg.appPes = 3;
+    applySetupToImage(fftSetup(p), cfg.fsSpec);
+    M3System sys(std::move(cfg));
+    sys.runRoot("fft", [&] {
+        Env &env = Env::cur();
+        if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+            return 100;
+        return fftChainM3(env, p);
+    });
+    ASSERT_TRUE(sys.simulate());
+    ASSERT_EQ(sys.rootExitCode(), 0);
+    std::vector<uint8_t> m3Out;
+    ASSERT_EQ(sys.fsImage()->core().readFile(p.output, m3Out),
+              Error::None);
+    ASSERT_EQ(m3Out.size(), p.dataBytes);
+
+    // --- Linux ----------------------------------------------------------
+    lx::Machine machine{lx::LinuxConfig{}};
+    applySetupToTmpfs(fftSetup(p), machine.fs());
+    int rc = -1;
+    machine.spawnInit("fft", [&](lx::Process &proc) {
+        rc = fftChainLx(proc, p);
+        return rc;
+    });
+    machine.simulate();
+    ASSERT_EQ(rc, 0);
+    std::vector<uint8_t> lxOut = tmpfsFile(machine.fs(), p.output);
+
+    // Same input, same radix-2 code: bit-identical spectra.
+    EXPECT_EQ(m3Out, lxOut);
+}
+
+TEST(CrossCheck, AcceleratorPreservesNumericResults)
+{
+    // The accelerator changes the cycle cost, never the mathematics.
+    FftParams sw;
+    sw.binary = "/bin/fft-sw-xc";
+    FftParams acc = sw;
+    acc.binary = "/bin/fft-acc-xc";
+    acc.useAccel = true;
+
+    auto runOne = [](const FftParams &p) {
+        registerFftProgram(p);
+        M3SystemCfg cfg;
+        cfg.appPes = 3;
+        if (p.useAccel)
+            cfg.extraPes.push_back(PeDesc::accel("fft"));
+        applySetupToImage(fftSetup(p), cfg.fsSpec);
+        M3System sys(std::move(cfg));
+        sys.runRoot("fft", [&] {
+            Env &env = Env::cur();
+            if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+                return 100;
+            return fftChainM3(env, p);
+        });
+        EXPECT_TRUE(sys.simulate());
+        EXPECT_EQ(sys.rootExitCode(), 0);
+        std::vector<uint8_t> out;
+        sys.fsImage()->core().readFile(p.output, out);
+        return out;
+    };
+
+    std::vector<uint8_t> swOut = runOne(sw);
+    std::vector<uint8_t> accOut = runOne(acc);
+    ASSERT_FALSE(swOut.empty());
+    EXPECT_EQ(swOut, accOut);
+}
+
+} // anonymous namespace
+} // namespace workloads
+} // namespace m3

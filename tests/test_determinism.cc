@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Determinism: the simulator promises bit-identical behaviour across
+ * runs — the property that makes cycle comparisons and the calibrated
+ * figures meaningful. Full-stack workloads must reproduce their wall
+ * time, their accounting and their filesystem image exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/micro.hh"
+#include "workloads/runners.hh"
+
+namespace m3
+{
+namespace workloads
+{
+namespace
+{
+
+TEST(Determinism, CatTrIsCycleReproducible)
+{
+    CatTrParams p;
+    RunResult a = runM3CatTr(p);
+    RunResult b = runM3CatTr(p);
+    ASSERT_EQ(a.rc, 0);
+    ASSERT_EQ(b.rc, 0);
+    EXPECT_EQ(a.wall, b.wall);
+    for (Category c : {Category::App, Category::Os, Category::Xfer})
+        EXPECT_EQ(a.acct.total(c), b.acct.total(c));
+}
+
+TEST(Determinism, FileReadIsCycleReproducible)
+{
+    MicroOpts opts;
+    opts.fileBytes = 256 * KiB;
+    RunResult a = m3FileRead(opts);
+    RunResult b = m3FileRead(opts);
+    ASSERT_EQ(a.rc, 0);
+    EXPECT_EQ(a.wall, b.wall);
+    EXPECT_EQ(a.xfer(), b.xfer());
+}
+
+TEST(Determinism, LinuxBaselineIsCycleReproducible)
+{
+    CatTrParams p;
+    RunResult a = runLxCatTr(p);
+    RunResult b = runLxCatTr(p);
+    ASSERT_EQ(a.rc, 0);
+    EXPECT_EQ(a.wall, b.wall);
+}
+
+TEST(Determinism, ScalabilityInstancesReproduce)
+{
+    ScalabilityResult a = runM3Scalability("tar", 4);
+    ScalabilityResult b = runM3Scalability("tar", 4);
+    ASSERT_EQ(a.rc, 0);
+    ASSERT_EQ(b.rc, 0);
+    EXPECT_EQ(a.instances, b.instances);
+}
+
+} // anonymous namespace
+} // namespace workloads
+} // namespace m3

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Gate and endpoint-multiplexer tests (Sec. 4.5.4): lazy activation,
+ * LRU eviction order, pinning rules (finite-credit send gates and
+ * receive gates never move), gate moves, and failure injection — a DTU
+ * reset aborting an in-flight command.
+ */
+
+#include <gtest/gtest.h>
+
+#include "libm3/gates.hh"
+#include "libm3/m3system.hh"
+#include "pe/platform.hh"
+
+namespace m3
+{
+namespace
+{
+
+M3SystemCfg
+bareCfg()
+{
+    M3SystemCfg cfg;
+    cfg.appPes = 2;
+    cfg.withFs = false;
+    return cfg;
+}
+
+TEST(Gates, LazyActivationOnFirstUse)
+{
+    M3System sys(bareCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        MemGate mg = MemGate::create(env, 4 * KiB, MEM_RW);
+        // No endpoint is consumed until the gate is used.
+        if (mg.boundEp() != INVALID_EP)
+            return 1;
+        uint64_t v = 1;
+        mg.write(&v, sizeof(v), 0);
+        if (mg.boundEp() == INVALID_EP)
+            return 2;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(Gates, LruEvictsTheColdestGate)
+{
+    M3System sys(bareCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        MemGate big = MemGate::create(env, 1 * MiB, MEM_RW);
+        // Six free EPs (2..7): create seven evictable gates.
+        std::vector<std::unique_ptr<MemGate>> gates;
+        for (int i = 0; i < 7; ++i)
+            gates.push_back(std::make_unique<MemGate>(
+                big.derive(i * 64 * KiB, 64 * KiB, MEM_RW)));
+        uint64_t v = 0;
+        for (int i = 0; i < 6; ++i)
+            gates[i]->read(&v, sizeof(v), 0);  // bind 0..5
+        epid_t firstEp = gates[0]->boundEp();
+        if (firstEp == INVALID_EP)
+            return 1;
+        // Touch 1..5 so gate 0 is the least recently used...
+        for (int i = 1; i < 6; ++i)
+            gates[i]->read(&v, sizeof(v), 0);
+        // ...then bind the 7th: it must take gate 0's endpoint.
+        gates[6]->read(&v, sizeof(v), 0);
+        if (gates[0]->boundEp() != INVALID_EP)
+            return 2;
+        if (gates[6]->boundEp() != firstEp)
+            return 3;
+        // Using gate 0 again transparently rebinds it.
+        if (gates[0]->read(&v, sizeof(v), 0) != Error::None)
+            return 4;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(Gates, PinnedGatesSurviveEpPressure)
+{
+    M3System sys(bareCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        // A receive gate (pinned) plus a finite-credit send gate
+        // (pinned): EP pressure from memory gates must not evict them.
+        RecvGate rg(env, 2, 128);
+        SendGate sg = SendGate::create(env, rg, 1, 4);
+        Marshaller m = sg.ostream();
+        m << uint64_t{1};
+        sg.send(m);
+        epid_t rgEp = rg.boundEp();
+        epid_t sgEp = sg.boundEp();
+
+        MemGate big = MemGate::create(env, 1 * MiB, MEM_RW);
+        std::vector<std::unique_ptr<MemGate>> gates;
+        uint64_t v = 0;
+        for (int i = 0; i < 10; ++i) {
+            gates.push_back(std::make_unique<MemGate>(
+                big.derive(i * 64 * KiB, 64 * KiB, MEM_RW)));
+            gates.back()->read(&v, sizeof(v), 0);
+        }
+        if (rg.boundEp() != rgEp || sg.boundEp() != sgEp)
+            return 1;
+        // The pinned gates still work.
+        GateIStream is = rg.receive();
+        return is.pull<uint64_t>() == 1 ? 0 : 2;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(Gates, MoveTransfersEndpointBinding)
+{
+    M3System sys(bareCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        MemGate a = MemGate::create(env, 4 * KiB, MEM_RW);
+        uint64_t v = 5;
+        a.write(&v, sizeof(v), 0);
+        epid_t ep = a.boundEp();
+
+        MemGate b = std::move(a);
+        if (b.boundEp() != ep)
+            return 1;
+        uint64_t got = 0;
+        if (b.read(&got, sizeof(got), 0) != Error::None)
+            return 2;
+        return got == 5 ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(Gates, ResetAbortsInFlightCommand)
+{
+    // Failure injection at the hardware level: a DTU reset while a bulk
+    // transfer is in flight completes the command with Aborted.
+    Simulator sim;
+    Platform platform(sim, PlatformSpec::generalPurpose(2));
+    Dtu &dtu = platform.pe(0).dtu();
+    MemEpCfg mem;
+    mem.targetNode = platform.dramNode();
+    mem.offset = 0;
+    mem.size = 1 * MiB;
+    mem.perms = MEM_RW;
+    dtu.configMem(4, mem);
+
+    Error observed = Error::None;
+    sim.run("victim", [&] {
+        spmaddr_t buf = platform.pe(0).spm().alloc(16 * KiB);
+        ASSERT_EQ(dtu.startRead(4, buf, 0, 16 * KiB), Error::None);
+        dtu.waitUntilIdle();
+        observed = dtu.lastError();
+    });
+    sim.run("resetter", [&] {
+        // Interrupt roughly mid-transfer.
+        Fiber::current()->sleep(500);
+        platform.pe(1).dtu().extReset(0);
+    });
+    sim.simulate();
+    EXPECT_EQ(observed, Error::Aborted);
+}
+
+TEST(Gates, SendGateCreditsVisibleThroughRegisters)
+{
+    M3System sys(bareCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        RecvGate rg(env, 4, 128);
+        SendGate sg = SendGate::create(env, rg, 9, 3);
+        epid_t ep = sg.acquire();
+        if (env.dtu.credits(ep) != 3)
+            return 1;
+        Marshaller m = sg.ostream();
+        m << uint64_t{0};
+        sg.send(m);
+        if (env.dtu.credits(ep) != 2)
+            return 2;
+        // Consuming + acking without replying does not refund.
+        GateIStream is = rg.receive();
+        is.ack();
+        return env.dtu.credits(ep) == 2 ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+} // anonymous namespace
+} // namespace m3

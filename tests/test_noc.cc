@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the NoC model: routing, latency composition, bandwidth
+ * serialisation and link contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/noc.hh"
+
+namespace m3
+{
+namespace
+{
+
+HwCosts
+defaultHw()
+{
+    HwCosts hw;
+    hw.nocBytesPerCycle = 8;
+    hw.nocHopLatency = 3;
+    hw.msgHeaderSize = 16;
+    return hw;
+}
+
+TEST(Noc, HopCountIsManhattanPlusOne)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 4, 4);
+    EXPECT_EQ(noc.hops(0, 0), 1u);
+    EXPECT_EQ(noc.hops(0, 3), 4u);   // same row
+    EXPECT_EQ(noc.hops(0, 12), 4u);  // same column
+    EXPECT_EQ(noc.hops(0, 15), 7u);  // corner to corner
+}
+
+TEST(Noc, IdleLatencyComposition)
+{
+    EventQueue eq;
+    HwCosts hw = defaultHw();
+    Noc noc(eq, hw, 4, 4);
+    // 64-byte payload: (64+16)/8 = 10 cycles serialisation.
+    EXPECT_EQ(noc.idleLatency(0, 1, 64), 2 * 3 + 10u);
+    // Zero payload still carries the header: 2 cycles.
+    EXPECT_EQ(noc.idleLatency(0, 1, 0), 2 * 3 + 2u);
+}
+
+TEST(Noc, DeliveryMatchesIdleLatencyOnIdleNetwork)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 4, 4);
+    Cycles delivered = 0;
+    Cycles expect = noc.idleLatency(0, 15, 256);
+    noc.send(0, 15, 256, [&] { delivered = eq.curCycle(); });
+    eq.run();
+    EXPECT_EQ(delivered, expect);
+}
+
+TEST(Noc, BandwidthScalesWithPayload)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 2, 2);
+    Cycles small = noc.idleLatency(0, 1, 8);
+    Cycles big = noc.idleLatency(0, 1, 8 + 8192);
+    // 8 KiB more payload at 8 B/cycle: 1024 extra cycles.
+    EXPECT_EQ(big - small, 1024u);
+}
+
+TEST(Noc, ContentionDelaysSecondPacket)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 4, 1);
+    Cycles first = 0, second = 0;
+    // Two packets over the same link, injected at the same cycle.
+    noc.send(0, 3, 4096, [&] { first = eq.curCycle(); });
+    noc.send(0, 3, 4096, [&] { second = eq.curCycle(); });
+    eq.run();
+    EXPECT_GT(second, first);
+    EXPECT_GE(noc.stats().contentionStalls, 1u);
+}
+
+TEST(Noc, DisjointPathsDoNotContend)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 4, 4);
+    Cycles a = 0, b = 0;
+    noc.send(0, 1, 4096, [&] { a = eq.curCycle(); });
+    noc.send(8, 9, 4096, [&] { b = eq.curCycle(); });
+    eq.run();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(noc.stats().contentionStalls, 0u);
+}
+
+TEST(Noc, StatsCountPacketsAndBytes)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 2, 2);
+    noc.send(0, 1, 100, [] {});
+    noc.send(1, 2, 200, [] {});
+    eq.run();
+    EXPECT_EQ(noc.stats().packets, 2u);
+    EXPECT_EQ(noc.stats().payloadBytes, 300u);
+}
+
+TEST(Noc, SelfSendWorks)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 2, 2);
+    bool delivered = false;
+    noc.send(1, 1, 32, [&] { delivered = true; });
+    eq.run();
+    EXPECT_TRUE(delivered);
+}
+
+/** Parameterised sweep: latency grows monotonically with distance. */
+class NocDistance : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(NocDistance, LatencyMonotonicInDistance)
+{
+    EventQueue eq;
+    Noc noc(eq, defaultHw(), 8, 1);
+    uint32_t dst = GetParam();
+    if (dst == 0)
+        return;
+    EXPECT_GT(noc.idleLatency(0, dst, 64),
+              noc.idleLatency(0, dst - 1, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, NocDistance,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+} // anonymous namespace
+} // namespace m3

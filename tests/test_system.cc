@@ -1,0 +1,547 @@
+/**
+ * @file
+ * End-to-end tests of the booted M3 machine: system calls, capability
+ * management, VPEs (run/exec/wait), the m3fs service through the file
+ * API, and pipes — the full Sec. 4 stack working together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "libm3/m3system.hh"
+#include "libm3/pipe.hh"
+#include "libm3/programs.hh"
+#include "libm3/vpe.hh"
+#include "m3fs/client.hh"
+
+namespace m3
+{
+namespace
+{
+
+M3SystemCfg
+smallCfg(bool withFs = true)
+{
+    M3SystemCfg cfg;
+    cfg.appPes = 4;
+    cfg.withFs = withFs;
+    if (withFs) {
+        cfg.fsSpec.dirs = {"/data"};
+        cfg.fsSpec.files.push_back(
+            {"/data/hello", m3fs::FsImage::patternData(10000, 7),
+             0xffffffff});
+    }
+    return cfg;
+}
+
+TEST(System, BootAndNullSyscall)
+{
+    M3System sys(smallCfg(false));
+    Error result = Error::InvalidArgs;
+    sys.runRoot("noop", [&] {
+        result = Env::cur().noop();
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(result, Error::None);
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_GE(sys.kernelInstance().stats().syscalls, 1u);
+}
+
+TEST(System, NullSyscallCostsAbout200Cycles)
+{
+    // The Fig. 3 anchor: ~200 cycles, ~30 of them transfers (Sec. 5.3).
+    M3System sys(smallCfg(false));
+    Cycles dur = 0;
+    Accounting acct;
+    sys.runRoot("noop", [&] {
+        Env &env = Env::cur();
+        env.noop();  // warm the code path
+        env.acct().reset();
+        Cycles t0 = env.platform.simulator().curCycle();
+        env.noop();
+        dur = env.platform.simulator().curCycle() - t0;
+        acct = env.acct();
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_GT(dur, 150u);
+    EXPECT_LT(dur, 260u);
+    EXPECT_GT(acct.total(Category::Xfer), 10u);
+    EXPECT_LT(acct.total(Category::Xfer), 60u);
+}
+
+TEST(System, MemGateReadWrite)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("mem", [&] {
+        Env &env = Env::cur();
+        MemGate mg = MemGate::create(env, 1 * MiB, MEM_RW);
+        std::vector<uint8_t> data(8000);
+        for (size_t i = 0; i < data.size(); ++i)
+            data[i] = static_cast<uint8_t>(i);
+        if (mg.write(data.data(), data.size(), 100) != Error::None)
+            return 1;
+        std::vector<uint8_t> back(8000);
+        if (mg.read(back.data(), back.size(), 100) != Error::None)
+            return 2;
+        return back == data ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, DeriveMemRespectsBounds)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("derive", [&] {
+        Env &env = Env::cur();
+        MemGate mg = MemGate::create(env, 64 * KiB, MEM_RW);
+        MemGate sub = mg.derive(4096, 4096, MEM_R);
+        uint8_t byte = 0;
+        if (sub.read(&byte, 1, 0) != Error::None)
+            return 1;
+        if (sub.read(&byte, 1, 4096) != Error::OutOfBounds)
+            return 2;
+        if (sub.write(&byte, 1, 0) != Error::NoPerm)
+            return 3;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, MessagePassingBetweenGates)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("gates", [&] {
+        Env &env = Env::cur();
+        // Self-send: create a receive gate and a send gate onto it.
+        RecvGate rg(env, 4, 256);
+        SendGate sg = SendGate::create(env, rg, 0x77, 2);
+        RecvGate reply(env, 2, 256);
+
+        Marshaller m = sg.ostream();
+        m << uint64_t{123} << std::string("ping");
+        if (sg.send(m, &reply) != Error::None)
+            return 1;
+
+        GateIStream is = rg.receive();
+        if (is.label() != 0x77)
+            return 2;
+        if (is.pull<uint64_t>() != 123)
+            return 3;
+        if (is.pull<std::string>() != "ping")
+            return 4;
+        Marshaller r = is.replyStream();
+        r << uint64_t{456};
+        is.replyStreamSend(r);
+
+        GateIStream rep = reply.receive();
+        return rep.pull<uint64_t>() == 456 ? 0 : 5;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, RevokedGateStopsWorking)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("revoke", [&] {
+        Env &env = Env::cur();
+        MemGate mg = MemGate::create(env, 64 * KiB, MEM_RW);
+        uint8_t byte = 1;
+        if (mg.write(&byte, 1, 0) != Error::None)
+            return 1;
+        if (env.revoke(mg.capSel(), true) != Error::None)
+            return 2;
+        // The kernel invalidated the endpoint; the DTU now refuses.
+        Error e = env.dtu.startWrite(mg.boundEp(), 0, 0, 1);
+        return e == Error::InvalidEp ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, EpMultiplexingBeyondEightGates)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("mux", [&] {
+        Env &env = Env::cur();
+        // More memory gates than free endpoints; libm3 multiplexes
+        // (Sec. 4.5.4).
+        std::vector<std::unique_ptr<MemGate>> gates;
+        MemGate big = MemGate::create(env, 1 * MiB, MEM_RW);
+        for (int i = 0; i < 12; ++i)
+            gates.push_back(std::make_unique<MemGate>(
+                big.derive(i * 64 * KiB, 64 * KiB, MEM_RW)));
+        for (int round = 0; round < 3; ++round) {
+            for (int i = 0; i < 12; ++i) {
+                uint64_t v = round * 100 + i;
+                if (gates[i]->write(&v, sizeof(v), 0) != Error::None)
+                    return 1;
+            }
+            for (int i = 0; i < 12; ++i) {
+                uint64_t v = 0;
+                if (gates[i]->read(&v, sizeof(v), 0) != Error::None)
+                    return 2;
+                if (v != static_cast<uint64_t>(round * 100 + i))
+                    return 3;
+            }
+        }
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, VpeRunLambdaAndWait)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("parent", [&] {
+        Env &env = Env::cur();
+        int a = 4, b = 5;
+        VPE vpe(env, "child");
+        if (vpe.err() != Error::None)
+            return 1;
+        // The paper's Sec. 4.5.5 example: run a lambda on another PE.
+        if (vpe.run([a, b] { return a + b; }) != Error::None)
+            return 2;
+        return vpe.wait() == 9 ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, VpeExhaustionReported)
+{
+    M3SystemCfg cfg = smallCfg(false);
+    cfg.appPes = 2;  // root + one free PE
+    M3System sys(cfg);
+    sys.runRoot("parent", [&] {
+        Env &env = Env::cur();
+        VPE first(env, "c1");
+        if (first.err() != Error::None)
+            return 1;
+        VPE second(env, "c2");
+        return second.err() == Error::NoFreePe ? 0 : 2;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, PeIsReusedAfterChildExit)
+{
+    M3SystemCfg cfg = smallCfg(false);
+    cfg.appPes = 2;
+    M3System sys(cfg);
+    sys.runRoot("parent", [&] {
+        Env &env = Env::cur();
+        for (int i = 0; i < 3; ++i) {
+            VPE vpe(env, "gen");
+            if (vpe.err() != Error::None)
+                return 1 + i;
+            vpe.run([i] { return i; });
+            if (vpe.wait() != i)
+                return 10 + i;
+        }
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, FsReadThroughFileApi)
+{
+    M3System sys(smallCfg(true));
+    sys.runRoot("reader", [&] {
+        Env &env = Env::cur();
+        if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+            return 1;
+        Error e = Error::None;
+        auto file = env.vfs().open("/data/hello", FILE_R, e);
+        if (!file)
+            return 2;
+        std::vector<uint8_t> buf(10000);
+        ssize_t n = file->read(buf.data(), buf.size());
+        if (n != 10000)
+            return 3;
+        auto expect = m3fs::FsImage::patternData(10000, 7);
+        if (!std::equal(buf.begin(), buf.end(), expect.begin()))
+            return 4;
+        // EOF reached.
+        return file->read(buf.data(), 1) == 0 ? 0 : 5;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, FsWriteCreateAndReadBack)
+{
+    M3System sys(smallCfg(true));
+    sys.runRoot("writer", [&] {
+        Env &env = Env::cur();
+        if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+            return 1;
+        auto data = m3fs::FsImage::patternData(300000, 9);
+        Error e = Error::None;
+        {
+            auto file = env.vfs().open("/data/out",
+                                       FILE_W | FILE_CREATE, e);
+            if (!file)
+                return 2;
+            if (file->write(data.data(), data.size()) !=
+                static_cast<ssize_t>(data.size()))
+                return 3;
+        }
+        // Reopen and verify (also checks close-time truncation).
+        FileInfo info;
+        if (env.vfs().stat("/data/out", info) != Error::None)
+            return 4;
+        if (info.size != data.size())
+            return 5;
+        auto file = env.vfs().open("/data/out", FILE_R, e);
+        std::vector<uint8_t> back(data.size());
+        if (file->read(back.data(), back.size()) !=
+            static_cast<ssize_t>(back.size()))
+            return 6;
+        return back == data ? 0 : 7;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+
+    // The image must still be consistent after server-side writes.
+    std::string report;
+    EXPECT_TRUE(sys.fsImage()->core().check(report)) << report;
+}
+
+TEST(System, FsMetaOperations)
+{
+    M3System sys(smallCfg(true));
+    sys.runRoot("meta", [&] {
+        Env &env = Env::cur();
+        m3fs::M3fsSession::mount(env, "/");
+        Vfs &vfs = env.vfs();
+        if (vfs.mkdir("/newdir") != Error::None)
+            return 1;
+        Error e = Error::None;
+        { vfs.open("/newdir/f1", FILE_W | FILE_CREATE, e); }
+        { vfs.open("/newdir/f2", FILE_W | FILE_CREATE, e); }
+        if (vfs.link("/newdir/f1", "/newdir/hard") != Error::None)
+            return 2;
+        std::vector<DirEntry> entries;
+        if (vfs.readdir("/newdir", entries) != Error::None)
+            return 3;
+        if (entries.size() != 3)
+            return 4;
+        if (vfs.unlink("/newdir/f2") != Error::None)
+            return 5;
+        entries.clear();
+        vfs.readdir("/newdir", entries);
+        if (entries.size() != 2)
+            return 6;
+        FileInfo info;
+        if (vfs.stat("/newdir/hard", info) != Error::None)
+            return 7;
+        return info.links == 2 ? 0 : 8;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, SeekWithinFile)
+{
+    M3System sys(smallCfg(true));
+    sys.runRoot("seek", [&] {
+        Env &env = Env::cur();
+        m3fs::M3fsSession::mount(env, "/");
+        Error e = Error::None;
+        auto file = env.vfs().open("/data/hello", FILE_R, e);
+        auto expect = m3fs::FsImage::patternData(10000, 7);
+
+        if (file->seek(5000, SeekMode::Set) != 5000)
+            return 1;
+        uint8_t byte = 0;
+        file->read(&byte, 1);
+        if (byte != expect[5000])
+            return 2;
+        if (file->seek(-1, SeekMode::End) != 9999)
+            return 3;
+        file->read(&byte, 1);
+        if (byte != expect[9999])
+            return 4;
+        if (file->seek(0, SeekMode::Cur) != 10000)
+            return 5;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, PipeParentReadsChildWrites)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("cat", [&] {
+        Env &env = Env::cur();
+        Pipe pipe(env, /*creatorWrites=*/false);
+        VPE child(env, "writer");
+        if (child.err() != Error::None)
+            return 1;
+        if (pipe.delegateTo(child) != Error::None)
+            return 2;
+        size_t ringBytes = Pipe::DEFAULT_RING_BYTES;
+        child.run([ringBytes] {
+            Env &cenv = Env::cur();
+            auto out = pipePeer(cenv, /*peerWrites=*/true,
+                                PIPE_PEER_SELS, ringBytes);
+            std::vector<uint8_t> data(50000);
+            for (size_t i = 0; i < data.size(); ++i)
+                data[i] = static_cast<uint8_t>(i * 3);
+            size_t sent = 0;
+            while (sent < data.size()) {
+                size_t chunk = std::min<size_t>(4096,
+                                                data.size() - sent);
+                if (out->write(data.data() + sent, chunk) !=
+                    static_cast<ssize_t>(chunk))
+                    return 1;
+                sent += chunk;
+            }
+            return 0;
+        });
+
+        auto in = pipe.host();
+        std::vector<uint8_t> got;
+        uint8_t buf[4096];
+        for (;;) {
+            ssize_t n = in->read(buf, sizeof(buf));
+            if (n < 0)
+                return 3;
+            if (n == 0)
+                break;
+            got.insert(got.end(), buf, buf + n);
+        }
+        if (child.wait() != 0)
+            return 4;
+        if (got.size() != 50000)
+            return 5;
+        for (size_t i = 0; i < got.size(); ++i)
+            if (got[i] != static_cast<uint8_t>(i * 3))
+                return 6;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, PipeParentWritesChildReads)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("gen", [&] {
+        Env &env = Env::cur();
+        Pipe pipe(env, /*creatorWrites=*/true);
+        VPE child(env, "reader");
+        if (child.err() != Error::None)
+            return 1;
+        pipe.delegateTo(child);
+        child.run([] {
+            Env &cenv = Env::cur();
+            auto in = pipePeer(cenv, /*peerWrites=*/false);
+            uint64_t sum = 0;
+            uint8_t buf[4096];
+            for (;;) {
+                ssize_t n = in->read(buf, sizeof(buf));
+                if (n <= 0)
+                    break;
+                for (ssize_t i = 0; i < n; ++i)
+                    sum += buf[i];
+            }
+            return static_cast<int>(sum % 251);
+        });
+
+        uint64_t sum = 0;
+        {
+            auto out = pipe.host();
+            std::vector<uint8_t> data(30000);
+            for (size_t i = 0; i < data.size(); ++i) {
+                data[i] = static_cast<uint8_t>(i * 7 + 1);
+                sum += data[i];
+            }
+            out->write(data.data(), data.size());
+        }  // destructor sends EOF
+        int rc = child.wait();
+        return rc == static_cast<int>(sum % 251) ? 0 : 2;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, ExecLoadsProgramFromFs)
+{
+    Programs::reg("/bin/answer", [] { return 42; });
+    M3SystemCfg cfg = smallCfg(true);
+    cfg.fsSpec.dirs.push_back("/bin");
+    cfg.fsSpec.files.push_back(
+        {"/bin/answer", m3fs::FsImage::patternData(20000, 11),
+         0xffffffff});
+    M3System sys(cfg);
+    sys.runRoot("execer", [&] {
+        Env &env = Env::cur();
+        m3fs::M3fsSession::mount(env, "/");
+        VPE vpe(env, "answer");
+        if (vpe.err() != Error::None)
+            return 1;
+        if (vpe.exec("/bin/answer") != Error::None)
+            return 2;
+        return vpe.wait() == 42 ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, CapabilityDelegationToChild)
+{
+    M3System sys(smallCfg(false));
+    sys.runRoot("parent", [&] {
+        Env &env = Env::cur();
+        MemGate shared = MemGate::create(env, 64 * KiB, MEM_RW);
+        uint64_t secret = 0xabcdef;
+        shared.write(&secret, sizeof(secret), 0);
+
+        VPE child(env, "child");
+        if (child.err() != Error::None)
+            return 1;
+        if (child.delegate(shared.capSel(), 1, 40) != Error::None)
+            return 2;
+        child.run([] {
+            Env &cenv = Env::cur();
+            MemGate gate(cenv, 40, 64 * KiB);
+            uint64_t v = 0;
+            gate.read(&v, sizeof(v), 0);
+            return v == 0xabcdef ? 7 : 1;
+        });
+        return child.wait() == 7 ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(System, KernelStatsTrackActivity)
+{
+    M3System sys(smallCfg(true));
+    sys.runRoot("stats", [&] {
+        Env &env = Env::cur();
+        m3fs::M3fsSession::mount(env, "/");
+        env.noop();
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    const kernel::KernelStats &ks = sys.kernelInstance().stats();
+    EXPECT_GE(ks.syscalls, 3u);
+    EXPECT_GE(ks.vpesCreated, 2u);        // fs service + root
+    EXPECT_GE(ks.serviceRequests, 2u);    // open session + get channel
+    EXPECT_GE(ks.capsDelegated, 1u);      // the channel send gate
+}
+
+} // anonymous namespace
+} // namespace m3

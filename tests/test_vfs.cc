@@ -1,0 +1,162 @@
+/**
+ * @file
+ * VFS unit tests: mount-table resolution (longest prefix, nesting,
+ * unmount), path normalisation towards the mounted filesystems, and
+ * dispatch of every operation to the right mount.
+ */
+
+#include <gtest/gtest.h>
+
+#include "libm3/vfs.hh"
+
+namespace m3
+{
+namespace
+{
+
+/** A FileSystem that records the paths it is called with. */
+class RecordingFs : public FileSystem
+{
+  public:
+    std::unique_ptr<File>
+    open(const std::string &path, uint32_t, Error &err) override
+    {
+        lastOp = "open:" + path;
+        err = Error::NoSuchFile;
+        return nullptr;
+    }
+
+    Error
+    stat(const std::string &path, FileInfo &) override
+    {
+        lastOp = "stat:" + path;
+        return Error::None;
+    }
+
+    Error
+    mkdir(const std::string &path) override
+    {
+        lastOp = "mkdir:" + path;
+        return Error::None;
+    }
+
+    Error
+    unlink(const std::string &path) override
+    {
+        lastOp = "unlink:" + path;
+        return Error::None;
+    }
+
+    Error
+    link(const std::string &oldPath, const std::string &newPath) override
+    {
+        lastOp = "link:" + oldPath + "+" + newPath;
+        return Error::None;
+    }
+
+    Error
+    rename(const std::string &oldPath, const std::string &newPath) override
+    {
+        lastOp = "rename:" + oldPath + "+" + newPath;
+        return Error::None;
+    }
+
+    Error
+    readdir(const std::string &path, std::vector<DirEntry> &) override
+    {
+        lastOp = "readdir:" + path;
+        return Error::None;
+    }
+
+    std::string lastOp;
+};
+
+TEST(Vfs, LongestPrefixWins)
+{
+    Vfs vfs;
+    auto root = std::make_shared<RecordingFs>();
+    auto nested = std::make_shared<RecordingFs>();
+    ASSERT_EQ(vfs.mount("/", root), Error::None);
+    ASSERT_EQ(vfs.mount("/nested", nested), Error::None);
+
+    FileInfo info;
+    vfs.stat("/a/b", info);
+    EXPECT_EQ(root->lastOp, "stat:/a/b");
+    vfs.stat("/nested/x", info);
+    EXPECT_EQ(nested->lastOp, "stat:/x");
+    // The prefix itself resolves to the nested mount's root.
+    vfs.stat("/nested", info);
+    EXPECT_EQ(nested->lastOp, "stat:/");
+}
+
+TEST(Vfs, DuplicateMountRejected)
+{
+    Vfs vfs;
+    auto fs = std::make_shared<RecordingFs>();
+    EXPECT_EQ(vfs.mount("/m", fs), Error::None);
+    EXPECT_EQ(vfs.mount("/m", fs), Error::CapExists);
+}
+
+TEST(Vfs, UnmountRestoresParent)
+{
+    Vfs vfs;
+    auto root = std::make_shared<RecordingFs>();
+    auto sub = std::make_shared<RecordingFs>();
+    vfs.mount("/", root);
+    vfs.mount("/sub", sub);
+
+    FileInfo info;
+    vfs.stat("/sub/f", info);
+    EXPECT_EQ(sub->lastOp, "stat:/f");
+
+    ASSERT_EQ(vfs.unmount("/sub"), Error::None);
+    vfs.stat("/sub/f", info);
+    EXPECT_EQ(root->lastOp, "stat:/sub/f");
+
+    EXPECT_EQ(vfs.unmount("/nosuch"), Error::NoSuchFile);
+}
+
+TEST(Vfs, NoMountMeansNoSuchFile)
+{
+    Vfs vfs;
+    FileInfo info;
+    EXPECT_EQ(vfs.stat("/anything", info), Error::NoSuchFile);
+    Error e = Error::None;
+    EXPECT_EQ(vfs.open("/anything", FILE_R, e), nullptr);
+    EXPECT_EQ(e, Error::NoSuchFile);
+    EXPECT_EQ(vfs.mkdir("/d"), Error::NoSuchFile);
+}
+
+TEST(Vfs, CrossMountLinkRefused)
+{
+    Vfs vfs;
+    auto a = std::make_shared<RecordingFs>();
+    auto b = std::make_shared<RecordingFs>();
+    vfs.mount("/a", a);
+    vfs.mount("/b", b);
+    EXPECT_EQ(vfs.link("/a/x", "/b/y"), Error::NoSuchFile);
+    // Within one mount it dispatches normally.
+    EXPECT_EQ(vfs.link("/a/x", "/a/y"), Error::None);
+    EXPECT_EQ(a->lastOp, "link:/x+/y");
+}
+
+TEST(Vfs, AllOperationsDispatch)
+{
+    Vfs vfs;
+    auto fs = std::make_shared<RecordingFs>();
+    vfs.mount("/m", fs);
+
+    Error e = Error::None;
+    vfs.open("/m/f", FILE_R, e);
+    EXPECT_EQ(fs->lastOp, "open:/f");
+    vfs.mkdir("/m/d");
+    EXPECT_EQ(fs->lastOp, "mkdir:/d");
+    vfs.unlink("/m/f");
+    EXPECT_EQ(fs->lastOp, "unlink:/f");
+    std::vector<DirEntry> entries;
+    vfs.readdir("/m/d", entries);
+    EXPECT_EQ(fs->lastOp, "readdir:/d");
+}
+
+} // anonymous namespace
+} // namespace m3

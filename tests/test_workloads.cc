@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Integration tests for the benchmark workloads: every trace replays
+ * successfully on both systems, the natively implemented applications
+ * produce identical output on M3 and Linux, the FFT is numerically
+ * correct, and the accelerator/scalability machinery behaves sanely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/fft.hh"
+#include "workloads/generators.hh"
+#include "workloads/runners.hh"
+
+namespace m3
+{
+namespace workloads
+{
+namespace
+{
+
+class TraceWorkloads : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Workload
+    workload()
+    {
+        ComputeCosts compute;
+        for (Workload &w : makeAllTraceWorkloads(compute))
+            if (w.name == GetParam())
+                return w;
+        ADD_FAILURE() << "unknown workload " << GetParam();
+        return {};
+    }
+};
+
+TEST_P(TraceWorkloads, ReplaysOnM3)
+{
+    RunResult r = runM3Trace(workload());
+    EXPECT_EQ(r.rc, 0);
+    EXPECT_GT(r.wall, 0u);
+    EXPECT_GT(r.acct.totalBusy(), 0u);
+}
+
+TEST_P(TraceWorkloads, ReplaysOnLinux)
+{
+    RunResult r = runLxTrace(workload());
+    EXPECT_EQ(r.rc, 0);
+    EXPECT_GT(r.wall, 0u);
+}
+
+TEST_P(TraceWorkloads, LxCacheModeIsFaster)
+{
+    LxRunOpts hit;
+    hit.cacheAlwaysHit = true;
+    RunResult rHit = runLxTrace(workload(), hit);
+    RunResult rMiss = runLxTrace(workload());
+    EXPECT_EQ(rHit.rc, 0);
+    EXPECT_LE(rHit.wall, rMiss.wall);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TraceWorkloads,
+                         ::testing::Values("tar", "untar", "find",
+                                           "sqlite"));
+
+TEST(CatTr, RunsOnBothSystemsAndM3Wins)
+{
+    CatTrParams p;
+    RunResult m3r = runM3CatTr(p);
+    RunResult lxr = runLxCatTr(p);
+    ASSERT_EQ(m3r.rc, 0);
+    ASSERT_EQ(lxr.rc, 0);
+    // Sec. 5.6: M3 is about twice as fast on cat+tr.
+    EXPECT_LT(m3r.wall, lxr.wall);
+}
+
+TEST(CatTr, TarUntarShapesHold)
+{
+    // Sec. 5.6: tar and untar on M3 take roughly 20% / 16% of Linux.
+    ComputeCosts compute;
+    for (const char *name : {"tar", "untar"}) {
+        Workload w;
+        for (Workload &cand : makeAllTraceWorkloads(compute))
+            if (cand.name == name)
+                w = cand;
+        RunResult m3r = runM3Trace(w);
+        RunResult lxr = runLxTrace(w);
+        ASSERT_EQ(m3r.rc, 0) << name;
+        ASSERT_EQ(lxr.rc, 0) << name;
+        double ratio = static_cast<double>(m3r.wall) /
+                       static_cast<double>(lxr.wall);
+        EXPECT_LT(ratio, 0.5) << name << ": M3 should win clearly";
+    }
+}
+
+TEST(Find, LinuxSlightlyFaster)
+{
+    // Sec. 5.6: find is the benchmark where Linux is slightly ahead.
+    ComputeCosts compute;
+    Workload w = makeFind(compute);
+    RunResult m3r = runM3Trace(w);
+    RunResult lxr = runLxTrace(w);
+    ASSERT_EQ(m3r.rc, 0);
+    ASSERT_EQ(lxr.rc, 0);
+    EXPECT_GT(m3r.wall, lxr.wall);
+    // ... but not by much (within 2x).
+    EXPECT_LT(m3r.wall, 2 * lxr.wall);
+}
+
+TEST(Sqlite, ComputeDominates)
+{
+    ComputeCosts compute;
+    Workload w = makeSqlite(compute);
+    RunResult m3r = runM3Trace(w);
+    ASSERT_EQ(m3r.rc, 0);
+    // The App segment is the majority of the time (Sec. 5.6).
+    EXPECT_GT(m3r.app(), m3r.os() + m3r.xfer());
+}
+
+TEST(Fft, NumericallyCorrect)
+{
+    // Round trip: FFT followed by inverse FFT restores the input.
+    std::vector<std::complex<float>> data(256);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = {std::sin(0.1f * i), std::cos(0.3f * i)};
+    auto orig = data;
+    accel::fft(data.data(), data.size(), false);
+    accel::fft(data.data(), data.size(), true);
+    for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-3);
+        EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-3);
+    }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    std::vector<std::complex<float>> data(64, {0, 0});
+    data[0] = {1, 0};
+    accel::fft(data.data(), data.size());
+    for (auto &c : data)
+        EXPECT_NEAR(std::abs(c), 1.0f, 1e-4);
+}
+
+TEST(Fft, ButterflyCountAndCost)
+{
+    EXPECT_EQ(accel::fftButterflies(8), 12u);      // 4 * 3 stages
+    EXPECT_EQ(accel::fftButterflies(1024), 5120u); // 512 * 10
+    ComputeCosts costs;
+    EXPECT_EQ(accel::fftCost(1024, costs, true),
+              accel::fftCost(1024, costs, false) / costs.fftAccelFactor);
+}
+
+TEST(FftChain, AcceleratorBeatsSoftware)
+{
+    FftParams sw;
+    sw.binary = "/bin/fft-sw";
+    FftParams acc;
+    acc.useAccel = true;
+    acc.binary = "/bin/fft-accel";
+
+    RunResult rSw = runM3Fft(sw);
+    RunResult rAcc = runM3Fft(acc);
+    ASSERT_EQ(rSw.rc, 0);
+    ASSERT_EQ(rAcc.rc, 0);
+    // Fig. 7: the accelerator version is far faster end to end.
+    EXPECT_LT(rAcc.wall, rSw.wall / 2);
+    // The pure FFT time shrinks by about the accelerator factor.
+    EXPECT_LT(rAcc.app() * 10, rSw.app());
+}
+
+TEST(FftChain, LinuxChainSlowerThanM3)
+{
+    FftParams p;
+    p.binary = "/bin/fft-cmp";
+    RunResult m3r = runM3Fft(p);
+    RunResult lxr = runLxFft(p);
+    ASSERT_EQ(m3r.rc, 0);
+    ASSERT_EQ(lxr.rc, 0);
+    EXPECT_LT(m3r.wall, lxr.wall);
+}
+
+TEST(Scalability, FewInstancesScaleWell)
+{
+    ScalabilityResult one = runM3Scalability("tar", 1);
+    ScalabilityResult four = runM3Scalability("tar", 4);
+    ASSERT_EQ(one.rc, 0);
+    ASSERT_EQ(four.rc, 0);
+    // Sec. 5.7: up to 4 instances scale very well (allow 35% slack).
+    EXPECT_LT(four.avgInstance,
+              one.avgInstance + one.avgInstance * 35 / 100);
+}
+
+TEST(Scalability, CatTrScalesAlmostPerfectly)
+{
+    ScalabilityResult two = runM3Scalability("cat+tr", 2);
+    ScalabilityResult eight = runM3Scalability("cat+tr", 8);
+    ASSERT_EQ(two.rc, 0);
+    ASSERT_EQ(eight.rc, 0);
+    // After setup, only reader and writer communicate (Sec. 5.7).
+    EXPECT_LT(eight.avgInstance,
+              two.avgInstance + two.avgInstance / 2);
+}
+
+
+TEST(TraceReplay, EveryOpKindReplaysOnBothSystems)
+{
+    // A synthetic trace touching every TraceOp kind once.
+    Workload w;
+    w.name = "allops";
+    w.setup.dirs = {"/d"};
+    w.setup.files.push_back({"/d/in", 10000, 42});
+    Trace &t = w.trace;
+    t.push_back({TraceOp::Kind::Mkdir, "/d/sub", "", 0, 0});
+    t.push_back({TraceOp::Kind::Open, "/d/in", "", 1, 0});
+    TraceOp rd{TraceOp::Kind::Read};
+    rd.fdSlot = 0;
+    rd.len = 10000;
+    t.push_back(rd);
+    TraceOp seek{TraceOp::Kind::Seek};
+    seek.fdSlot = 0;
+    seek.len = 100;
+    t.push_back(seek);
+    t.push_back({TraceOp::Kind::Open, "/d/out", "", 2 | 4, 1});
+    TraceOp wr{TraceOp::Kind::Write};
+    wr.fdSlot = 1;
+    wr.len = 5000;
+    t.push_back(wr);
+    TraceOp sf{TraceOp::Kind::Sendfile};
+    sf.fdSlot = 1;
+    sf.fdSlot2 = 0;
+    sf.len = 2000;
+    t.push_back(sf);
+    t.push_back({TraceOp::Kind::Fsync, "", "", 0, 1});
+    t.push_back({TraceOp::Kind::Close, "", "", 0, 1});
+    t.push_back({TraceOp::Kind::Close, "", "", 0, 0});
+    t.push_back({TraceOp::Kind::Stat, "/d/out", "", 0, 0});
+    t.push_back({TraceOp::Kind::Link, "/d/out", "/d/hard", 0, 0});
+    t.push_back({TraceOp::Kind::Rename, "/d/out", "/d/sub/moved", 0, 0});
+    t.push_back({TraceOp::Kind::Readdir, "/d", "", 0, 0});
+    t.push_back({TraceOp::Kind::Unlink, "/d/hard", "", 0, 0});
+    TraceOp comp{TraceOp::Kind::Compute};
+    comp.len = 1000;
+    t.push_back(comp);
+
+    RunResult m3r = runM3Trace(w);
+    EXPECT_EQ(m3r.rc, 0);
+    RunResult lxr = runLxTrace(w);
+    EXPECT_EQ(lxr.rc, 0);
+}
+} // anonymous namespace
+} // namespace workloads
+} // namespace m3

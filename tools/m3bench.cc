@@ -1,0 +1,178 @@
+/**
+ * @file
+ * m3bench: the command-line front end for running any of the paper's
+ * workloads on either system with tweakable parameters.
+ *
+ * Usage:
+ *   m3bench <workload> [options]
+ *
+ * Workloads: cat+tr, tar, untar, find, sqlite, fft, read, write, pipe,
+ * syscall.
+ *
+ * Options:
+ *   --lx               run on the Linux baseline instead of M3
+ *   --lx-hit           baseline with all cache hits (Lx-$)
+ *   --arm              baseline with the ARM cost profile (Sec. 5.2)
+ *   --accel            fft: use the FFT accelerator PE
+ *   --instances N      scalability mode: N parallel instances (M3)
+ *   --fs-instances K   shard the clients over K m3fs instances
+ *   --bytes N          transfer size for read/write/pipe (default 2 MiB)
+ *   --buf N            buffer size (default 4096)
+ *   --append-blocks N  m3fs allocation granularity (default 256)
+ *   --frag N           blocks per extent of prepared files
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workloads/generators.hh"
+#include "workloads/micro.hh"
+#include "workloads/runners.hh"
+
+using namespace m3;
+using namespace m3::workloads;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: m3bench <cat+tr|tar|untar|find|sqlite|fft|read|write|"
+        "pipe|syscall> [options]\n"
+        "  --lx --lx-hit --arm --accel --instances N --fs-instances K\n"
+        "  --bytes N --buf N --append-blocks N --frag N\n");
+    std::exit(2);
+}
+
+void
+report(const std::string &name, const RunResult &r)
+{
+    if (r.rc != 0) {
+        std::printf("%s: FAILED (rc=%d)\n", name.c_str(), r.rc);
+        std::exit(1);
+    }
+    std::printf("%-10s %12llu cycles  (App %llu, Xfers %llu, OS %llu)\n",
+                name.c_str(), static_cast<unsigned long long>(r.wall),
+                static_cast<unsigned long long>(r.app()),
+                static_cast<unsigned long long>(r.xfer()),
+                static_cast<unsigned long long>(r.os()));
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string workload = argv[1];
+
+    bool onLx = false;
+    bool accel = false;
+    uint32_t instances = 0;
+    MicroOpts micro;
+    M3RunOpts m3opts;
+    LxRunOpts lxopts;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intArg = [&](const char *) {
+            if (i + 1 >= argc)
+                usage();
+            return static_cast<uint64_t>(std::strtoull(argv[++i],
+                                                       nullptr, 0));
+        };
+        if (arg == "--lx") {
+            onLx = true;
+        } else if (arg == "--lx-hit") {
+            onLx = true;
+            lxopts.cacheAlwaysHit = true;
+            micro.lx.cacheAlwaysHit = true;
+        } else if (arg == "--arm") {
+            onLx = true;
+            lxopts.costs = LinuxCosts::arm();
+            micro.lx.costs = LinuxCosts::arm();
+        } else if (arg == "--accel") {
+            accel = true;
+        } else if (arg == "--instances") {
+            instances = static_cast<uint32_t>(intArg("instances"));
+        } else if (arg == "--fs-instances") {
+            m3opts.fsInstances = static_cast<uint32_t>(intArg("fs"));
+        } else if (arg == "--bytes") {
+            micro.fileBytes = intArg("bytes");
+        } else if (arg == "--buf") {
+            micro.bufSize = static_cast<uint32_t>(intArg("buf"));
+        } else if (arg == "--append-blocks") {
+            micro.appendBlocks = static_cast<uint32_t>(intArg("ab"));
+            m3opts.fsAppendBlocks = micro.appendBlocks;
+        } else if (arg == "--frag") {
+            micro.blocksPerExtent = static_cast<uint32_t>(intArg("f"));
+            m3opts.fsBlocksPerExtent = micro.blocksPerExtent;
+        } else {
+            usage();
+        }
+    }
+    micro.m3 = m3opts;
+
+    // Scalability mode.
+    if (instances > 0) {
+        if (onLx) {
+            std::fprintf(stderr,
+                         "--instances is an M3 mode (Sec. 5.7)\n");
+            return 2;
+        }
+        ScalabilityResult r = runM3Scalability(workload, instances,
+                                               m3opts);
+        if (r.rc != 0) {
+            std::printf("FAILED (rc=%d)\n", r.rc);
+            return 1;
+        }
+        std::printf("%s x%u: avg %llu cycles per instance\n",
+                    workload.c_str(), instances,
+                    static_cast<unsigned long long>(r.avgInstance));
+        for (uint32_t i = 0; i < instances; ++i)
+            std::printf("  instance %-2u %llu\n", i,
+                        static_cast<unsigned long long>(r.instances[i]));
+        return 0;
+    }
+
+    ComputeCosts compute;
+    if (workload == "cat+tr") {
+        CatTrParams p;
+        p.bufSize = micro.bufSize;
+        report(workload,
+               onLx ? runLxCatTr(p, lxopts) : runM3CatTr(p, m3opts));
+    } else if (workload == "fft") {
+        FftParams p;
+        p.useAccel = accel;
+        p.binary = accel ? "/bin/fft-accel" : "/bin/fft-sw";
+        report(workload, onLx ? runLxFft(p, lxopts)
+                              : runM3Fft(p, m3opts));
+    } else if (workload == "read") {
+        report(workload, onLx ? lxFileRead(micro) : m3FileRead(micro));
+    } else if (workload == "write") {
+        report(workload, onLx ? lxFileWrite(micro) : m3FileWrite(micro));
+    } else if (workload == "pipe") {
+        report(workload, onLx ? lxPipeXfer(micro) : m3PipeXfer(micro));
+    } else if (workload == "syscall") {
+        report(workload, onLx ? lxNullSyscall(64, micro.lx)
+                              : m3NullSyscall(64, m3opts));
+    } else {
+        bool found = false;
+        for (const Workload &w : makeAllTraceWorkloads(compute)) {
+            if (w.name == workload) {
+                report(workload, onLx ? runLxTrace(w, lxopts)
+                                      : runM3Trace(w, m3opts));
+                found = true;
+            }
+        }
+        if (!found)
+            usage();
+    }
+    return 0;
+}
