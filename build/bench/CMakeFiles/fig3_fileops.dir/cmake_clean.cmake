@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fileops.dir/fig3_fileops.cc.o"
+  "CMakeFiles/fig3_fileops.dir/fig3_fileops.cc.o.d"
+  "fig3_fileops"
+  "fig3_fileops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fileops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

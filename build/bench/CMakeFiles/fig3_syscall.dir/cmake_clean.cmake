@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_syscall.dir/fig3_syscall.cc.o"
+  "CMakeFiles/fig3_syscall.dir/fig3_syscall.cc.o.d"
+  "fig3_syscall"
+  "fig3_syscall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fragmentation.dir/fig4_fragmentation.cc.o"
+  "CMakeFiles/fig4_fragmentation.dir/fig4_fragmentation.cc.o.d"
+  "fig4_fragmentation"
+  "fig4_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_apps.dir/fig5_apps.cc.o"
+  "CMakeFiles/fig5_apps.dir/fig5_apps.cc.o.d"
+  "fig5_apps"
+  "fig5_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

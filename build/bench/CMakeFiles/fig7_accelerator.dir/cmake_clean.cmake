@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accelerator.dir/fig7_accelerator.cc.o"
+  "CMakeFiles/fig7_accelerator.dir/fig7_accelerator.cc.o.d"
+  "fig7_accelerator"
+  "fig7_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

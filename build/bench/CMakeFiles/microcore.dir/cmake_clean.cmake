@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcore.dir/microcore.cc.o"
+  "CMakeFiles/microcore.dir/microcore.cc.o.d"
+  "microcore"
+  "microcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec34_utilization.dir/sec34_utilization.cc.o"
+  "CMakeFiles/sec34_utilization.dir/sec34_utilization.cc.o.d"
+  "sec34_utilization"
+  "sec34_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_arm.dir/sec52_arm.cc.o"
+  "CMakeFiles/sec52_arm.dir/sec52_arm.cc.o.d"
+  "sec52_arm"
+  "sec52_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

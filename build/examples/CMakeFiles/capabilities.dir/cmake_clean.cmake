@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capabilities.dir/capabilities.cpp.o"
+  "CMakeFiles/capabilities.dir/capabilities.cpp.o.d"
+  "capabilities"
+  "capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

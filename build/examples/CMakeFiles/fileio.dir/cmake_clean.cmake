@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fileio.dir/fileio.cpp.o"
+  "CMakeFiles/fileio.dir/fileio.cpp.o.d"
+  "fileio"
+  "fileio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fileio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

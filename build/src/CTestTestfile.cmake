@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("noc")
+subdirs("mem")
+subdirs("dtu")
+subdirs("pe")
+subdirs("kernel")
+subdirs("libm3")
+subdirs("m3fs")
+subdirs("accel")
+subdirs("linuxsim")
+subdirs("workloads")

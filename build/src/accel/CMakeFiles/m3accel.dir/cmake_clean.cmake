@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3accel.dir/fft.cc.o"
+  "CMakeFiles/m3accel.dir/fft.cc.o.d"
+  "libm3accel.a"
+  "libm3accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3base.dir/accounting.cc.o"
+  "CMakeFiles/m3base.dir/accounting.cc.o.d"
+  "CMakeFiles/m3base.dir/errors.cc.o"
+  "CMakeFiles/m3base.dir/errors.cc.o.d"
+  "CMakeFiles/m3base.dir/logging.cc.o"
+  "CMakeFiles/m3base.dir/logging.cc.o.d"
+  "libm3base.a"
+  "libm3base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3dtu.dir/dtu.cc.o"
+  "CMakeFiles/m3dtu.dir/dtu.cc.o.d"
+  "libm3dtu.a"
+  "libm3dtu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3dtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

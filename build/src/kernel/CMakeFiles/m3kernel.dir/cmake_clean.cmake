@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3kernel.dir/kernel.cc.o"
+  "CMakeFiles/m3kernel.dir/kernel.cc.o.d"
+  "libm3kernel.a"
+  "libm3kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

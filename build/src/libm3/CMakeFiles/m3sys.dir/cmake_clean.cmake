@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3sys.dir/m3system.cc.o"
+  "CMakeFiles/m3sys.dir/m3system.cc.o.d"
+  "libm3sys.a"
+  "libm3sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libm3/cached_mem.cc" "src/libm3/CMakeFiles/m3user.dir/cached_mem.cc.o" "gcc" "src/libm3/CMakeFiles/m3user.dir/cached_mem.cc.o.d"
+  "/root/repo/src/libm3/env.cc" "src/libm3/CMakeFiles/m3user.dir/env.cc.o" "gcc" "src/libm3/CMakeFiles/m3user.dir/env.cc.o.d"
+  "/root/repo/src/libm3/gates.cc" "src/libm3/CMakeFiles/m3user.dir/gates.cc.o" "gcc" "src/libm3/CMakeFiles/m3user.dir/gates.cc.o.d"
+  "/root/repo/src/libm3/pipe.cc" "src/libm3/CMakeFiles/m3user.dir/pipe.cc.o" "gcc" "src/libm3/CMakeFiles/m3user.dir/pipe.cc.o.d"
+  "/root/repo/src/libm3/vfs.cc" "src/libm3/CMakeFiles/m3user.dir/vfs.cc.o" "gcc" "src/libm3/CMakeFiles/m3user.dir/vfs.cc.o.d"
+  "/root/repo/src/libm3/vpe.cc" "src/libm3/CMakeFiles/m3user.dir/vpe.cc.o" "gcc" "src/libm3/CMakeFiles/m3user.dir/vpe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/m3base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtu/CMakeFiles/m3dtu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

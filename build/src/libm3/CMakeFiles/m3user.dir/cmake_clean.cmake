@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3user.dir/cached_mem.cc.o"
+  "CMakeFiles/m3user.dir/cached_mem.cc.o.d"
+  "CMakeFiles/m3user.dir/env.cc.o"
+  "CMakeFiles/m3user.dir/env.cc.o.d"
+  "CMakeFiles/m3user.dir/gates.cc.o"
+  "CMakeFiles/m3user.dir/gates.cc.o.d"
+  "CMakeFiles/m3user.dir/pipe.cc.o"
+  "CMakeFiles/m3user.dir/pipe.cc.o.d"
+  "CMakeFiles/m3user.dir/vfs.cc.o"
+  "CMakeFiles/m3user.dir/vfs.cc.o.d"
+  "CMakeFiles/m3user.dir/vpe.cc.o"
+  "CMakeFiles/m3user.dir/vpe.cc.o.d"
+  "libm3user.a"
+  "libm3user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3linux.dir/machine.cc.o"
+  "CMakeFiles/m3linux.dir/machine.cc.o.d"
+  "libm3linux.a"
+  "libm3linux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3linux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

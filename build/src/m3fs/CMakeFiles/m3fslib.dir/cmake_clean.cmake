@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3fslib.dir/client.cc.o"
+  "CMakeFiles/m3fslib.dir/client.cc.o.d"
+  "CMakeFiles/m3fslib.dir/fs_core.cc.o"
+  "CMakeFiles/m3fslib.dir/fs_core.cc.o.d"
+  "CMakeFiles/m3fslib.dir/server.cc.o"
+  "CMakeFiles/m3fslib.dir/server.cc.o.d"
+  "libm3fslib.a"
+  "libm3fslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3fslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

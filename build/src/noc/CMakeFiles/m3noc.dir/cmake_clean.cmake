@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3noc.dir/noc.cc.o"
+  "CMakeFiles/m3noc.dir/noc.cc.o.d"
+  "libm3noc.a"
+  "libm3noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

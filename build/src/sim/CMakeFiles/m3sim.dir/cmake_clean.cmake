@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3sim.dir/fiber.cc.o"
+  "CMakeFiles/m3sim.dir/fiber.cc.o.d"
+  "libm3sim.a"
+  "libm3sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

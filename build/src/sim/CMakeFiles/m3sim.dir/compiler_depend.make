@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for m3sim.
+# This may be replaced when dependencies are built.

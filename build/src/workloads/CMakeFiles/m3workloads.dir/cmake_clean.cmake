@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3workloads.dir/apps.cc.o"
+  "CMakeFiles/m3workloads.dir/apps.cc.o.d"
+  "CMakeFiles/m3workloads.dir/generators.cc.o"
+  "CMakeFiles/m3workloads.dir/generators.cc.o.d"
+  "CMakeFiles/m3workloads.dir/lx_replay.cc.o"
+  "CMakeFiles/m3workloads.dir/lx_replay.cc.o.d"
+  "CMakeFiles/m3workloads.dir/m3_replay.cc.o"
+  "CMakeFiles/m3workloads.dir/m3_replay.cc.o.d"
+  "CMakeFiles/m3workloads.dir/micro.cc.o"
+  "CMakeFiles/m3workloads.dir/micro.cc.o.d"
+  "CMakeFiles/m3workloads.dir/runners.cc.o"
+  "CMakeFiles/m3workloads.dir/runners.cc.o.d"
+  "libm3workloads.a"
+  "libm3workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

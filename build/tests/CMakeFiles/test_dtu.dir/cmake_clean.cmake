@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtu.dir/test_dtu.cc.o"
+  "CMakeFiles/test_dtu.dir/test_dtu.cc.o.d"
+  "test_dtu"
+  "test_dtu.pdb"
+  "test_dtu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

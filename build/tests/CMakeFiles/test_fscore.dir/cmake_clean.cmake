@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fscore.dir/test_fscore.cc.o"
+  "CMakeFiles/test_fscore.dir/test_fscore.cc.o.d"
+  "test_fscore"
+  "test_fscore.pdb"
+  "test_fscore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

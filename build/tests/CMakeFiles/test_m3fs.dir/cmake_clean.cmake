@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_m3fs.dir/test_m3fs.cc.o"
+  "CMakeFiles/test_m3fs.dir/test_m3fs.cc.o.d"
+  "test_m3fs"
+  "test_m3fs.pdb"
+  "test_m3fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_m3fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipe.dir/test_pipe.cc.o"
+  "CMakeFiles/test_pipe.dir/test_pipe.cc.o.d"
+  "test_pipe"
+  "test_pipe.pdb"
+  "test_pipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/m3workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxsim/CMakeFiles/m3linux.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/m3accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/libm3/CMakeFiles/m3sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/m3fs/CMakeFiles/m3fslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/libm3/CMakeFiles/m3user.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/m3kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtu/CMakeFiles/m3dtu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/m3noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/m3base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_dtu[1]_include.cmake")
+include("/root/repo/build/tests/test_fscore[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_linux[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_pipe[1]_include.cmake")
+include("/root/repo/build/tests/test_micro[1]_include.cmake")
+include("/root/repo/build/tests/test_service[1]_include.cmake")
+include("/root/repo/build/tests/test_crosscheck[1]_include.cmake")
+include("/root/repo/build/tests/test_m3fs[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_vfs[1]_include.cmake")
+include("/root/repo/build/tests/test_gates[1]_include.cmake")
+include("/root/repo/build/tests/test_interrupts[1]_include.cmake")

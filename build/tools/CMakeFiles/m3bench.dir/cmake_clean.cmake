@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3bench.dir/m3bench.cc.o"
+  "CMakeFiles/m3bench.dir/m3bench.cc.o.d"
+  "m3bench"
+  "m3bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
