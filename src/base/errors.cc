@@ -34,8 +34,11 @@ errorName(Error e)
       case Error::NoSuchSession: return "NoSuchSession";
       case Error::InvalidFileHandle: return "InvalidFileHandle";
       case Error::PipeClosed: return "PipeClosed";
-      default: return "Unknown";
+      case Error::Timeout: return "Timeout";
+      case Error::NocFault: return "NocFault";
+      case Error::_COUNT: break;
     }
+    return "Unknown";
 }
 
 } // namespace m3

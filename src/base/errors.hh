@@ -45,6 +45,11 @@ enum class Error : uint32_t
     InvalidFileHandle,
     // Pipe errors
     PipeClosed,
+    // Robustness layer
+    Timeout,        //!< a deadline elapsed before the operation completed
+    NocFault,       //!< message lost/corrupted on the NoC (injected fault)
+
+    _COUNT,         //!< number of error codes (not an error itself)
 };
 
 /** Human-readable name of an error code. */

@@ -34,6 +34,12 @@ class Marshaller
     /** Bytes used so far. */
     size_t size() const { return pos; }
 
+    /**
+     * Treat the first @p n buffer bytes as already written. Used to
+     * replay a request saved from another staging buffer.
+     */
+    void setSize(size_t n) { pos = n; }
+
     /** Number of items written (for cost accounting). */
     size_t items() const { return count; }
 

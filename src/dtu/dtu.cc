@@ -1,9 +1,11 @@
 #include "dtu/dtu.hh"
 
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "base/logging.hh"
+#include "sim/fault_plan.hh"
 
 namespace m3
 {
@@ -119,6 +121,15 @@ Dtu::sendExt(uint32_t targetNode, std::function<Error(Dtu &)> apply,
               onDone = std::move(onDone)] {
                  Error e = apply(*target);
                  if (onDone) {
+                     if (faults &&
+                         faults->refuseExtAck(eq.curCycle(), targetNode,
+                                              nocId)) {
+                         // Config applied, ack suppressed: the sender
+                         // has to recover via its own deadline.
+                         logtrace("node%u: fault: ext ack from node%u "
+                                  "refused", nocId, targetNode);
+                         return;
+                     }
                      noc.send(targetNode, nocId, 0,
                               [onDone, e] { onDone(e); });
                  }
@@ -231,7 +242,7 @@ Dtu::applyReset()
         recvState[i] = RecvState{};
     }
     if (busy)
-        completeCommand(Error::Aborted);
+        abortCommand();
 }
 
 // ---------------------------------------------------------------------
@@ -239,7 +250,7 @@ Dtu::applyReset()
 // ---------------------------------------------------------------------
 
 void
-Dtu::completeCommand(Error e)
+Dtu::finishCommand(Error e)
 {
     busy = false;
     cmdError = e;
@@ -251,15 +262,69 @@ Dtu::completeCommand(Error e)
 }
 
 void
-Dtu::waitUntilIdle()
+Dtu::completeCommand(uint64_t seq, Error e)
+{
+    // A completion of an aborted (and possibly superseded) command must
+    // not touch the DTU state: after an abort, busy is false; after a
+    // new command started, the epoch differs.
+    if (!busy || seq != cmdSeq)
+        return;
+    finishCommand(e);
+}
+
+void
+Dtu::abortCommand()
+{
+    if (!busy)
+        return;
+    finishCommand(Error::Aborted);
+}
+
+Error
+Dtu::refundCredit(epid_t id)
+{
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Send)
+        return Error::InvalidEp;
+    if (r.send.credits != CREDITS_UNLIMITED)
+        r.send.credits++;
+    return Error::None;
+}
+
+Error
+Dtu::waitUntilIdle(Cycles timeout)
 {
     Fiber *self = Fiber::current();
     if (!self)
         panic("waitUntilIdle outside a fiber");
-    while (busy) {
+    if (timeout == 0) {
+        while (busy) {
+            cmdWaiter = self;
+            self->block();
+        }
+        return cmdError;
+    }
+    // The timer and the completion race; both sides check the shared
+    // flags so a late timer event is harmless.
+    auto expired = std::make_shared<bool>(false);
+    auto armed = std::make_shared<bool>(true);
+    eq.schedule(timeout, [self, expired, armed] {
+        if (*armed) {
+            *expired = true;
+            self->unblock();
+        }
+    });
+    while (busy && !*expired) {
         cmdWaiter = self;
         self->block();
     }
+    *armed = false;
+    if (busy) {
+        if (cmdWaiter == self)
+            cmdWaiter = nullptr;
+        return Error::Timeout;
+    }
+    return cmdError;
 }
 
 Error
@@ -297,8 +362,19 @@ Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
     std::vector<uint8_t> payload(size);
     if (size)
         spm.read(msgAddr, payload.data(), size);
+    hdr.payloadSum = payloadChecksum(payload.data(), payload.size());
+    if (faults && size) {
+        uint64_t off = 0;
+        if (faults->corruptPayload(eq.curCycle(), nocId, r.send.targetNode,
+                                   size, off)) {
+            // Flip one byte "on the wire": the checksum was computed
+            // from the intact payload, so the receiver detects it.
+            payload[off] ^= 0xa5;
+        }
+    }
 
     busy = true;
+    const uint64_t seq = ++cmdSeq;
     dtuStats.msgsSent++;
 
     Dtu *target = dtuAt(r.send.targetNode);
@@ -316,7 +392,7 @@ Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
     // The source side is free again once the tail left the injection port.
     Cycles ser = (size + hw.msgHeaderSize + hw.nocBytesPerCycle - 1) /
                  hw.nocBytesPerCycle;
-    eq.schedule(ser, [this] { completeCommand(Error::None); });
+    eq.schedule(ser, [this, seq] { completeCommand(seq, Error::None); });
     return Error::None;
 }
 
@@ -362,11 +438,20 @@ Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
     std::vector<uint8_t> payload(size);
     if (size)
         spm.read(msgAddr, payload.data(), size);
+    hdr.payloadSum = payloadChecksum(payload.data(), payload.size());
+    if (faults && size) {
+        uint64_t off = 0;
+        if (faults->corruptPayload(eq.curCycle(), nocId, orig.senderNode,
+                                   size, off)) {
+            payload[off] ^= 0xa5;
+        }
+    }
 
     // Replying also acknowledges the slot (frees it for new messages).
     recvState[id].slots[slot].s = RecvSlotState::S::Free;
 
     busy = true;
+    const uint64_t seq = ++cmdSeq;
     dtuStats.msgsSent++;
 
     Dtu *target = dtuAt(orig.senderNode);
@@ -378,7 +463,7 @@ Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
 
     Cycles ser = (size + hw.msgHeaderSize + hw.nocBytesPerCycle - 1) /
                  hw.nocBytesPerCycle;
-    eq.schedule(ser, [this] { completeCommand(Error::None); });
+    eq.schedule(ser, [this, seq] { completeCommand(seq, Error::None); });
     return Error::None;
 }
 
@@ -386,6 +471,16 @@ void
 Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
                std::vector<uint8_t> payload)
 {
+    if (payloadChecksum(payload.data(), payload.size()) != hdr.payloadSum) {
+        // Bit error on the wire: drop the whole message. Software sees
+        // a loss, which the retry layers already have to handle, rather
+        // than silently consuming corrupted data.
+        dtuStats.msgsCorrupted++;
+        dtuStats.msgsDropped++;
+        logtrace("node%u: drop at ep%u: checksum mismatch (from node%u)",
+                 nocId, id, hdr.senderNode);
+        return;
+    }
     if (hdr.isReply() && hdr.targetGen != generation) {
         // The reply targets a previous owner of this PE (Sec. 3:
         // NoC-level isolation across PE reuse).
@@ -468,6 +563,7 @@ Dtu::startRead(epid_t id, spmaddr_t dstAddr, goff_t off, uint64_t size)
         return Error::OutOfBounds;
 
     busy = true;
+    const uint64_t seq = ++cmdSeq;
     dtuStats.memReads++;
     dtuStats.bytesRead += size;
 
@@ -479,15 +575,20 @@ Dtu::startRead(epid_t id, spmaddr_t dstAddr, goff_t off, uint64_t size)
     uint32_t tnode = r.mem.targetNode;
 
     // Request packet (header only) -> target latency -> data response.
-    noc.send(nocId, tnode, 0, [this, mem, gaddr, size, dstAddr, tnode] {
+    noc.send(nocId, tnode, 0, [this, mem, gaddr, size, dstAddr, tnode,
+                               seq] {
         eq.schedule(mem->accessLatency(), [this, mem, gaddr, size, dstAddr,
-                                           tnode] {
+                                           tnode, seq] {
             auto data = std::make_shared<std::vector<uint8_t>>(size);
             mem->read(gaddr, data->data(), size);
             noc.send(tnode, nocId, static_cast<uint32_t>(size),
-                     [this, data, dstAddr] {
+                     [this, data, dstAddr, seq] {
+                         // The SPM write must not happen for an aborted
+                         // command: the PE may have a new owner.
+                         if (!busy || seq != cmdSeq)
+                             return;
                          spm.write(dstAddr, data->data(), data->size());
-                         completeCommand(Error::None);
+                         completeCommand(seq, Error::None);
                      });
         });
     });
@@ -508,6 +609,7 @@ Dtu::startWrite(epid_t id, spmaddr_t srcAddr, goff_t off, uint64_t size)
         return Error::OutOfBounds;
 
     busy = true;
+    const uint64_t seq = ++cmdSeq;
     dtuStats.memWrites++;
     dtuStats.bytesWritten += size;
 
@@ -523,13 +625,14 @@ Dtu::startWrite(epid_t id, spmaddr_t srcAddr, goff_t off, uint64_t size)
         spm.read(srcAddr, data->data(), size);
 
     noc.send(nocId, tnode, static_cast<uint32_t>(size),
-             [this, mem, gaddr, data, tnode] {
+             [this, mem, gaddr, data, tnode, seq] {
                  eq.schedule(mem->accessLatency(), [this, mem, gaddr, data,
-                                                    tnode] {
+                                                    tnode, seq] {
                      mem->write(gaddr, data->data(), data->size());
                      // Completion ack back to the initiator.
-                     noc.send(tnode, nocId, 0,
-                              [this] { completeCommand(Error::None); });
+                     noc.send(tnode, nocId, 0, [this, seq] {
+                         completeCommand(seq, Error::None);
+                     });
                  });
              });
     return Error::None;
@@ -624,20 +727,39 @@ Dtu::ackMsg(epid_t id, uint32_t slot)
     return Error::None;
 }
 
-void
-Dtu::waitForMsg(epid_t id)
+Error
+Dtu::waitForMsg(epid_t id, Cycles timeout)
 {
     Fiber *self = Fiber::current();
     if (!self)
         panic("waitForMsg outside a fiber");
-    while (!hasMsg(id)) {
+    if (timeout == 0) {
+        while (!hasMsg(id)) {
+            msgWaiters[id] = self;
+            self->block();
+        }
+        return Error::None;
+    }
+    auto expired = std::make_shared<bool>(false);
+    auto armed = std::make_shared<bool>(true);
+    eq.schedule(timeout, [self, expired, armed] {
+        if (*armed) {
+            *expired = true;
+            self->unblock();
+        }
+    });
+    while (!hasMsg(id) && !*expired) {
         msgWaiters[id] = self;
         self->block();
     }
+    *armed = false;
+    if (msgWaiters[id] == self)
+        msgWaiters[id] = nullptr;
+    return hasMsg(id) ? Error::None : Error::Timeout;
 }
 
-void
-Dtu::waitForMsgs(const std::vector<epid_t> &ids)
+Error
+Dtu::waitForMsgs(const std::vector<epid_t> &ids, Cycles timeout)
 {
     Fiber *self = Fiber::current();
     if (!self)
@@ -648,7 +770,26 @@ Dtu::waitForMsgs(const std::vector<epid_t> &ids)
                 return true;
         return false;
     };
-    while (!anyReady()) {
+    if (timeout == 0) {
+        while (!anyReady()) {
+            for (epid_t id : ids)
+                msgWaiters[id] = self;
+            self->block();
+            for (epid_t id : ids)
+                if (msgWaiters[id] == self)
+                    msgWaiters[id] = nullptr;
+        }
+        return Error::None;
+    }
+    auto expired = std::make_shared<bool>(false);
+    auto armed = std::make_shared<bool>(true);
+    eq.schedule(timeout, [self, expired, armed] {
+        if (*armed) {
+            *expired = true;
+            self->unblock();
+        }
+    });
+    while (!anyReady() && !*expired) {
         for (epid_t id : ids)
             msgWaiters[id] = self;
         self->block();
@@ -656,6 +797,11 @@ Dtu::waitForMsgs(const std::vector<epid_t> &ids)
             if (msgWaiters[id] == self)
                 msgWaiters[id] = nullptr;
     }
+    *armed = false;
+    for (epid_t id : ids)
+        if (msgWaiters[id] == self)
+            msgWaiters[id] = nullptr;
+    return anyReady() ? Error::None : Error::Timeout;
 }
 
 } // namespace m3

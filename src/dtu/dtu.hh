@@ -34,12 +34,15 @@
 namespace m3
 {
 
+class FaultPlan;
+
 /** DTU statistics for tests and ablation benches. */
 struct DtuStats
 {
     uint64_t msgsSent = 0;
     uint64_t msgsReceived = 0;
     uint64_t msgsDropped = 0;
+    uint64_t msgsCorrupted = 0;  //!< dropped due to checksum mismatch
     uint64_t creditDenials = 0;
     uint64_t memReads = 0;
     uint64_t memWrites = 0;
@@ -177,8 +180,29 @@ class Dtu
     /** Result of the last completed command. */
     Error lastError() const { return cmdError; }
 
-    /** Block the calling fiber until the current command completed. */
-    void waitUntilIdle();
+    /**
+     * Block the calling fiber until the current command completed.
+     * With @p timeout > 0, gives up after that many cycles and returns
+     * Error::Timeout (the command stays in flight until aborted).
+     * Otherwise returns the command's result.
+     */
+    Error waitUntilIdle(Cycles timeout = 0);
+
+    /**
+     * Abort the in-flight command, if any: the DTU becomes idle with
+     * lastError() == Aborted, and a late completion of the aborted
+     * command is ignored. Software calls this after a timed-out wait
+     * before reusing the DTU.
+     */
+    void abortCommand();
+
+    /**
+     * Put one credit back into send EP @p ep. Models the abort-reclaim
+     * of a credit whose message is known lost (timed-out request): the
+     * retry layer calls this before resending, since the lost message
+     * can no longer trigger the regular reply-time refund.
+     */
+    Error refundCredit(epid_t ep);
 
     // -------------------------------------------------------------------
     // Receive side.
@@ -205,11 +229,13 @@ class Dtu
     /**
      * Block the calling fiber until a message is pending on @p ep
      * (models the register polling / future low-power wait, Sec. 4.3).
+     * With @p timeout > 0, returns Error::Timeout after that many
+     * cycles without a message; Error::None once one is pending.
      */
-    void waitForMsg(epid_t ep);
+    Error waitForMsg(epid_t ep, Cycles timeout = 0);
 
     /** Block until any of the given EPs has a pending message. */
-    void waitForMsgs(const std::vector<epid_t> &eps);
+    Error waitForMsgs(const std::vector<epid_t> &eps, Cycles timeout = 0);
 
     /** Inspect an endpoint's registers (tests, kernel bookkeeping). */
     const EpRegs &ep(epid_t id) const;
@@ -219,6 +245,9 @@ class Dtu
 
     const DtuStats &stats() const { return dtuStats; }
     void resetStats() { dtuStats = DtuStats{}; }
+
+    /** Attach a fault plan (payload corruption, ext-ack refusal). */
+    void setFaultPlan(FaultPlan *plan) { faults = plan; }
 
   private:
     struct RecvSlotState
@@ -247,7 +276,15 @@ class Dtu
     Error sendExt(uint32_t targetNode, std::function<Error(Dtu &)> apply,
                   std::function<void(Error)> onDone);
 
-    void completeCommand(Error e);
+    /**
+     * Complete the in-flight command @p seq. A stale @p seq (the
+     * command was aborted and possibly superseded) is ignored, so late
+     * NoC round-trip completions cannot corrupt a newer command.
+     */
+    void completeCommand(uint64_t seq, Error e);
+
+    /** Unconditionally finish the current command with result @p e. */
+    void finishCommand(Error e);
 
     EpRegs &epRef(epid_t id);
     void checkEpId(epid_t id) const;
@@ -266,12 +303,15 @@ class Dtu
 
     bool busy = false;
     Error cmdError = Error::None;
+    /** Epoch of the current command; completions carry the epoch. */
+    uint64_t cmdSeq = 0;
     Fiber *cmdWaiter = nullptr;
     std::array<Fiber *, EP_COUNT> msgWaiters{};
 
     DtuResolver dtuAt;
     MemResolver memAt;
     std::function<void()> startHook;
+    FaultPlan *faults = nullptr;
 
     DtuStats dtuStats;
 };

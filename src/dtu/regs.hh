@@ -105,6 +105,13 @@ struct MessageHeader
      */
     uint32_t senderGen = 0;
     uint32_t targetGen = 0;    //!< replies: required receiver generation
+    /**
+     * Additive 16-bit checksum over the payload, computed by the sending
+     * DTU before injection. The receiving DTU verifies it and drops the
+     * message on mismatch (NocFault), so software sees a loss — which it
+     * already has to handle — instead of silent data corruption.
+     */
+    uint16_t payloadSum = 0;
     uint8_t flags = 0;         //!< FL_REPLY etc.
 
     static constexpr uint8_t FL_REPLY = 1;       //!< this is a reply
@@ -113,6 +120,18 @@ struct MessageHeader
     bool isReply() const { return flags & FL_REPLY; }
     bool canReply() const { return flags & FL_REPLY_EN; }
 };
+
+/** Payload checksum as computed/verified by the DTUs. */
+inline uint16_t
+payloadChecksum(const uint8_t *data, size_t len)
+{
+    // Additive mod 2^16: any single-byte change (|delta| < 2^16) is
+    // guaranteed to alter the sum, which covers the injected faults.
+    uint32_t sum = 0;
+    for (size_t i = 0; i < len; ++i)
+        sum += data[i];
+    return static_cast<uint16_t>(sum);
+}
 
 } // namespace m3
 

@@ -227,6 +227,20 @@ class CapTable
     /** Number of capabilities in the table. */
     size_t size() const { return table.size(); }
 
+    /**
+     * Snapshot of the selectors in use. Used by revoke-all paths (the
+     * watchdog's PE reclaim), which mutate the table while walking it.
+     */
+    std::vector<capsel_t>
+    sels() const
+    {
+        std::vector<capsel_t> out;
+        out.reserve(table.size());
+        for (const auto &[sel, cap] : table)
+            out.push_back(sel);
+        return out;
+    }
+
     vpeid_t vpeId() const { return vpe; }
 
   private:

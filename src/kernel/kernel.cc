@@ -118,6 +118,7 @@ Kernel::bootSetup()
         platform.pe(prog.pe).installProgram(prog.name,
                                             [main, id] { main(id); });
         v.state = Vpe::State::Running;
+        v.lastActivity = platform.simulator().curCycle();
         kdtu().extStart(nodeOf(v));
         compute(costs.epConfig);
     }
@@ -169,13 +170,102 @@ Kernel::run()
     Fiber::current()->accounting().push(Category::Os);
     bootSetup();
     for (;;) {
-        kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY});
+        // The watchdog only needs to tick while a VPE could expire;
+        // waiting without a timeout otherwise lets the event queue
+        // drain once all programs exited (end-of-simulation detection).
+        if (watchdogPeriod && anyWatchedVpe())
+            kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY}, watchdogPeriod);
+        else
+            kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY});
         int slot;
         while ((slot = kdtu().fetchMsg(KEP_SRV_REPLY)) >= 0)
             handleServiceReply(static_cast<uint32_t>(slot));
         while ((slot = kdtu().fetchMsg(KEP_SYSC)) >= 0)
             handleSyscall(static_cast<uint32_t>(slot));
+        if (watchdogPeriod)
+            checkWatchdog();
     }
+}
+
+bool
+Kernel::isServiceOwner(vpeid_t id) const
+{
+    for (const auto &[name, serv] : services)
+        if (serv->owner == id)
+            return true;
+    return false;
+}
+
+bool
+Kernel::anyWatchedVpe() const
+{
+    for (const auto &[id, v] : vpes)
+        if (v->state == Vpe::State::Running && !isServiceOwner(id))
+            return true;
+    return false;
+}
+
+void
+Kernel::deferredReplySent(vpeid_t caller)
+{
+    Vpe *v = vpeById(caller);
+    if (!v)
+        return;
+    // The reply wakes the VPE; give it a full deadline to show life.
+    v->lastActivity = platform.simulator().curCycle();
+    if (v->pendingReplies)
+        v->pendingReplies--;
+}
+
+void
+Kernel::checkWatchdog()
+{
+    Cycles now = platform.simulator().curCycle();
+    // Snapshot first: reclaiming mutates the VPE map (cap revocation
+    // can finish child VPEs, releasing PEs may admit pending creates).
+    std::vector<vpeid_t> expired;
+    for (const auto &[id, v] : vpes) {
+        // Service owners are exempt: they legitimately block on their
+        // rings between requests; their health shows up as request
+        // timeouts at their clients instead. VPEs with a deferred
+        // kernel reply are blocked *in the kernel* and cannot
+        // heartbeat, so they are not counted as unresponsive either.
+        if (v->state == Vpe::State::Running && v->pendingReplies == 0 &&
+            !isServiceOwner(id) &&
+            now - v->lastActivity > watchdogDeadline) {
+            expired.push_back(id);
+        }
+    }
+    for (vpeid_t id : expired) {
+        Vpe *v = vpeById(id);
+        if (v && v->state == Vpe::State::Running)
+            reclaimVpe(*v);
+    }
+}
+
+void
+Kernel::reclaimVpe(Vpe &v)
+{
+    logtrace("kernel: watchdog: vpe%u (pe%u) unresponsive, reclaiming",
+             v.id, v.pe);
+    kstats.watchdogReclaims++;
+
+    // Stop the core first: an unresponsive program must not resume
+    // after its DTU is reset. On the real platform this is the
+    // NoC-level reset; the core model makes it a separate step.
+    platform.pe(v.pe).killCore();
+
+    // Revoke everything the VPE held; children owned by other VPEs die
+    // with their parents, exactly like an explicit revoke.
+    for (capsel_t sel : v.caps.sels()) {
+        Capability *cap = v.caps.get(sel);
+        if (cap)
+            revokeRec(cap);
+    }
+
+    // Reset the DTU, free the PE and answer waiters (exit code -2
+    // signals an involuntary exit).
+    finishVpe(v, -2);
 }
 
 void
@@ -217,6 +307,9 @@ Kernel::handleSyscall(uint32_t slot)
         replyError(slot, Error::NoSuchVpe);
         return;
     }
+
+    // Any syscall proves the VPE's core is alive (watchdog liveness).
+    caller->lastActivity = platform.simulator().curCycle();
 
     Spm &spm = platform.pe(kernelPe).spm();
     const uint8_t *payload =
@@ -273,6 +366,9 @@ Kernel::handleSyscall(uint32_t slot)
       case Syscall::Revoke:
         sysRevoke(*caller, um, slot);
         break;
+      case Syscall::Heartbeat:
+        sysHeartbeat(*caller, um, slot);
+        break;
       default:
         replyError(slot, Error::InvalidArgs);
         break;
@@ -286,6 +382,16 @@ Kernel::handleSyscall(uint32_t slot)
 void
 Kernel::sysNoop(Vpe &, Unmarshaller &, uint32_t slot)
 {
+    compute(costs.nullHandler);
+    replyError(slot, Error::None);
+}
+
+void
+Kernel::sysHeartbeat(Vpe &, Unmarshaller &, uint32_t slot)
+{
+    // lastActivity was already refreshed by the dispatch path; the
+    // handler only has to acknowledge.
+    kstats.heartbeats++;
     compute(costs.nullHandler);
     replyError(slot, Error::None);
 }
@@ -311,6 +417,7 @@ Kernel::sysCreateVpe(Vpe &caller, Unmarshaller &um, uint32_t slot)
     if (queueVpes) {
         // Sec. 3.3: wait for a reusable core instead of failing; the
         // reply (and thereby the caller) blocks until a PE frees up.
+        deferReply(caller);
         pendingVpes.push_back(std::move(req));
         return;
     }
@@ -369,10 +476,12 @@ Kernel::flushPendingVpes()
             it = pendingVpes.erase(it);
             continue;
         }
-        if (tryCreateVpe(*caller, *it))
+        if (tryCreateVpe(*caller, *it)) {
+            deferredReplySent(it->caller);
             it = pendingVpes.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
 }
 
@@ -391,6 +500,7 @@ Kernel::sysVpeStart(Vpe &caller, Unmarshaller &um, uint32_t slot)
         return;
     }
     child->state = Vpe::State::Running;
+    child->lastActivity = platform.simulator().curCycle();
     kdtu().extStart(nodeOf(*child));
     compute(costs.epConfig);
     replyError(slot, Error::None);
@@ -418,7 +528,8 @@ Kernel::sysVpeWait(Vpe &caller, Unmarshaller &um, uint32_t slot)
         return;
     }
     // Defer the reply until the child exits (Sec. 4.5.4's deferral idea).
-    child->waiters.emplace_back(KEP_SYSC, slot);
+    deferReply(caller);
+    child->waiters.push_back({KEP_SYSC, slot, caller.id});
 }
 
 void
@@ -444,7 +555,8 @@ Kernel::finishVpe(Vpe &v, int exitCode)
     platform.pe(v.pe).release();
     peBusy[v.pe] = false;
 
-    for (auto [ep, slot] : v.waiters) {
+    for (auto [ep, slot, waitingVpe] : v.waiters) {
+        deferredReplySent(waitingVpe);
         uint8_t buf[64];
         Marshaller m(buf, sizeof(buf));
         m << Error::None << static_cast<int64_t>(exitCode);
@@ -584,6 +696,7 @@ Kernel::sysActivate(Vpe &caller, Unmarshaller &um, uint32_t slot)
         auto &sg = static_cast<SGateObj &>(*cap->obj);
         if (!sg.rgate->activated) {
             // Receiver not ready: defer the reply (Sec. 4.5.4).
+            deferReply(caller);
             pendingActs[sg.rgate.get()].push_back(
                 PendingAct{caller.id, capSel, static_cast<epid_t>(ep),
                            slot});
@@ -659,6 +772,7 @@ Kernel::flushPendingActivations(RGateObj *rgate)
     std::vector<PendingAct> pending = std::move(it->second);
     pendingActs.erase(it);
     for (const PendingAct &pa : pending) {
+        deferredReplySent(pa.vpe);
         Vpe *v = vpeById(pa.vpe);
         if (!v) {
             continue;
@@ -836,6 +950,7 @@ Kernel::sysOpenSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
     req.slot = slot;
     req.dstSel = dstSel;
     req.serv = it->second;
+    deferReply(caller);
     pendingSrvReqs[id] = std::move(req);
 }
 
@@ -886,6 +1001,7 @@ Kernel::sysExchangeSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
         for (uint32_t i = 0; i < count; ++i)
             req.srcSels.push_back(dstStart + i);
     }
+    deferReply(caller);
     pendingSrvReqs[id] = std::move(req);
 }
 
@@ -902,6 +1018,7 @@ Kernel::handleServiceReply(uint32_t slot)
     }
     PendingSrvReq req = std::move(it->second);
     pendingSrvReqs.erase(it);
+    deferredReplySent(req.caller);
 
     // The reply returns the kernel's channel credit; dispatch a queued
     // request if one is waiting.
@@ -1063,8 +1180,10 @@ Kernel::revokeRec(Capability *cap)
         if (it != pendingActs.end()) {
             auto pending = std::move(it->second);
             pendingActs.erase(it);
-            for (const PendingAct &pa : pending)
+            for (const PendingAct &pa : pending) {
+                deferredReplySent(pa.vpe);
                 replyOnEpError(pa.slot, Error::NoSuchCap);
+            }
         }
         rg.activated = false;
         break;

@@ -54,8 +54,25 @@ struct Vpe
     int exitCode = 0;
     CapTable caps;
 
-    /** Deferred VpeWait replies: (kernel recv EP, ring slot). */
-    std::vector<std::pair<epid_t, uint32_t>> waiters;
+    /** Cycle of the last syscall/heartbeat (watchdog liveness). */
+    Cycles lastActivity = 0;
+
+    /**
+     * Number of syscalls whose reply the kernel is deferring for this
+     * VPE (VpeWait, queued CreateVpe, deferred Activate, session
+     * calls). Such a VPE is blocked *in the kernel* and cannot
+     * heartbeat; the watchdog must not count that as unresponsiveness.
+     */
+    uint32_t pendingReplies = 0;
+
+    /** One deferred VpeWait reply. */
+    struct Waiter
+    {
+        epid_t ep;
+        uint32_t slot;     //!< kernel ring slot to reply to
+        vpeid_t caller;    //!< the waiting VPE
+    };
+    std::vector<Waiter> waiters;
 };
 
 /** Statistics for tests and the scalability analysis. */
@@ -66,6 +83,8 @@ struct KernelStats
     uint64_t capsDelegated = 0;
     uint64_t capsRevoked = 0;
     uint64_t serviceRequests = 0;
+    uint64_t heartbeats = 0;
+    uint64_t watchdogReclaims = 0;
 };
 
 /**
@@ -108,6 +127,21 @@ class Kernel
      * released instead of failing with NoFreePe.
      */
     void setQueueVpes(bool enable) { queueVpes = enable; }
+
+    /**
+     * Enable the watchdog: a Running VPE that issues no syscall or
+     * heartbeat for @p deadline cycles is considered dead (its core
+     * crashed or its messages are being lost) and its PE is reclaimed:
+     * core killed, capabilities revoked, DTU reset, waiters answered
+     * with exit code -2. The kernel checks every @p period cycles.
+     * Call before start(); disabled by default (zero overhead).
+     */
+    void
+    enableWatchdog(Cycles deadline, Cycles period)
+    {
+        watchdogDeadline = deadline;
+        watchdogPeriod = period;
+    }
 
     Kernel(const Kernel &) = delete;
     Kernel &operator=(const Kernel &) = delete;
@@ -157,6 +191,7 @@ class Kernel
     void sysOpenSess(Vpe &vpe, Unmarshaller &um, uint32_t slot);
     void sysExchangeSess(Vpe &vpe, Unmarshaller &um, uint32_t slot);
     void sysRevoke(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysHeartbeat(Vpe &vpe, Unmarshaller &um, uint32_t slot);
 
     // --- service interaction -----------------------------------------
     void handleServiceReply(uint32_t slot);
@@ -172,6 +207,16 @@ class Kernel
                      spmaddr_t bufAddr);
     void finishVpe(Vpe &vpe, int exitCode);
     void revokeRec(Capability *cap);
+    void checkWatchdog();
+    void reclaimVpe(Vpe &vpe);
+    /** Any Running VPE the watchdog would observe (non-service)? */
+    bool anyWatchedVpe() const;
+    /** Did @p id register a service? Service owners are not watched. */
+    bool isServiceOwner(vpeid_t id) const;
+
+    /** Bookkeeping for deferred syscall replies (watchdog liveness). */
+    void deferReply(Vpe &caller) { caller.pendingReplies++; }
+    void deferredReplySent(vpeid_t caller);
     void flushPendingActivations(RGateObj *rgate);
 
     uint32_t nodeOf(const Vpe &vpe) const;
@@ -217,6 +262,10 @@ class Kernel
     };
     std::vector<PendingVpeReq> pendingVpes;
     bool queueVpes = false;
+
+    // Watchdog configuration (0 = disabled).
+    Cycles watchdogDeadline = 0;
+    Cycles watchdogPeriod = 0;
 
     /** Try to satisfy @p req now. @return false if no PE is free. */
     bool tryCreateVpe(Vpe &caller, const PendingVpeReq &req);

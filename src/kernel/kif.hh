@@ -74,6 +74,7 @@ enum class Syscall : uint64_t
     ExchangeSess, //!< { sessSel, obtain, dstStart, count, args... }
                   //!< -> { Error, args... } (deferred)
     Revoke,       //!< { capSel, own } -> { Error }
+    Heartbeat,    //!< { } -> { Error } (watchdog liveness, Sec. 3.3)
     COUNT,
 };
 

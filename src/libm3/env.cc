@@ -200,6 +200,14 @@ Env::noop()
 }
 
 Error
+Env::heartbeat()
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::Heartbeat;
+    return sysCall(m);
+}
+
+Error
 Env::createVpe(capsel_t dstSel, capsel_t mgateSel, const std::string &name,
                kif::PeTypeReq type, const std::string &attr,
                vpeid_t &vpeOut, peid_t &peOut)

@@ -98,6 +98,12 @@ class Env
     /** The Fig. 3 null system call. */
     Error noop();
 
+    /**
+     * Watchdog liveness beacon: tells the kernel this VPE is alive
+     * without requesting anything (pairs with Kernel::enableWatchdog).
+     */
+    Error heartbeat();
+
     Error createVpe(capsel_t dstSel, capsel_t mgateSel,
                     const std::string &name, kif::PeTypeReq type,
                     const std::string &attr, vpeid_t &vpeOut,

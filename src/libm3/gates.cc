@@ -224,6 +224,57 @@ SendGate::call(Marshaller &m, RecvGate &replyGate)
     return replyGate.tryReceive();
 }
 
+GateIStream
+SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
+{
+    // Without a policy this is exactly call() (zero-overhead default).
+    if (policy.maxAttempts <= 1 && policy.replyTimeout == 0) {
+        err = Error::None;
+        return call(m, replyGate);
+    }
+
+    env.compute(env.cm.m3.marshal);
+    const uint32_t size = static_cast<uint32_t>(m.size());
+    const uint32_t attempts = policy.maxAttempts ? policy.maxAttempts : 1;
+    Cycles backoff = policy.backoffBase ? policy.backoffBase : 1;
+    for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+        Error se = sendRaw(size, &replyGate, 0);
+        if (se == Error::NoCredits) {
+            // Out of budget: an earlier reply may still be in flight or
+            // was lost along with its refund. Pace and retry.
+            env.fiber.sleep(backoff);
+            backoff = std::min(policy.backoffMax, backoff * 2);
+            continue;
+        }
+        if (se != Error::None) {
+            err = se;
+            return GateIStream(replyGate, -1);
+        }
+        Cycles t0 = env.platform.simulator().curCycle();
+        Error we = env.dtu.waitForMsg(replyGate.boundEp(),
+                                      policy.replyTimeout);
+        env.acct().charge(env.platform.simulator().curCycle() - t0);
+        if (we == Error::None) {
+            env.compute(env.cm.m3.fetchMsg + env.cm.m3.unmarshal);
+            err = Error::None;
+            return replyGate.tryReceive();
+        }
+        // The request or its reply was lost; the credit the reply would
+        // have refunded is gone with it. Re-arm the gate, pace the
+        // resend, and drop stragglers of this attempt that arrived while
+        // backing off. (A straggler arriving later still refunds its
+        // credit, which can over-provision the gate; that only loosens
+        // the send bound and is harmless.)
+        env.dtu.refundCredit(acquire());
+        env.fiber.sleep(backoff);
+        backoff = std::min(policy.backoffMax, backoff * 2);
+        while (replyGate.tryReceive().valid()) {
+        }
+    }
+    err = Error::Timeout;
+    return GateIStream(replyGate, -1);
+}
+
 // ---------------------------------------------------------------------
 // MemGate.
 // ---------------------------------------------------------------------

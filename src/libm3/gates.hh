@@ -155,6 +155,20 @@ class SendGate : public Gate
 {
   public:
     /**
+     * Retry policy for callTimed(): bounds each reply wait and resends
+     * with exponential backoff when the NoC loses the request or the
+     * reply. The default (one attempt, no deadline) makes callTimed()
+     * behave exactly like call().
+     */
+    struct RetryPolicy
+    {
+        uint32_t maxAttempts = 1;  //!< total send attempts (1 = no retry)
+        Cycles replyTimeout = 0;   //!< per-attempt deadline (0 = forever)
+        Cycles backoffBase = 128;  //!< pause before the second attempt
+        Cycles backoffMax = 16384; //!< backoff cap (doubles per attempt)
+    };
+
+    /**
      * Create a send gate towards @p target with a receiver-chosen
      * @p label and @p credits messages of budget (Sec. 4.4.3).
      */
@@ -189,12 +203,26 @@ class SendGate : public Gate
      */
     GateIStream call(Marshaller &m, RecvGate &replyGate);
 
+    /**
+     * Like call(), but governed by the retry policy: each reply wait is
+     * bounded by replyTimeout; on expiry the credit the lost reply
+     * carried is restored, stale replies are drained and the request is
+     * resent after an exponentially growing pause. @p err receives
+     * Error::None on success, Error::Timeout when all attempts expired,
+     * or the send error; the stream is invalid unless err is None.
+     */
+    GateIStream callTimed(Marshaller &m, RecvGate &replyGate, Error &err);
+
+    void setRetry(const RetryPolicy &p) { policy = p; }
+    const RetryPolicy &retry() const { return policy; }
+
     uint8_t *stagePtr();
     uint32_t maxMsg() const { return maxMsgSize; }
 
   private:
     uint32_t maxMsgSize;
     spmaddr_t stage;
+    RetryPolicy policy;
 };
 
 /** A memory gate: RDMA-style access to a region of remote memory. */

@@ -20,6 +20,11 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
 
     plat = std::make_unique<Platform>(sim, spec);
 
+    if (cfg.faults.active()) {
+        faults = std::make_unique<FaultPlan>(cfg.faults);
+        plat->setFaultPlan(*faults);
+    }
+
     goff_t dramAllocStart = 0;
     for (uint32_t k = 0; k < fsCount(); ++k) {
         images.push_back(std::make_unique<m3fs::FsImage>(
@@ -29,6 +34,8 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
 
     kern = std::make_unique<kernel::Kernel>(*plat, kernelPe(),
                                             dramAllocStart);
+    if (cfg.watchdogPeriod)
+        kern->enableWatchdog(cfg.watchdogDeadline, cfg.watchdogPeriod);
 
     for (uint32_t k = 0; k < fsCount(); ++k) {
         m3fs::ServerConfig srvCfg = cfg.fsCfg;

@@ -46,6 +46,17 @@ struct M3SystemCfg
     /** m3fs server parameters (append granularity etc.). */
     m3fs::ServerConfig fsCfg;
 
+    /**
+     * Fault injection (deterministic, seeded). Inactive by default; an
+     * inactive plan is not even attached, so the fault-free fast paths
+     * stay untouched (set faults.attachInert to attach it anyway).
+     */
+    FaultPlanCfg faults;
+    /** Kernel watchdog: reclaim a VPE silent for this long (0 = off). */
+    Cycles watchdogDeadline = 0;
+    /** How often the kernel checks (0 = off). */
+    Cycles watchdogPeriod = 0;
+
     /** Service name of instance @p k. */
     static std::string
     fsName(uint32_t k)
@@ -66,6 +77,9 @@ class M3System
     Simulator &simulator() { return sim; }
     Platform &platform() { return *plat; }
     kernel::Kernel &kernelInstance() { return *kern; }
+
+    /** The active fault plan; nullptr when faults are disabled. */
+    FaultPlan *faultPlan() { return faults.get(); }
 
     /** The image served by fs instance @p k. */
     m3fs::FsImage *
@@ -121,6 +135,7 @@ class M3System
     M3SystemCfg cfg;
     Simulator sim;
     std::unique_ptr<Platform> plat;
+    std::unique_ptr<FaultPlan> faults;
     std::vector<std::unique_ptr<m3fs::FsImage>> images;
     std::unique_ptr<kernel::Kernel> kern;
 

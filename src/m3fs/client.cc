@@ -13,8 +13,8 @@ namespace m3fs
 // M3fsSession.
 // ---------------------------------------------------------------------
 
-M3fsSession::M3fsSession(Env &env, capsel_t sessSel)
-    : env(env), sessSel(sessSel)
+M3fsSession::M3fsSession(Env &env, capsel_t sessSel, std::string srvName)
+    : env(env), sessSel(sessSel), srvName(std::move(srvName))
 {
 }
 
@@ -34,7 +34,7 @@ M3fsSession::create(Env &env, Error &err, const std::string &srvName)
         return nullptr;
 
     auto sess = std::shared_ptr<M3fsSession>(
-        new M3fsSession(env, sessSel));
+        new M3fsSession(env, sessSel, srvName));
     sess->replyGate = std::make_unique<RecvGate>(env, 4, FS_MSG_SIZE);
 
     // Obtain the session's send gate from the service (Sec. 4.5.3).
@@ -76,8 +76,10 @@ Error
 M3fsSession::bindMount(Env &env, const std::string &prefix,
                        capsel_t selStart)
 {
+    // Bound sessions cannot re-open: the service name stayed with the
+    // parent, and re-opening would bypass the delegation.
     auto sess = std::shared_ptr<M3fsSession>(
-        new M3fsSession(env, selStart));
+        new M3fsSession(env, selStart, ""));
     sess->replyGate = std::make_unique<RecvGate>(env, 4, FS_MSG_SIZE);
     sess->channel = std::make_unique<SendGate>(env, selStart + 1,
                                                FS_MSG_SIZE, true);
@@ -89,7 +91,63 @@ M3fsSession::call(Marshaller &m)
 {
     ScopedCategory os(env.acct(), Category::Os);
     env.compute(env.cm.m3.fsClientCall);
-    return channel->call(m, *replyGate);
+    if (callTimeout == 0)
+        return channel->call(m, *replyGate);
+
+    // Save the request host-side: a session re-open replaces the channel
+    // and thereby the staging buffer the request lives in.
+    const uint32_t size = static_cast<uint32_t>(m.size());
+    std::vector<uint8_t> saved(channel->stagePtr(),
+                               channel->stagePtr() + size);
+
+    SendGate::RetryPolicy p;
+    p.maxAttempts = callRetries + 1;
+    p.replyTimeout = callTimeout;
+    channel->setRetry(p);
+    Error err = Error::None;
+    {
+        GateIStream is = channel->callTimed(m, *replyGate, err);
+        if (err == Error::None)
+            return is;
+    }
+
+    // The channel is dead (requests or replies keep getting lost, or the
+    // server's view of the session is gone): open a fresh session and
+    // replay the request once.
+    if (srvName.empty())
+        panic("m3fs: channel dead on a bound session (cannot re-open): %s",
+              errorName(err));
+    Error re = reopen();
+    if (re != Error::None)
+        panic("m3fs: session re-open failed: %s", errorName(re));
+    std::memcpy(channel->stagePtr(), saved.data(), size);
+    Marshaller replay(channel->stagePtr(), channel->maxMsg());
+    replay.setSize(size);
+    channel->setRetry(p);
+    GateIStream is = channel->callTimed(replay, *replyGate, err);
+    if (err != Error::None)
+        panic("m3fs: request replay after re-open failed: %s",
+              errorName(err));
+    return is;
+}
+
+Error
+M3fsSession::reopen()
+{
+    capsel_t newSess = env.allocSels();
+    Error err = env.openSess(newSess, srvName, 0);
+    if (err != Error::None)
+        return err;
+    sessSel = newSess;
+    capsel_t sgateSel = env.allocSels();
+    std::vector<uint64_t> ret;
+    err = env.exchangeSess(sessSel, kif::ExchangeOp::Obtain, sgateSel, 1,
+                           {static_cast<uint64_t>(FsXchg::GetChannel)},
+                           &ret);
+    if (err != Error::None)
+        return err;
+    channel = std::make_unique<SendGate>(env, sgateSel, FS_MSG_SIZE, true);
+    return Error::None;
 }
 
 Error

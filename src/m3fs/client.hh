@@ -80,13 +80,27 @@ class M3fsSession : public FileSystem,
      */
     uint32_t appendBlocks = DEFAULT_APPEND_BLOCKS;
 
+    /**
+     * Robustness knobs: with a non-zero callTimeout, each meta-data
+     * call waits at most that many cycles for the reply and is resent
+     * up to callRetries times (exponential backoff); if the channel
+     * stays dead, the client opens a fresh session with the server and
+     * replays the request once. Zero keeps the legacy block-forever
+     * behaviour (and its exact cycle counts).
+     */
+    Cycles callTimeout = 0;
+    uint32_t callRetries = 2;
+
   private:
     friend class M3fsFile;
 
-    M3fsSession(Env &env, capsel_t sessSel);
+    M3fsSession(Env &env, capsel_t sessSel, std::string srvName);
 
     /** Synchronous meta-data call on the session channel. */
     GateIStream call(Marshaller &m);
+
+    /** Open a fresh session + channel after the old one went dead. */
+    Error reopen();
 
     /** Obtain one capability + return args over the session. */
     Error obtain(const std::vector<uint64_t> &args, capsel_t &capOut,
@@ -94,6 +108,7 @@ class M3fsSession : public FileSystem,
 
     Env &env;
     capsel_t sessSel;
+    std::string srvName;  //!< empty for bound (delegated) sessions
     std::unique_ptr<RecvGate> replyGate;
     std::unique_ptr<SendGate> channel;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "sim/fault_plan.hh"
 
 namespace m3
 {
@@ -75,11 +76,28 @@ Noc::send(nocid_t src, nocid_t dst, uint32_t payloadBytes, DeliverFn deliver)
     // makes delivery consistent with hops() = Manhattan distance + 1.
     head += hw.nocHopLatency;
 
-    const Cycles arrival = head + ser;
+    Cycles arrival = head + ser;
 
     nocStats.packets++;
     nocStats.payloadBytes += payloadBytes;
     nocStats.contentionStalls += stalls;
+
+    if (faults) {
+        FaultPlan::PacketDecision d =
+            faults->onPacket(eq.curCycle(), src, dst);
+        if (d.action == FaultPlan::PacketAction::Drop) {
+            // The packet still occupied its links (bandwidth is spent),
+            // but the tail never reaches the destination.
+            nocStats.packetsDropped++;
+            logtrace("noc: fault drop packet seq=%llu %u -> %u",
+                     (unsigned long long)d.seq, src, dst);
+            return arrival;
+        }
+        if (d.action == FaultPlan::PacketAction::Delay) {
+            nocStats.packetsDelayed++;
+            arrival += d.delay;
+        }
+    }
 
     eq.scheduleAbs(arrival, std::move(deliver));
     return arrival;

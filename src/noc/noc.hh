@@ -30,6 +30,8 @@
 namespace m3
 {
 
+class FaultPlan;
+
 /** Identifier of a node (attachment point) on the NoC. */
 using nocid_t = uint32_t;
 
@@ -39,6 +41,8 @@ struct NocStats
     uint64_t packets = 0;
     uint64_t payloadBytes = 0;
     Cycles contentionStalls = 0;
+    uint64_t packetsDropped = 0;  //!< lost to injected faults
+    uint64_t packetsDelayed = 0;  //!< delayed by injected faults
 };
 
 /**
@@ -88,6 +92,12 @@ class Noc
     const NocStats &stats() const { return nocStats; }
     void resetStats() { nocStats = NocStats{}; }
 
+    /**
+     * Attach a fault plan; every injected packet consults it. Null (the
+     * default) keeps the fault-free fast path.
+     */
+    void setFaultPlan(FaultPlan *plan) { faults = plan; }
+
   private:
     /** A directed link between adjacent routers (or router and node). */
     struct Link
@@ -119,6 +129,7 @@ class Noc
     uint32_t rows;
     std::unordered_map<uint64_t, Link> links;
     NocStats nocStats;
+    FaultPlan *faults = nullptr;
 };
 
 } // namespace m3

@@ -77,6 +77,18 @@ class Pe
     /** The fiber of the currently/last running program (or nullptr). */
     Fiber *programFiber() { return fiber; }
 
+    /**
+     * Fault injection: the core dies mid-run. Only the core stops; the
+     * DTU keeps operating, so the kernel can still reset and reclaim
+     * the PE through the NoC (the paper's point, Sec. 3).
+     */
+    void
+    killCore()
+    {
+        if (fiber && !fiber->finished())
+            fiber->kill();
+    }
+
     /** True if a program is installed or still running. */
     bool
     busy() const

@@ -17,6 +17,7 @@
 #include "mem/dram.hh"
 #include "noc/noc.hh"
 #include "pe/pe.hh"
+#include "sim/fault_plan.hh"
 #include "sim/simulator.hh"
 
 namespace m3
@@ -93,6 +94,29 @@ class Platform
 
     /** NoC node of the DRAM module. */
     uint32_t dramNode() const { return nodeTotal - 1; }
+
+    /**
+     * Wire a fault plan into the NoC and every DTU, and schedule the
+     * plan's PE kills. Must be called before the simulation starts.
+     */
+    void
+    setFaultPlan(FaultPlan &plan)
+    {
+        mesh->setFaultPlan(&plan);
+        for (auto &p : peList)
+            p->dtu().setFaultPlan(&plan);
+        for (const PeKill &k : plan.config().killPes) {
+            if (k.node >= peList.size())
+                panic("fault plan kills node %u which is not a PE",
+                      k.node);
+            peid_t pe = k.node;
+            FaultPlan *fp = &plan;
+            sim.queue().scheduleAbs(k.cycle, [this, pe, fp] {
+                fp->notePeKill(sim.curCycle(), pe);
+                peList[pe]->killCore();
+            });
+        }
+    }
 
   private:
     static uint32_t

@@ -62,6 +62,8 @@ Fiber::trampoline()
 void
 Fiber::dispatch()
 {
+    if (killed)
+        return;
     if (state == State::Finished)
         panic("dispatch of finished fiber '%s'", name.c_str());
     if (state == State::Created || (state == State::Ready && !context.uc_stack.ss_sp)) {
@@ -109,8 +111,25 @@ Fiber::block()
 }
 
 void
+Fiber::kill()
+{
+    if (state == State::Running)
+        panic("fiber '%s' cannot kill itself", name.c_str());
+    if (state == State::Finished)
+        return;
+    killed = true;
+    // Joiners would wait forever on a killed fiber; release them. The
+    // kernel-level cleanup (PE reclaim) is the watchdog's job.
+    for (Fiber *j : joiners)
+        j->unblock();
+    joiners.clear();
+}
+
+void
 Fiber::unblock()
 {
+    if (killed)
+        return;
     if (state == State::Blocked) {
         state = State::Ready;
         eq.schedule(0, [this] { dispatch(); });
@@ -126,7 +145,7 @@ Fiber::join()
     Fiber *self = current();
     if (!self)
         panic("join on '%s' called from the main context", name.c_str());
-    while (state != State::Finished) {
+    while (state != State::Finished && !killed) {
         joiners.push_back(self);
         self->block();
     }

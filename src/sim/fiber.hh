@@ -100,6 +100,17 @@ class Fiber
     /** Block the calling fiber until this fiber's body has returned. */
     void join();
 
+    /**
+     * Kill the fiber (fault injection: the core dies mid-run). The
+     * fiber never runs again: pending dispatches and future unblocks
+     * become no-ops. Its stack is not unwound — like a real core that
+     * simply stops fetching instructions. Must not be called on the
+     * currently running fiber.
+     */
+    void kill();
+
+    bool isKilled() const { return killed; }
+
     bool finished() const { return state == State::Finished; }
     State currentState() const { return state; }
     const std::string &fiberName() const { return name; }
@@ -125,6 +136,7 @@ class Fiber
     std::string name;
     Func fn;
     State state = State::Created;
+    bool killed = false;
     bool wakeupPending = false;
     std::vector<Fiber *> joiners;
     Accounting acct;

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "base/accounting.hh"
 #include "base/errors.hh"
 #include "base/marshal.hh"
@@ -144,6 +147,21 @@ TEST(Errors, NamesAreUnique)
     EXPECT_STREQ(errorName(Error::None), "None");
     EXPECT_STREQ(errorName(Error::NoCredits), "NoCredits");
     EXPECT_STRNE(errorName(Error::NoSuchFile), errorName(Error::NoSpace));
+}
+
+TEST(Errors, EveryCodeHasADistinctName)
+{
+    std::set<std::string> seen;
+    for (uint32_t i = 0; i < static_cast<uint32_t>(Error::_COUNT); ++i) {
+        const char *name = errorName(static_cast<Error>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "Unknown") << "code " << i << " has no name";
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate error name: " << name;
+    }
+    // Out-of-range values must not crash and must be identifiable.
+    EXPECT_STREQ(errorName(Error::_COUNT), "Unknown");
+    EXPECT_STREQ(errorName(static_cast<Error>(0xffff)), "Unknown");
 }
 
 TEST(Accounting, CategoryNames)

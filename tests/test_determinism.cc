@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
+#include "libm3/m3system.hh"
+#include "m3fs/client.hh"
 #include "workloads/micro.hh"
 #include "workloads/runners.hh"
 
@@ -48,6 +52,43 @@ TEST(Determinism, LinuxBaselineIsCycleReproducible)
     RunResult b = runLxCatTr(p);
     ASSERT_EQ(a.rc, 0);
     EXPECT_EQ(a.wall, b.wall);
+}
+
+TEST(Determinism, FaultedRunReproducesExactly)
+{
+    // A run that loses packets, times out, retries and is watched by
+    // the kernel watchdog must still replay bit-identically: same wall
+    // time, same injected-fault trace, same outcome.
+    auto run = [](uint64_t seed) {
+        M3SystemCfg cfg;
+        cfg.appPes = 2;
+        cfg.fsSpec.dirs = {"/d"};
+        cfg.faults.seed = seed;
+        cfg.faults.dropRate = 1.0;
+        cfg.faults.maxDrops = 2;
+        cfg.faults.dropPairs = {{2, 1}};
+        cfg.watchdogDeadline = 200000;
+        cfg.watchdogPeriod = 50000;
+        M3System sys(cfg);
+        sys.runRoot("t", [&] {
+            Env &env = Env::cur();
+            Error e = Error::None;
+            auto fs = m3fs::M3fsSession::create(env, e);
+            if (e != Error::None)
+                return 1;
+            fs->callTimeout = 20000;
+            fs->callRetries = 3;
+            FileInfo info;
+            return fs->stat("/d", info) == Error::None ? 0 : 2;
+        });
+        sys.simulate();
+        return std::make_tuple(sys.now(), sys.faultPlan()->traceDigest(),
+                               sys.rootExitCode());
+    };
+    auto a = run(17);
+    auto b = run(17);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(std::get<2>(a), 0);
 }
 
 TEST(Determinism, ScalabilityInstancesReproduce)

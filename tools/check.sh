@@ -1,0 +1,26 @@
+#!/bin/sh
+# Full pre-merge check: build and run the test suite twice, once in the
+# default optimized configuration and once instrumented with ASan+UBSan
+# (the fiber/ucontext switching is ASan-aware, no extra options needed).
+#
+# Usage: tools/check.sh [jobs]   (default: nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs=${1:-$(nproc)}
+
+run_config() {
+    dir=$1
+    shift
+    echo "=== configure $dir ($*)"
+    cmake -B "$dir" -S . "$@"
+    echo "=== build $dir"
+    cmake --build "$dir" -j "$jobs"
+    echo "=== test $dir"
+    ctest --test-dir "$dir" -j "$jobs" --output-on-failure
+}
+
+run_config build-release -DCMAKE_BUILD_TYPE=Release -DM3_SANITIZE=
+run_config build-asan -DM3_SANITIZE=address,undefined
+
+echo "=== all checks passed"
