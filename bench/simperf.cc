@@ -1,0 +1,310 @@
+/**
+ * @file
+ * simperf: host wall-clock performance of the simulator itself.
+ *
+ * Runs a fixed set of representative workloads (null-syscall micro,
+ * 2 MiB file read/write, pipe transfer, and one Fig. 6 scalability
+ * point), times the simulate phase on the host and reports events/sec —
+ * the engine-throughput trajectory future PRs have to beat. Simulated
+ * cycles are reported alongside as a determinism cross-check: they must
+ * never change from run to run (or from PR to PR unless the cost model
+ * itself changes).
+ *
+ * Usage:
+ *   simperf                 human-readable table
+ *   simperf --json          JSON report on stdout
+ *   simperf --out FILE      write the JSON report to FILE
+ *   simperf --check FILE    compare against a baseline JSON (exit 1 if
+ *                           events/sec regresses beyond its tolerance)
+ *   simperf --quick         single repetition (CI smoke mode)
+ *   simperf --reps N        repetitions per workload (default 3)
+ *
+ * Every repetition must execute the identical number of events; the
+ * harness verifies this and fails otherwise (a cheap determinism check
+ * that costs nothing extra).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "workloads/micro.hh"
+#include "workloads/runners.hh"
+
+using namespace m3;
+using namespace m3::workloads;
+
+namespace
+{
+
+struct Measurement
+{
+    std::string name;
+    double hostSeconds = 0;  //!< best over all repetitions
+    uint64_t events = 0;     //!< identical across repetitions
+    Cycles simCycles = 0;    //!< simulated wall of the measured phase
+    double eventsPerSec = 0;
+};
+
+struct Sample
+{
+    int rc;
+    double hostSeconds;
+    uint64_t events;
+    Cycles simCycles;
+};
+
+/** One workload: a name and a callable producing a Sample. */
+template <typename F>
+Measurement
+measure(const std::string &name, int reps, F &&runOnce)
+{
+    Measurement m;
+    m.name = name;
+    for (int i = 0; i < reps; ++i) {
+        Sample s = runOnce();
+        if (s.rc != 0) {
+            std::fprintf(stderr, "simperf: workload '%s' failed (rc=%d)\n",
+                         name.c_str(), s.rc);
+            std::exit(1);
+        }
+        if (i == 0) {
+            m.events = s.events;
+            m.simCycles = s.simCycles;
+            m.hostSeconds = s.hostSeconds;
+        } else {
+            if (s.events != m.events || s.simCycles != m.simCycles) {
+                std::fprintf(stderr,
+                             "simperf: '%s' is non-deterministic: "
+                             "%llu/%llu events, %llu/%llu cycles\n",
+                             name.c_str(),
+                             (unsigned long long)s.events,
+                             (unsigned long long)m.events,
+                             (unsigned long long)s.simCycles,
+                             (unsigned long long)m.simCycles);
+                std::exit(1);
+            }
+            m.hostSeconds = std::min(m.hostSeconds, s.hostSeconds);
+        }
+    }
+    m.eventsPerSec =
+        m.hostSeconds > 0 ? static_cast<double>(m.events) / m.hostSeconds
+                          : 0;
+    std::fflush(stdout);
+    return m;
+}
+
+Sample
+fromRunResult(const RunResult &r)
+{
+    return Sample{r.rc, r.hostSeconds, r.events, r.wall};
+}
+
+std::vector<Measurement>
+runAll(int reps)
+{
+    std::vector<Measurement> out;
+    out.push_back(measure("syscall", reps, [] {
+        return fromRunResult(m3NullSyscall(512));
+    }));
+    MicroOpts micro;  // paper defaults: 2 MiB transfers, 4 KiB buffers
+    out.push_back(measure("read", reps, [&] {
+        return fromRunResult(m3FileRead(micro));
+    }));
+    out.push_back(measure("write", reps, [&] {
+        return fromRunResult(m3FileWrite(micro));
+    }));
+    out.push_back(measure("pipe", reps, [&] {
+        return fromRunResult(m3PipeXfer(micro));
+    }));
+    out.push_back(measure("fig6", reps, [] {
+        ScalabilityResult r = runM3Scalability("tar", 8);
+        return Sample{r.rc, r.hostSeconds, r.events, r.avgInstance};
+    }));
+    return out;
+}
+
+void
+printTable(const std::vector<Measurement> &ms)
+{
+    std::printf("%-10s %12s %14s %16s %14s\n", "workload", "host s",
+                "events", "events/sec", "sim cycles");
+    for (const Measurement &m : ms)
+        std::printf("%-10s %12.4f %14llu %16.0f %14llu\n", m.name.c_str(),
+                    m.hostSeconds, (unsigned long long)m.events,
+                    m.eventsPerSec, (unsigned long long)m.simCycles);
+}
+
+std::string
+toJson(const std::vector<Measurement> &ms)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"bench\": \"simperf\",\n"
+       << "  \"schema\": 1,\n"
+       << "  \"regression_tolerance\": 0.25,\n"
+       << "  \"note\": \"events_per_sec is host speed (machine-dependent);"
+          " --check fails a workload whose events_per_sec drops more than"
+          " regression_tolerance below this baseline. events and"
+          " sim_cycles are simulated state and must match exactly on any"
+          " machine.\",\n"
+       << "  \"workloads\": [\n";
+    for (size_t i = 0; i < ms.size(); ++i) {
+        const Measurement &m = ms[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"host_seconds\": %.6f, "
+                      "\"events\": %llu, \"events_per_sec\": %.0f, "
+                      "\"sim_cycles\": %llu}%s\n",
+                      m.name.c_str(), m.hostSeconds,
+                      (unsigned long long)m.events, m.eventsPerSec,
+                      (unsigned long long)m.simCycles,
+                      i + 1 < ms.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+/**
+ * Minimal extractor for the baseline file this tool writes itself: finds
+ * `"key": <number>` after the entry containing `"name": "<wl>"`.
+ */
+bool
+extractNumber(const std::string &json, const std::string &wl,
+              const std::string &key, double &out)
+{
+    size_t at = json.find("\"name\": \"" + wl + "\"");
+    if (at == std::string::npos)
+        return false;
+    size_t end = json.find('}', at);
+    size_t k = json.find("\"" + key + "\":", at);
+    if (k == std::string::npos || k > end)
+        return false;
+    out = std::strtod(json.c_str() + k + key.size() + 3, nullptr);
+    return true;
+}
+
+int
+check(const std::vector<Measurement> &ms, const std::string &baselinePath)
+{
+    std::ifstream in(baselinePath);
+    if (!in) {
+        std::fprintf(stderr, "simperf: cannot read baseline '%s'\n",
+                     baselinePath.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string base = ss.str();
+
+    double tol = 0.25;
+    {
+        size_t t = base.find("\"regression_tolerance\":");
+        if (t != std::string::npos)
+            tol = std::strtod(base.c_str() + t + 23, nullptr);
+    }
+
+    int bad = 0;
+    std::printf("%-10s %16s %16s %8s\n", "workload", "baseline ev/s",
+                "current ev/s", "ratio");
+    for (const Measurement &m : ms) {
+        double baseEps = 0;
+        if (!extractNumber(base, m.name, "events_per_sec", baseEps)) {
+            std::fprintf(stderr,
+                         "simperf: workload '%s' missing from baseline\n",
+                         m.name.c_str());
+            ++bad;
+            continue;
+        }
+        double ratio = baseEps > 0 ? m.eventsPerSec / baseEps : 0;
+        bool ok = ratio >= 1.0 - tol;
+        std::printf("%-10s %16.0f %16.0f %7.2fx%s\n", m.name.c_str(),
+                    baseEps, m.eventsPerSec, ratio,
+                    ok ? "" : "  REGRESSED");
+        if (!ok)
+            ++bad;
+        // Simulated state must match the baseline bit-exactly.
+        double baseEvents = 0;
+        if (extractNumber(base, m.name, "events", baseEvents) &&
+            static_cast<uint64_t>(baseEvents) != m.events) {
+            std::fprintf(stderr,
+                         "simperf: '%s' executed %llu events, baseline "
+                         "has %llu — simulated behaviour changed\n",
+                         m.name.c_str(), (unsigned long long)m.events,
+                         (unsigned long long)baseEvents);
+            ++bad;
+        }
+    }
+    if (bad) {
+        std::fprintf(stderr,
+                     "simperf: %d workload(s) regressed more than %.0f%% "
+                     "vs %s\n",
+                     bad, tol * 100, baselinePath.c_str());
+        return 1;
+    }
+    std::printf("simperf: all workloads within %.0f%% of baseline\n",
+                tol * 100);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool quick = false;
+    int reps = 3;
+    std::string outPath;
+    std::string checkPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--reps" && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        } else if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (arg == "--check" && i + 1 < argc) {
+            checkPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: simperf [--json] [--out FILE] "
+                         "[--check FILE] [--quick] [--reps N]\n");
+            return 2;
+        }
+    }
+    if (quick)
+        reps = 1;
+    if (reps < 1)
+        reps = 1;
+
+    std::vector<Measurement> ms = runAll(reps);
+
+    if (!outPath.empty()) {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::fprintf(stderr, "simperf: cannot write '%s'\n",
+                         outPath.c_str());
+            return 1;
+        }
+        out << toJson(ms);
+    }
+    if (!checkPath.empty())
+        return check(ms, checkPath);
+    if (json)
+        std::fputs(toJson(ms).c_str(), stdout);
+    else
+        printTable(ms);
+    return 0;
+}

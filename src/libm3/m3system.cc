@@ -142,7 +142,7 @@ M3System::printStats() const
 bool
 M3System::simulate(Cycles limit)
 {
-    sim.simulate(limit);
+    eventsRun += sim.simulate(limit);
     if (!rootDone && sim.queue().empty()) {
         auto blocked = sim.blockedFibers();
         std::string names;

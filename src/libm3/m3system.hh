@@ -111,6 +111,9 @@ class M3System
     bool rootFinished() const { return rootDone; }
     int rootExitCode() const { return rootExit; }
 
+    /** Engine events executed by simulate() calls so far. */
+    uint64_t eventsExecuted() const { return eventsRun; }
+
     /** Accounting of the root program (for breakdown reporting). */
     const Accounting &rootAccounting() const { return rootAcct; }
 
@@ -142,6 +145,7 @@ class M3System
     bool rootInstalled = false;
     bool rootDone = false;
     int rootExit = -1;
+    uint64_t eventsRun = 0;
     Accounting rootAcct;
 };
 

@@ -96,7 +96,7 @@ Machine::yieldCurrent()
 void
 Machine::simulate(Cycles limit)
 {
-    sim.simulate(limit);
+    eventsRun += sim.simulate(limit);
 }
 
 Accounting

@@ -147,6 +147,9 @@ class Machine
     /** Run until the event queue drains. */
     void simulate(Cycles limit = ~Cycles(0));
 
+    /** Engine events executed by simulate() calls so far. */
+    uint64_t eventsExecuted() const { return eventsRun; }
+
     Simulator &simulator() { return sim; }
     Tmpfs &fs() { return tmpfs; }
     const LinuxConfig &config() const { return cfg; }
@@ -177,6 +180,7 @@ class Machine
     LinuxConfig cfg;
     Simulator sim;
     Tmpfs tmpfs;
+    uint64_t eventsRun = 0;
 
     Process *current = nullptr;
     std::deque<Process *> runQueue;

@@ -9,7 +9,8 @@ namespace m3
 {
 
 Noc::Noc(EventQueue &eq, const HwCosts &hw, uint32_t cols, uint32_t rows)
-    : eq(eq), hw(hw), cols(cols), rows(rows)
+    : eq(eq), hw(hw), cols(cols), rows(rows),
+      links(static_cast<size_t>(cols) * rows * DIR_COUNT)
 {
     if (cols == 0 || rows == 0)
         fatal("NoC mesh must have non-zero dimensions");
@@ -26,28 +27,6 @@ Noc::hops(nocid_t src, nocid_t dst) const
     return manhattan + 1;
 }
 
-std::vector<uint32_t>
-Noc::route(nocid_t src, nocid_t dst) const
-{
-    if (src >= nodeCount() || dst >= nodeCount())
-        panic("NoC route outside mesh: %u -> %u (nodes: %u)", src, dst,
-              nodeCount());
-    std::vector<uint32_t> path;
-    uint32_t x = src % cols, y = src / cols;
-    uint32_t dx = dst % cols, dy = dst / cols;
-    path.push_back(y * cols + x);
-    // X first, then Y (dimension-order routing: deadlock free).
-    while (x != dx) {
-        x += (x < dx) ? 1 : -1;
-        path.push_back(y * cols + x);
-    }
-    while (y != dy) {
-        y += (y < dy) ? 1 : -1;
-        path.push_back(y * cols + x);
-    }
-    return path;
-}
-
 Cycles
 Noc::idleLatency(nocid_t src, nocid_t dst, uint32_t payloadBytes) const
 {
@@ -57,20 +36,44 @@ Noc::idleLatency(nocid_t src, nocid_t dst, uint32_t payloadBytes) const
 Cycles
 Noc::send(nocid_t src, nocid_t dst, uint32_t payloadBytes, DeliverFn deliver)
 {
+    if (src >= nodeCount() || dst >= nodeCount())
+        panic("NoC route outside mesh: %u -> %u (nodes: %u)", src, dst,
+              nodeCount());
     const Cycles ser = serialisation(payloadBytes);
-    const std::vector<uint32_t> path = route(src, dst);
 
     // Virtual cut-through: the head moves one hop per nocHopLatency; each
     // traversed link is then occupied for the serialisation time. If a
     // link is still busy from an earlier packet, the head waits there.
+    // The XY route (X first, then Y: dimension-order, deadlock free) is
+    // walked in place; nothing is materialized per packet.
     Cycles head = eq.curCycle();
     Cycles stalls = 0;
-    for (size_t i = 0; i + 1 < path.size(); ++i) {
-        Link &link = links[linkKey(path[i], path[i + 1])];
-        Cycles start = std::max(head, link.nextFree);
+    uint32_t x = src % cols, y = src / cols;
+    const uint32_t dx = dst % cols, dy = dst / cols;
+    auto traverse = [&](Direction d) {
+        Link &l = link(y * cols + x, d);
+        Cycles start = std::max(head, l.nextFree);
         stalls += start - head;
-        link.nextFree = start + ser;
+        l.nextFree = start + ser;
         head = start + hw.nocHopLatency;
+    };
+    while (x != dx) {
+        if (x < dx) {
+            traverse(DIR_EAST);
+            ++x;
+        } else {
+            traverse(DIR_WEST);
+            --x;
+        }
+    }
+    while (y != dy) {
+        if (y < dy) {
+            traverse(DIR_NORTH);
+            ++y;
+        } else {
+            traverse(DIR_SOUTH);
+            --y;
+        }
     }
     // Ejection from the final router to the node: one more hop, which
     // makes delivery consistent with hops() = Manhattan distance + 1.

@@ -19,8 +19,6 @@
 #define M3_NOC_NOC_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "base/cost_model.hh"
@@ -52,7 +50,9 @@ struct NocStats
 class Noc
 {
   public:
-    using DeliverFn = std::function<void()>;
+    /** Small-buffer optimized, like every engine callback (no per-packet
+     *  allocation on the send path). */
+    using DeliverFn = EventQueue::Callback;
 
     /**
      * @param eq event queue for packet delivery
@@ -105,11 +105,24 @@ class Noc
         Cycles nextFree = 0;
     };
 
-    /** Key for the directed link from router a to router b. */
-    static uint64_t
-    linkKey(uint32_t a, uint32_t b)
+    /**
+     * Outgoing directions of a router. The link table is a flat
+     * router x direction array sized at construction — the hot path
+     * indexes it directly instead of hashing a 64-bit key per traversal.
+     */
+    enum Direction : uint32_t
     {
-        return (static_cast<uint64_t>(a) << 32) | b;
+        DIR_EAST = 0,   //!< towards x+1
+        DIR_WEST = 1,   //!< towards x-1
+        DIR_NORTH = 2,  //!< towards y+1
+        DIR_SOUTH = 3,  //!< towards y-1
+        DIR_COUNT = 4,
+    };
+
+    Link &
+    link(uint32_t router, Direction d)
+    {
+        return links[router * DIR_COUNT + d];
     }
 
     /** Serialisation time of a packet with @p payloadBytes of payload. */
@@ -120,14 +133,11 @@ class Noc
         return (wire + hw.nocBytesPerCycle - 1) / hw.nocBytesPerCycle;
     }
 
-    /** XY route from @p src to @p dst as a list of router ids. */
-    std::vector<uint32_t> route(nocid_t src, nocid_t dst) const;
-
     EventQueue &eq;
     HwCosts hw;
     uint32_t cols;
     uint32_t rows;
-    std::unordered_map<uint64_t, Link> links;
+    std::vector<Link> links;
     NocStats nocStats;
     FaultPlan *faults = nullptr;
 };

@@ -66,25 +66,23 @@ Fiber::dispatch()
         return;
     if (state == State::Finished)
         panic("dispatch of finished fiber '%s'", name.c_str());
-    if (state == State::Created || (state == State::Ready && !context.uc_stack.ss_sp)) {
-        getcontext(&context);
-        context.uc_stack.ss_sp = stack.get();
-        context.uc_stack.ss_size = stackSize;
-        context.uc_link = &mainContext;
+    if (!contextInitialized) {
+        fiberCtx.init(stack.get(), stackSize, &Fiber::trampoline,
+                      &mainCtx);
         startingFiber = this;
-        makecontext(&context, &Fiber::trampoline, 0);
+        contextInitialized = true;
     }
     Fiber *prev = currentFiber;
     currentFiber = this;
     state = State::Running;
-    swapcontext(&mainContext, &context);
+    mainCtx.switchTo(fiberCtx);
     currentFiber = prev;
 }
 
 void
 Fiber::yieldToMain()
 {
-    swapcontext(&context, &mainContext);
+    fiberCtx.switchTo(mainCtx);
 }
 
 void

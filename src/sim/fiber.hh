@@ -13,8 +13,6 @@
 #ifndef M3_SIM_FIBER_HH
 #define M3_SIM_FIBER_HH
 
-#include <ucontext.h>
-
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,6 +20,7 @@
 
 #include "base/accounting.hh"
 #include "base/types.hh"
+#include "sim/context.hh"
 #include "sim/event_queue.hh"
 
 namespace m3
@@ -142,8 +141,9 @@ class Fiber
     Accounting acct;
 
     std::unique_ptr<char[]> stack;
-    ucontext_t context{};
-    ucontext_t mainContext{};
+    bool contextInitialized = false;
+    ExecContext fiberCtx;
+    ExecContext mainCtx;
 };
 
 } // namespace m3

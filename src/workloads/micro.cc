@@ -1,5 +1,7 @@
 #include "workloads/micro.hh"
 
+#include <chrono>
+
 #include "base/random.hh"
 #include "libm3/m3system.hh"
 #include "libm3/pipe.hh"
@@ -37,10 +39,16 @@ runMicroM3(const M3RunOpts &opts, const m3fs::FsImageSpec &fsSpec,
         res.wall = env.platform.simulator().curCycle() - t0;
         return rc;
     });
-    if (!sys.simulate())
+    auto host0 = std::chrono::steady_clock::now();
+    bool finished = sys.simulate();
+    res.hostSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - host0)
+                          .count();
+    if (!finished)
         fatal("micro benchmark did not finish");
     res.rc = sys.rootExitCode();
     res.acct = sys.appAccounting();
+    res.events = sys.eventsExecuted();
     return res;
 }
 
@@ -62,10 +70,15 @@ runMicroLx(const LxRunOpts &opts, const std::function<int(lx::Process &)> &body)
         t1 = m.now();
         return rc;
     });
+    auto host0 = std::chrono::steady_clock::now();
     m.simulate();
+    res.hostSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - host0)
+                          .count();
     res.rc = rc;
     res.wall = t1 - t0;
     res.acct = m.mergedAccounting();
+    res.events = m.eventsExecuted();
     return res;
 }
 

@@ -1,5 +1,7 @@
 #include "workloads/runners.hh"
 
+#include <chrono>
+
 #include "base/logging.hh"
 #include "libm3/m3system.hh"
 #include "libm3/vpe.hh"
@@ -49,10 +51,16 @@ runOnM3(M3SystemCfg cfg, const std::function<int(Env &)> &body)
         res.wall = env.platform.simulator().curCycle() - t0;
         return rc;
     });
-    if (!sys.simulate())
+    auto host0 = std::chrono::steady_clock::now();
+    bool finished = sys.simulate();
+    res.hostSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - host0)
+                          .count();
+    if (!finished)
         fatal("M3 benchmark run did not finish");
     res.rc = sys.rootExitCode();
     res.acct = sys.appAccounting();
+    res.events = sys.eventsExecuted();
     return res;
 }
 
@@ -82,10 +90,15 @@ runOnLx(const lx::LinuxConfig &cfg, const FsSetup &setup,
         t1 = m.now();
         return rc;
     });
+    auto host0 = std::chrono::steady_clock::now();
     m.simulate();
+    res.hostSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - host0)
+                          .count();
     res.rc = rc;
     res.wall = t1 - t0;
     res.acct = m.mergedAccounting();
+    res.events = m.eventsExecuted();
     return res;
 }
 
@@ -277,7 +290,13 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
                 ++bad;
         return bad;
     });
-    if (!sys.simulate()) {
+    auto host0 = std::chrono::steady_clock::now();
+    bool finished = sys.simulate();
+    result.hostSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - host0)
+                             .count();
+    result.events = sys.eventsExecuted();
+    if (!finished) {
         for (uint32_t i = 0; i < instances; ++i)
             warn("instance %u rc=%d dur=%llu", i, rcs[i],
                  static_cast<unsigned long long>(durations[i]));

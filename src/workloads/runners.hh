@@ -26,6 +26,11 @@ struct RunResult
     int rc = -1;          //!< 0 on success
     Cycles wall = 0;      //!< end-to-end cycles of the benchmark phase
     Accounting acct;      //!< App/OS/Xfers attribution
+    /** Engine events executed by the whole run (boot + workload). */
+    uint64_t events = 0;
+    /** Host wall-clock seconds of the simulate phase (machine boot
+     *  excluded). Non-deterministic; perf reporting only. */
+    double hostSeconds = 0;
 
     Cycles app() const { return acct.total(Category::App); }
     Cycles os() const { return acct.total(Category::Os); }
@@ -81,6 +86,8 @@ struct ScalabilityResult
     int rc = -1;
     Cycles avgInstance = 0;
     std::vector<Cycles> instances;
+    uint64_t events = 0;     //!< engine events executed by the run
+    double hostSeconds = 0;  //!< host seconds of the simulate phase
 };
 
 ScalabilityResult runM3Scalability(const std::string &benchName,

@@ -512,6 +512,52 @@ TEST(Dtu, AckWithoutFetchIsRejected)
     s.sim.simulate();
 }
 
+/**
+ * The event engine stores callbacks inline up to SmallFn::InlineCapacity;
+ * oversized captures fall back to a heap allocation. The DTU/NoC/fiber
+ * hot paths are sized to fit — exercise send, reply, RDMA read and write
+ * end to end and require that not a single callback spilled.
+ */
+TEST(Dtu, CoreDtuPathsNeverFallBackToHeapCallbacks)
+{
+    BareSystem s;
+    s.dtu(1).configRecv(2, ringCfg(s.spm(1), 4, 128));
+    s.dtu(0).configSend(2, sendCfg(1, 2, 0x77, CREDITS_UNLIMITED, 128));
+    s.dtu(0).configRecv(3, ringCfg(s.spm(0), 2, 128, false));
+    MemEpCfg mem;
+    mem.targetNode = s.platform.dramNode();
+    mem.offset = 0;
+    mem.size = 64 * KiB;
+    mem.perms = MEM_RW;
+    s.dtu(0).configMem(4, mem);
+
+    s.sim.run("recv", [&] {
+        s.dtu(1).waitForMsg(2);
+        int slot = s.dtu(1).fetchMsg(2);
+        ASSERT_GE(slot, 0);
+        spmaddr_t rep = s.spm(1).alloc(32);
+        ASSERT_EQ(s.dtu(1).startReply(2, slot, rep, 32), Error::None);
+        s.dtu(1).waitUntilIdle();
+    });
+    s.sim.run("send", [&] {
+        spmaddr_t msg = s.spm(0).alloc(64);
+        ASSERT_EQ(s.dtu(0).startSend(2, msg, 64, 3, 0x1), Error::None);
+        s.dtu(0).waitUntilIdle();
+        s.dtu(0).waitForMsg(3);
+        s.dtu(0).ackMsg(3, s.dtu(0).fetchMsg(3));
+
+        spmaddr_t buf = s.spm(0).alloc(4096);
+        ASSERT_EQ(s.dtu(0).startWrite(4, buf, 0, 4096), Error::None);
+        s.dtu(0).waitUntilIdle();
+        ASSERT_EQ(s.dtu(0).startRead(4, buf, 0, 4096), Error::None);
+        s.dtu(0).waitUntilIdle();
+    });
+    s.sim.simulate();
+    EXPECT_TRUE(s.sim.allFinished());
+    EXPECT_GT(s.sim.queue().stats().eventsExecuted, 0u);
+    EXPECT_EQ(s.sim.queue().stats().callbackHeapFallbacks, 0u);
+}
+
 TEST(Dtu, SingleCommandAtATime)
 {
     BareSystem s;

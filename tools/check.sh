@@ -23,4 +23,10 @@ run_config() {
 run_config build-release -DCMAKE_BUILD_TYPE=Release -DM3_SANITIZE=
 run_config build-asan -DM3_SANITIZE=address,undefined
 
+# Perf smoke: the release build must reproduce the committed simulated
+# state (events, sim_cycles) exactly and stay within the events/sec
+# regression tolerance recorded in BENCH_simperf.json.
+echo "=== simperf smoke (vs BENCH_simperf.json)"
+./build-release/bench/simperf --quick --check BENCH_simperf.json
+
 echo "=== all checks passed"

@@ -20,6 +20,7 @@
  *   --buf N            buffer size (default 4096)
  *   --append-blocks N  m3fs allocation granularity (default 256)
  *   --frag N           blocks per extent of prepared files
+ *   --json             machine-readable output (one JSON object)
  */
 
 #include <cstdio>
@@ -45,9 +46,11 @@ usage()
         "usage: m3bench <cat+tr|tar|untar|find|sqlite|fft|read|write|"
         "pipe|syscall> [options]\n"
         "  --lx --lx-hit --arm --accel --instances N --fs-instances K\n"
-        "  --bytes N --buf N --append-blocks N --frag N\n");
+        "  --bytes N --buf N --append-blocks N --frag N --json\n");
     std::exit(2);
 }
+
+bool jsonOutput = false;
 
 void
 report(const std::string &name, const RunResult &r)
@@ -55,6 +58,21 @@ report(const std::string &name, const RunResult &r)
     if (r.rc != 0) {
         std::printf("%s: FAILED (rc=%d)\n", name.c_str(), r.rc);
         std::exit(1);
+    }
+    if (jsonOutput) {
+        std::printf("{\"workload\": \"%s\", \"wall_cycles\": %llu, "
+                    "\"app_cycles\": %llu, \"xfer_cycles\": %llu, "
+                    "\"os_cycles\": %llu, \"events\": %llu, "
+                    "\"host_seconds\": %.6f, \"events_per_sec\": %.0f}\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(r.wall),
+                    static_cast<unsigned long long>(r.app()),
+                    static_cast<unsigned long long>(r.xfer()),
+                    static_cast<unsigned long long>(r.os()),
+                    static_cast<unsigned long long>(r.events),
+                    r.hostSeconds,
+                    r.hostSeconds > 0 ? r.events / r.hostSeconds : 0.0);
+        return;
     }
     std::printf("%-10s %12llu cycles  (App %llu, Xfers %llu, OS %llu)\n",
                 name.c_str(), static_cast<unsigned long long>(r.wall),
@@ -113,6 +131,8 @@ main(int argc, char **argv)
         } else if (arg == "--frag") {
             micro.blocksPerExtent = static_cast<uint32_t>(intArg("f"));
             m3opts.fsBlocksPerExtent = micro.blocksPerExtent;
+        } else if (arg == "--json") {
+            jsonOutput = true;
         } else {
             usage();
         }
@@ -131,6 +151,24 @@ main(int argc, char **argv)
         if (r.rc != 0) {
             std::printf("FAILED (rc=%d)\n", r.rc);
             return 1;
+        }
+        if (jsonOutput) {
+            std::printf("{\"workload\": \"%s\", \"instances\": %u, "
+                        "\"avg_instance_cycles\": %llu, "
+                        "\"instance_cycles\": [",
+                        workload.c_str(), instances,
+                        static_cast<unsigned long long>(r.avgInstance));
+            for (uint32_t i = 0; i < instances; ++i)
+                std::printf("%s%llu", i ? ", " : "",
+                            static_cast<unsigned long long>(
+                                r.instances[i]));
+            std::printf("], \"events\": %llu, \"host_seconds\": %.6f, "
+                        "\"events_per_sec\": %.0f}\n",
+                        static_cast<unsigned long long>(r.events),
+                        r.hostSeconds,
+                        r.hostSeconds > 0 ? r.events / r.hostSeconds
+                                          : 0.0);
+            return 0;
         }
         std::printf("%s x%u: avg %llu cycles per instance\n",
                     workload.c_str(), instances,
