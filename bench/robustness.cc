@@ -11,11 +11,14 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <tuple>
 
 #include "bench/common.hh"
 #include "libm3/m3system.hh"
 #include "m3fs/client.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 using namespace m3;
 
@@ -62,8 +65,27 @@ statLoop(M3SystemCfg cfg, Cycles timeout)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string traceFile;
+    std::string metricsFile;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0) {
+            traceFile = arg.substr(8);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            metricsFile = arg.substr(10);
+        } else {
+            std::fprintf(stderr, "usage: robustness [--trace=FILE] "
+                                 "[--metrics=FILE]\n");
+            return 2;
+        }
+    }
+    if (!traceFile.empty())
+        trace::Tracer::enable();
+    if (!metricsFile.empty())
+        trace::Metrics::enable();
+
     bool ok = true;
 
     // --- zero overhead: inert plan attached vs no plan at all --------
@@ -112,5 +134,16 @@ main()
                          completed);
     ok &= bench::verdict("latency grows monotonically with loss",
                          monotone);
+
+    if (!traceFile.empty() && !trace::Tracer::writeJson(traceFile)) {
+        std::fprintf(stderr, "robustness: cannot write trace '%s'\n",
+                     traceFile.c_str());
+        return 1;
+    }
+    if (!metricsFile.empty() && !trace::Metrics::writeJson(metricsFile)) {
+        std::fprintf(stderr, "robustness: cannot write metrics '%s'\n",
+                     metricsFile.c_str());
+        return 1;
+    }
     return ok ? 0 : 1;
 }

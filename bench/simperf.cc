@@ -18,6 +18,8 @@
  *                           events/sec regresses beyond its tolerance)
  *   simperf --quick         single repetition (CI smoke mode)
  *   simperf --reps N        repetitions per workload (default 3)
+ *   simperf --trace=FILE    record a Chrome trace of the runs
+ *   simperf --metrics=FILE  dump the metric registry as JSON
  *
  * Every repetition must execute the identical number of events; the
  * harness verifies this and fails otherwise (a cheap determinism check
@@ -34,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "workloads/micro.hh"
 #include "workloads/runners.hh"
 
@@ -264,6 +268,8 @@ main(int argc, char **argv)
     int reps = 3;
     std::string outPath;
     std::string checkPath;
+    std::string traceFile;
+    std::string metricsFile;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -277,10 +283,15 @@ main(int argc, char **argv)
             outPath = argv[++i];
         } else if (arg == "--check" && i + 1 < argc) {
             checkPath = argv[++i];
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            traceFile = arg.substr(8);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            metricsFile = arg.substr(10);
         } else {
             std::fprintf(stderr,
                          "usage: simperf [--json] [--out FILE] "
-                         "[--check FILE] [--quick] [--reps N]\n");
+                         "[--check FILE] [--quick] [--reps N] "
+                         "[--trace=FILE] [--metrics=FILE]\n");
             return 2;
         }
     }
@@ -289,7 +300,23 @@ main(int argc, char **argv)
     if (reps < 1)
         reps = 1;
 
+    if (!traceFile.empty())
+        trace::Tracer::enable();
+    if (!metricsFile.empty())
+        trace::Metrics::enable();
+
     std::vector<Measurement> ms = runAll(reps);
+
+    if (!traceFile.empty() && !trace::Tracer::writeJson(traceFile)) {
+        std::fprintf(stderr, "simperf: cannot write trace '%s'\n",
+                     traceFile.c_str());
+        return 1;
+    }
+    if (!metricsFile.empty() && !trace::Metrics::writeJson(metricsFile)) {
+        std::fprintf(stderr, "simperf: cannot write metrics '%s'\n",
+                     metricsFile.c_str());
+        return 1;
+    }
 
     if (!outPath.empty()) {
         std::ofstream out(outPath);

@@ -17,6 +17,7 @@
 
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -54,7 +55,14 @@ class Accounting
     }
 
     /** Enter @p c; all cycles charged until pop() go to it. */
-    void push(Category c) { stack.push_back(c); }
+    void
+    push(Category c)
+    {
+        stack.push_back(c);
+        if (M3_TRACE_ON && traceTrack != trace::NO_TRACK)
+            trace::Tracer::counter(traceTrack, "category",
+                                   static_cast<uint64_t>(c));
+    }
 
     /** Leave the innermost category. */
     void
@@ -63,6 +71,9 @@ class Accounting
         if (stack.size() <= 1)
             panic("Accounting::pop on empty category stack");
         stack.pop_back();
+        if (M3_TRACE_ON && traceTrack != trace::NO_TRACK)
+            trace::Tracer::counter(traceTrack, "category",
+                                   static_cast<uint64_t>(stack.back()));
     }
 
     /** The category cycles are currently charged to. */
@@ -104,6 +115,13 @@ class Accounting
         for (size_t i = 0; i < counters.size(); ++i)
             counters[i] += other.counters[i];
     }
+
+    /**
+     * Trace track that receives a "category" counter event on every
+     * push/pop, so Perfetto shows the attribution as a step function.
+     * NO_TRACK (the default) leaves this accounting object untraced.
+     */
+    trace::TrackId traceTrack = trace::NO_TRACK;
 
   private:
     std::array<Cycles, static_cast<size_t>(Category::NUM)> counters;

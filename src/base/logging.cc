@@ -8,7 +8,36 @@
 namespace m3
 {
 
-LogLevel Log::level = LogLevel::Quiet;
+namespace
+{
+
+/**
+ * The initial verbosity honors the M3_LOG environment variable
+ * (quiet/info/debug/trace), so any harness can be made chatty without a
+ * rebuild or a command-line flag. Unknown values keep the quiet default.
+ */
+LogLevel
+initLevel()
+{
+    const char *env = std::getenv("M3_LOG");
+    if (!env)
+        return LogLevel::Quiet;
+    std::string v(env);
+    if (v == "info")
+        return LogLevel::Info;
+    if (v == "debug")
+        return LogLevel::Debug;
+    if (v == "trace")
+        return LogLevel::Trace;
+    if (v != "quiet" && !v.empty())
+        std::fprintf(stderr, "warn: unknown M3_LOG level '%s', using quiet\n",
+                     env);
+    return LogLevel::Quiet;
+}
+
+} // anonymous namespace
+
+LogLevel Log::level = initLevel();
 
 namespace
 {

@@ -6,6 +6,8 @@
 
 #include "base/logging.hh"
 #include "sim/fault_plan.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -126,6 +128,15 @@ Dtu::sendExt(uint32_t targetNode, std::function<Error(Dtu &)> apply,
                                               nocId)) {
                          // Config applied, ack suppressed: the sender
                          // has to recover via its own deadline.
+                         if (M3_TRACE_ON)
+                             trace::Tracer::instant(
+                                 trace::dtuTrack(targetNode),
+                                 "fault:extack");
+                         if (M3_METRICS_ON) {
+                             static trace::Counter &fi =
+                                 trace::Metrics::counter("faults_injected");
+                             fi.inc();
+                         }
                          logtrace("node%u: fault: ext ack from node%u "
                                   "refused", nocId, targetNode);
                          return;
@@ -252,6 +263,10 @@ Dtu::applyReset()
 void
 Dtu::finishCommand(Error e)
 {
+    // The busy flag serializes commands, so B/E events on the DTU track
+    // never overlap; every start* that sets busy opened a span.
+    if (M3_TRACE_ON)
+        trace::Tracer::spanEnd(trace::dtuTrack(nocId));
     busy = false;
     cmdError = e;
     if (cmdWaiter) {
@@ -370,10 +385,20 @@ Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
             // Flip one byte "on the wire": the checksum was computed
             // from the intact payload, so the receiver detects it.
             payload[off] ^= 0xa5;
+            if (M3_TRACE_ON)
+                trace::Tracer::instant(trace::dtuTrack(nocId),
+                                       "fault:corrupt");
+            if (M3_METRICS_ON) {
+                static trace::Counter &fi =
+                    trace::Metrics::counter("faults_injected");
+                fi.inc();
+            }
         }
     }
 
     busy = true;
+    if (M3_TRACE_ON)
+        trace::Tracer::spanBegin(trace::dtuTrack(nocId), "dtu:send");
     const uint64_t seq = ++cmdSeq;
     dtuStats.msgsSent++;
 
@@ -444,6 +469,14 @@ Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
         if (faults->corruptPayload(eq.curCycle(), nocId, orig.senderNode,
                                    size, off)) {
             payload[off] ^= 0xa5;
+            if (M3_TRACE_ON)
+                trace::Tracer::instant(trace::dtuTrack(nocId),
+                                       "fault:corrupt");
+            if (M3_METRICS_ON) {
+                static trace::Counter &fi =
+                    trace::Metrics::counter("faults_injected");
+                fi.inc();
+            }
         }
     }
 
@@ -451,6 +484,8 @@ Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
     recvState[id].slots[slot].s = RecvSlotState::S::Free;
 
     busy = true;
+    if (M3_TRACE_ON)
+        trace::Tracer::spanBegin(trace::dtuTrack(nocId), "dtu:reply");
     const uint64_t seq = ++cmdSeq;
     dtuStats.msgsSent++;
 
@@ -563,6 +598,8 @@ Dtu::startRead(epid_t id, spmaddr_t dstAddr, goff_t off, uint64_t size)
         return Error::OutOfBounds;
 
     busy = true;
+    if (M3_TRACE_ON)
+        trace::Tracer::spanBegin(trace::dtuTrack(nocId), "dtu:read");
     const uint64_t seq = ++cmdSeq;
     dtuStats.memReads++;
     dtuStats.bytesRead += size;
@@ -609,6 +646,8 @@ Dtu::startWrite(epid_t id, spmaddr_t srcAddr, goff_t off, uint64_t size)
         return Error::OutOfBounds;
 
     busy = true;
+    if (M3_TRACE_ON)
+        trace::Tracer::spanBegin(trace::dtuTrack(nocId), "dtu:write");
     const uint64_t seq = ++cmdSeq;
     dtuStats.memWrites++;
     dtuStats.bytesWritten += size;
@@ -653,6 +692,10 @@ Dtu::startZero(epid_t id, goff_t off, uint64_t size)
 
     MemTarget *mem = memAt(r.mem.targetNode);
     goff_t gaddr = r.mem.offset + off;
+
+    // Zero never sets busy, so it shows as an instant, not a span.
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(trace::dtuTrack(nocId), "dtu:zero");
 
     // Fire-and-forget: the zeroing happens at the memory, in the
     // background (Sec. 5.4); only the small command packet is sent.

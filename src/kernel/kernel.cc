@@ -4,6 +4,8 @@
 
 #include "base/logging.hh"
 #include "dtu/regs.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -320,6 +322,11 @@ Kernel::handleSyscall(uint32_t slot)
 
     compute(costs.fetchMsg + costs.unmarshal + costs.syscallDispatch);
 
+    const bool traced = M3_TRACE_ON;
+    if (traced)
+        trace::Tracer::spanBegin(kernelPe, kif::syscallName(opcode));
+    const Cycles sysStart = platform.simulator().curCycle();
+
     switch (opcode) {
       case Syscall::Noop:
         sysNoop(*caller, um, slot);
@@ -372,6 +379,16 @@ Kernel::handleSyscall(uint32_t slot)
       default:
         replyError(slot, Error::InvalidArgs);
         break;
+    }
+
+    if (traced)
+        trace::Tracer::spanEnd(kernelPe);
+    if (M3_METRICS_ON) {
+        std::string base =
+            std::string("kernel.syscall.") + kif::syscallName(opcode);
+        trace::Metrics::counter(base + ".count").inc();
+        trace::Metrics::histogram(base + ".cycles")
+            .observe(platform.simulator().curCycle() - sysStart);
     }
 }
 

@@ -78,6 +78,31 @@ enum class Syscall : uint64_t
     COUNT,
 };
 
+/** Stable name for a syscall opcode (trace/metric labels). */
+inline const char *
+syscallName(Syscall s)
+{
+    switch (s) {
+      case Syscall::Noop: return "Noop";
+      case Syscall::CreateVpe: return "CreateVpe";
+      case Syscall::VpeStart: return "VpeStart";
+      case Syscall::VpeWait: return "VpeWait";
+      case Syscall::VpeExit: return "VpeExit";
+      case Syscall::CreateRgate: return "CreateRgate";
+      case Syscall::CreateSgate: return "CreateSgate";
+      case Syscall::ReqMem: return "ReqMem";
+      case Syscall::DeriveMem: return "DeriveMem";
+      case Syscall::Activate: return "Activate";
+      case Syscall::Exchange: return "Exchange";
+      case Syscall::CreateSrv: return "CreateSrv";
+      case Syscall::OpenSess: return "OpenSess";
+      case Syscall::ExchangeSess: return "ExchangeSess";
+      case Syscall::Revoke: return "Revoke";
+      case Syscall::Heartbeat: return "Heartbeat";
+      default: return "Unknown";
+    }
+}
+
 /** Capability-exchange direction. */
 enum class ExchangeOp : uint64_t
 {

@@ -5,6 +5,8 @@
 #include "base/logging.hh"
 #include "libm3/gates.hh"
 #include "libm3/vfs.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -141,6 +143,16 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
 {
     ScopedCategory os(acct(), Category::Os);
 
+    // The opcode is the first u64 the Marshaller wrote to the staging
+    // area, so the client-side span carries the same name as the
+    // kernel-side one.
+    const bool traced = M3_TRACE_ON;
+    if (traced) {
+        auto op = *reinterpret_cast<const kif::Syscall *>(
+            spm.ptr(syscStage, sizeof(uint64_t)));
+        trace::Tracer::spanBegin(peId, kif::syscallName(op));
+    }
+
     compute(cm.m3.marshal + cm.m3.dtuCommand);
 
     for (;;) {
@@ -159,6 +171,12 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
     Cycles t0 = platform.simulator().curCycle();
     dtu.waitForMsg(kif::SYSC_REP);
     Cycles elapsed = platform.simulator().curCycle() - t0;
+
+    if (M3_METRICS_ON) {
+        static trace::Histogram &lat =
+            trace::Metrics::histogram("dtu.reply_latency.ep0");
+        lat.observe(elapsed);
+    }
 
     // Attribute the round trip: the wire time of request and reply goes
     // to Xfers, the remainder (kernel software, queueing) to OS. This is
@@ -188,6 +206,8 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
     if (err == Error::None && onReply)
         onReply(um);
     dtu.ackMsg(kif::SYSC_REP, slot);
+    if (traced)
+        trace::Tracer::spanEnd(peId);
     return err;
 }
 

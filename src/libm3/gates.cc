@@ -1,6 +1,8 @@
 #include "libm3/gates.hh"
 
 #include "base/logging.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -102,6 +104,7 @@ GateIStream::reply(const void *msg, uint32_t size)
     if (slot < 0)
         return Error::InvalidArgs;
     Env &env = rg->environment();
+    trace::ScopedSpan span(env.peId, "gate:reply");
     env.spm.write(rg->replyStage, msg, size);
     env.compute(env.cm.m3.marshal + env.cm.m3.dtuCommand);
     Error e = env.dtu.startReply(rg->boundEp(), slot, rg->replyStage,
@@ -214,12 +217,19 @@ SendGate::sendRaw(uint32_t size, RecvGate *replyGate, label_t replyLabel)
 GateIStream
 SendGate::call(Marshaller &m, RecvGate &replyGate)
 {
+    trace::ScopedSpan span(env.peId, "gate:call");
     Error e = send(m, &replyGate, 0);
     if (e != Error::None)
         panic("send for call failed: %s", errorName(e));
     Cycles t0 = env.platform.simulator().curCycle();
     env.dtu.waitForMsg(replyGate.boundEp());
-    env.acct().charge(env.platform.simulator().curCycle() - t0);
+    Cycles elapsed = env.platform.simulator().curCycle() - t0;
+    env.acct().charge(elapsed);
+    if (M3_METRICS_ON) {
+        trace::Metrics::histogram("dtu.reply_latency.ep" +
+                                  std::to_string(replyGate.boundEp()))
+            .observe(elapsed);
+    }
     env.compute(env.cm.m3.fetchMsg + env.cm.m3.unmarshal);
     return replyGate.tryReceive();
 }
@@ -242,6 +252,11 @@ SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
         if (se == Error::NoCredits) {
             // Out of budget: an earlier reply may still be in flight or
             // was lost along with its refund. Pace and retry.
+            if (M3_METRICS_ON) {
+                static trace::Counter &cs =
+                    trace::Metrics::counter("dtu.credit_stall_cycles");
+                cs.add(backoff);
+            }
             env.fiber.sleep(backoff);
             backoff = std::min(policy.backoffMax, backoff * 2);
             continue;
@@ -339,6 +354,7 @@ spinDuration(Env &env, const MemEpCfg &cfg, size_t len)
 Error
 MemGate::read(void *dst, size_t len, goff_t off)
 {
+    trace::ScopedSpan span(env.peId, "mem:read");
     epid_t e = acquire();
     uint8_t *out = static_cast<uint8_t *>(dst);
     size_t done = 0;
@@ -378,6 +394,7 @@ MemGate::read(void *dst, size_t len, goff_t off)
 Error
 MemGate::write(const void *src, size_t len, goff_t off)
 {
+    trace::ScopedSpan span(env.peId, "mem:write");
     epid_t e = acquire();
     const uint8_t *in = static_cast<const uint8_t *>(src);
     size_t done = 0;

@@ -1,9 +1,23 @@
 #include "libm3/m3system.hh"
 
 #include "base/logging.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
+
+namespace
+{
+
+/** Clock adapter handed to the tracer: reads this machine's cycle. */
+uint64_t
+queueClock(const void *ctx)
+{
+    return static_cast<const EventQueue *>(ctx)->curCycle();
+}
+
+} // anonymous namespace
 
 M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
 {
@@ -57,6 +71,93 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
             env.vpeExit(rc);
         };
         kern->addBootProgram(std::move(fsProg));
+    }
+
+    if (trace::Tracer::on) {
+        trace::Tracer::setClock(&queueClock, &sim.queue());
+        for (peid_t p = 0; p < plat->peCount(); ++p) {
+            uint32_t n = plat->nocIdOf(p);
+            trace::Tracer::trackName(p, "pe" + std::to_string(p));
+            trace::Tracer::trackName(trace::dtuTrack(n),
+                                     "pe" + std::to_string(p) + " dtu");
+            trace::Tracer::trackName(trace::nocTrack(n),
+                                     "noc n" + std::to_string(n));
+        }
+        trace::Tracer::trackName(trace::nocTrack(plat->dramNode()), "dram");
+    }
+}
+
+M3System::~M3System()
+{
+    if (trace::Metrics::on)
+        exportMetrics();
+    trace::Tracer::clearClock(&sim.queue());
+}
+
+void
+M3System::exportMetrics()
+{
+    using trace::Metrics;
+
+    const SimStats &ss = sim.queue().stats();
+    Metrics::counter("sim.events_scheduled").add(ss.eventsScheduled);
+    Metrics::counter("sim.events_executed").add(ss.eventsExecuted);
+    Metrics::gauge("sim.peak_pending").setMax(ss.peakPending);
+    Metrics::counter("sim.callback_heap_fallbacks")
+        .add(ss.callbackHeapFallbacks);
+
+    const kernel::KernelStats &ks = kern->stats();
+    Metrics::counter("kernel.syscalls").add(ks.syscalls);
+    Metrics::counter("kernel.vpes_created").add(ks.vpesCreated);
+    Metrics::counter("kernel.caps_delegated").add(ks.capsDelegated);
+    Metrics::counter("kernel.caps_revoked").add(ks.capsRevoked);
+    Metrics::counter("kernel.service_requests").add(ks.serviceRequests);
+    Metrics::counter("kernel.heartbeats").add(ks.heartbeats);
+    Metrics::counter("kernel.watchdog_reclaims").add(ks.watchdogReclaims);
+
+    DtuStats agg;
+    for (peid_t p = 0; p < plat->peCount(); ++p) {
+        const DtuStats &ds = plat->pe(p).dtu().stats();
+        agg.msgsSent += ds.msgsSent;
+        agg.msgsReceived += ds.msgsReceived;
+        agg.msgsDropped += ds.msgsDropped;
+        agg.msgsCorrupted += ds.msgsCorrupted;
+        agg.creditDenials += ds.creditDenials;
+        agg.memReads += ds.memReads;
+        agg.memWrites += ds.memWrites;
+        agg.bytesRead += ds.bytesRead;
+        agg.bytesWritten += ds.bytesWritten;
+        agg.extConfigs += ds.extConfigs;
+    }
+    Metrics::counter("dtu.msgs_sent").add(agg.msgsSent);
+    Metrics::counter("dtu.msgs_received").add(agg.msgsReceived);
+    Metrics::counter("dtu.msgs_dropped").add(agg.msgsDropped);
+    Metrics::counter("dtu.msgs_corrupted").add(agg.msgsCorrupted);
+    Metrics::counter("dtu.credit_denials").add(agg.creditDenials);
+    Metrics::counter("dtu.mem_reads").add(agg.memReads);
+    Metrics::counter("dtu.mem_writes").add(agg.memWrites);
+    Metrics::counter("dtu.bytes_read").add(agg.bytesRead);
+    Metrics::counter("dtu.bytes_written").add(agg.bytesWritten);
+    Metrics::counter("dtu.ext_configs").add(agg.extConfigs);
+
+    const NocStats &ns = plat->noc().stats();
+    Metrics::counter("noc.packets").add(ns.packets);
+    Metrics::counter("noc.payload_bytes").add(ns.payloadBytes);
+    Metrics::counter("noc.contention_stalls").add(ns.contentionStalls);
+    Metrics::counter("noc.packets_dropped").add(ns.packetsDropped);
+    Metrics::counter("noc.packets_delayed").add(ns.packetsDelayed);
+    plat->noc().exportMetrics(sim.curCycle());
+
+    if (faults) {
+        const FaultStats &fs = faults->stats();
+        Metrics::counter("faults.packets_seen").add(fs.packetsSeen);
+        Metrics::counter("faults.packets_dropped").add(fs.packetsDropped);
+        Metrics::counter("faults.packets_delayed").add(fs.packetsDelayed);
+        Metrics::counter("faults.delay_injected").add(fs.delayInjected);
+        Metrics::counter("faults.payloads_corrupted")
+            .add(fs.payloadsCorrupted);
+        Metrics::counter("faults.ext_acks_refused").add(fs.extAcksRefused);
+        Metrics::counter("faults.pe_kills").add(fs.peKills);
     }
 }
 

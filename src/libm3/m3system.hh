@@ -71,6 +71,10 @@ class M3System
   public:
     explicit M3System(M3SystemCfg cfg);
 
+    /** Unregisters the trace clock and, with metrics enabled, folds the
+     *  machine's stats structs into the registry (exportMetrics()). */
+    ~M3System();
+
     M3System(const M3System &) = delete;
     M3System &operator=(const M3System &) = delete;
 
@@ -133,6 +137,15 @@ class M3System
      * of an end-of-run stats dump.
      */
     void printStats() const;
+
+    /**
+     * Fold this machine's stats structs (engine, kernel, DTUs, NoC,
+     * faults) into the metric registry, so every harness reports them
+     * uniformly. Counters add, so sequential machines in one process
+     * aggregate; called automatically from the destructor when metrics
+     * are enabled.
+     */
+    void exportMetrics();
 
   private:
     M3SystemCfg cfg;

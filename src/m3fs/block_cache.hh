@@ -17,6 +17,7 @@
 
 #include "libm3/gates.hh"
 #include "m3fs/fs_core.hh"
+#include "trace/metrics.hh"
 
 namespace m3
 {
@@ -106,6 +107,11 @@ class BlockCache : public BlockAccess
                   static_cast<goff_t>(b.no) * blockSize);
         b.dirty = false;
         cacheStats.writeBacks++;
+        if (M3_METRICS_ON) {
+            static trace::Counter &wb =
+                trace::Metrics::counter("m3fs.cache.write_backs");
+            wb.inc();
+        }
     }
 
     Buf &
@@ -116,12 +122,22 @@ class BlockCache : public BlockAccess
             if (b.valid && b.no == no) {
                 b.lastUse = ++useCounter;
                 cacheStats.hits++;
+                if (M3_METRICS_ON) {
+                    static trace::Counter &h =
+                        trace::Metrics::counter("m3fs.cache.hits");
+                    h.inc();
+                }
                 return b;
             }
             if (!b.valid || b.lastUse < victim->lastUse)
                 victim = &b;
         }
         cacheStats.misses++;
+        if (M3_METRICS_ON) {
+            static trace::Counter &m =
+                trace::Metrics::counter("m3fs.cache.misses");
+            m.inc();
+        }
         if (victim->valid && victim->dirty)
             flush(*victim);
         victim->no = no;

@@ -9,6 +9,8 @@
 #include "libm3/gates.hh"
 #include "m3fs/block_cache.hh"
 #include "m3fs/fs_proto.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -17,6 +19,40 @@ namespace m3fs
 
 namespace
 {
+
+/** Stable name for a client operation (trace/metric labels). */
+const char *
+fsOpName(FsOp op)
+{
+    switch (op) {
+      case FsOp::Open: return "open";
+      case FsOp::Close: return "close";
+      case FsOp::Stat: return "stat";
+      case FsOp::Mkdir: return "mkdir";
+      case FsOp::Unlink: return "unlink";
+      case FsOp::Link: return "link";
+      case FsOp::Readdir: return "readdir";
+      case FsOp::Rename: return "rename";
+      default: return "unknown";
+    }
+}
+
+/** Span names for fsOpName results, prefixed for the trace view. */
+const char *
+fsSpanName(FsOp op)
+{
+    switch (op) {
+      case FsOp::Open: return "fs:open";
+      case FsOp::Close: return "fs:close";
+      case FsOp::Stat: return "fs:stat";
+      case FsOp::Mkdir: return "fs:mkdir";
+      case FsOp::Unlink: return "fs:unlink";
+      case FsOp::Link: return "fs:link";
+      case FsOp::Readdir: return "fs:readdir";
+      case FsOp::Rename: return "fs:rename";
+      default: return "fs:unknown";
+    }
+}
 
 /** One open file of a session. */
 struct OpenFile
@@ -264,6 +300,8 @@ class Server
         }
         Session &sess = sit->second;
         auto op = is.pull<FsOp>();
+        trace::ScopedSpan span(env.peId, fsSpanName(op));
+        const Cycles opStart = env.platform.simulator().curCycle();
         switch (op) {
           case FsOp::Open:
             fsOpen(sess, is);
@@ -292,6 +330,13 @@ class Server
           default:
             is.replyError(Error::InvalidArgs);
             break;
+        }
+        if (M3_METRICS_ON) {
+            trace::Metrics::counter(std::string("m3fs.op.") + fsOpName(op))
+                .inc();
+            static trace::Histogram &cyc =
+                trace::Metrics::histogram("m3fs.op_cycles");
+            cyc.observe(env.platform.simulator().curCycle() - opStart);
         }
     }
 

@@ -4,6 +4,8 @@
 
 #include "base/logging.hh"
 #include "sim/fault_plan.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -55,6 +57,8 @@ Noc::send(nocid_t src, nocid_t dst, uint32_t payloadBytes, DeliverFn deliver)
         Cycles start = std::max(head, l.nextFree);
         stalls += start - head;
         l.nextFree = start + ser;
+        if (M3_METRICS_ON)
+            l.busy += ser;
         head = start + hw.nocHopLatency;
     };
     while (x != dx) {
@@ -85,6 +89,23 @@ Noc::send(nocid_t src, nocid_t dst, uint32_t payloadBytes, DeliverFn deliver)
     nocStats.payloadBytes += payloadBytes;
     nocStats.contentionStalls += stalls;
 
+    if (M3_METRICS_ON) {
+        static trace::Histogram &qd =
+            trace::Metrics::histogram("noc.queue_delay");
+        qd.observe(stalls);
+    }
+
+    // Record both flow endpoints up front: arrival is known
+    // deterministically here, and the exporter sorts each track by
+    // timestamp, so nothing needs to ride along in the delivery closure.
+    uint64_t flowId = 0;
+    if (M3_TRACE_ON) {
+        flowId = trace::Tracer::nextFlowId();
+        const uint64_t now = eq.curCycle();
+        trace::Tracer::complete(trace::nocTrack(src), now, ser, "noc:pkt");
+        trace::Tracer::flowBegin(trace::nocTrack(src), now, flowId, "noc");
+    }
+
     if (faults) {
         FaultPlan::PacketDecision d =
             faults->onPacket(eq.curCycle(), src, dst);
@@ -92,6 +113,13 @@ Noc::send(nocid_t src, nocid_t dst, uint32_t payloadBytes, DeliverFn deliver)
             // The packet still occupied its links (bandwidth is spent),
             // but the tail never reaches the destination.
             nocStats.packetsDropped++;
+            if (M3_TRACE_ON)
+                trace::Tracer::instant(trace::nocTrack(src), "fault:drop");
+            if (M3_METRICS_ON) {
+                static trace::Counter &fi =
+                    trace::Metrics::counter("faults_injected");
+                fi.inc();
+            }
             logtrace("noc: fault drop packet seq=%llu %u -> %u",
                      (unsigned long long)d.seq, src, dst);
             return arrival;
@@ -99,11 +127,42 @@ Noc::send(nocid_t src, nocid_t dst, uint32_t payloadBytes, DeliverFn deliver)
         if (d.action == FaultPlan::PacketAction::Delay) {
             nocStats.packetsDelayed++;
             arrival += d.delay;
+            if (M3_TRACE_ON)
+                trace::Tracer::instant(trace::nocTrack(src), "fault:delay");
+            if (M3_METRICS_ON) {
+                static trace::Counter &fi =
+                    trace::Metrics::counter("faults_injected");
+                fi.inc();
+            }
         }
+    }
+
+    if (M3_TRACE_ON) {
+        trace::Tracer::complete(trace::nocTrack(dst), arrival, 1, "noc:recv");
+        trace::Tracer::flowEnd(trace::nocTrack(dst), arrival, flowId, "noc");
     }
 
     eq.scheduleAbs(arrival, std::move(deliver));
     return arrival;
+}
+
+void
+Noc::exportMetrics(Cycles totalCycles) const
+{
+    static const char *dirName[DIR_COUNT] = {"E", "W", "N", "S"};
+    for (uint32_t r = 0; r < nodeCount(); ++r) {
+        for (uint32_t d = 0; d < DIR_COUNT; ++d) {
+            Cycles busy = links[r * DIR_COUNT + d].busy;
+            if (!busy)
+                continue;
+            std::string base =
+                "noc.link." + std::to_string(r) + "." + dirName[d];
+            trace::Metrics::counter(base + ".busy_cycles").add(busy);
+            if (totalCycles)
+                trace::Metrics::gauge(base + ".util_pct")
+                    .set(busy * 100 / totalCycles);
+        }
+    }
 }
 
 } // namespace m3

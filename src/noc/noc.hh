@@ -98,11 +98,20 @@ class Noc
      */
     void setFaultPlan(FaultPlan *plan) { faults = plan; }
 
+    /**
+     * Fold per-link occupancy into the metric registry: a busy-cycle
+     * counter and (when @p totalCycles > 0) a utilization gauge in
+     * percent for every link that carried at least one packet. Per-link
+     * occupancy is only accumulated while metrics are enabled.
+     */
+    void exportMetrics(Cycles totalCycles) const;
+
   private:
     /** A directed link between adjacent routers (or router and node). */
     struct Link
     {
         Cycles nextFree = 0;
+        Cycles busy = 0;  //!< occupied cycles (tracked when metrics on)
     };
 
     /**

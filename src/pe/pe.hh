@@ -20,6 +20,7 @@
 #include "noc/noc.hh"
 #include "pe/pe_desc.hh"
 #include "sim/simulator.hh"
+#include "trace/trace.hh"
 
 namespace m3
 {
@@ -71,6 +72,13 @@ class Pe
         pendingBody = nullptr;
         fiber = &sim.run("pe" + std::to_string(peId) + ":" + pendingName,
                          std::move(body));
+        if (M3_TRACE_ON) {
+            // Software spans and category counters of this program land
+            // on the PE's track, labelled with the program name.
+            fiber->accounting().traceTrack = peId;
+            trace::Tracer::trackName(peId, "pe" + std::to_string(peId) +
+                                               ":" + pendingName);
+        }
         return fiber;
     }
 

@@ -113,6 +113,13 @@ class Platform
             FaultPlan *fp = &plan;
             sim.queue().scheduleAbs(k.cycle, [this, pe, fp] {
                 fp->notePeKill(sim.curCycle(), pe);
+                if (M3_TRACE_ON)
+                    trace::Tracer::instant(pe, "fault:pekill");
+                if (M3_METRICS_ON) {
+                    static trace::Counter &fi =
+                        trace::Metrics::counter("faults_injected");
+                    fi.inc();
+                }
                 peList[pe]->killCore();
             });
         }

@@ -25,6 +25,7 @@
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "sim/small_fn.hh"
+#include "trace/metrics.hh"
 
 namespace m3
 {
@@ -76,6 +77,11 @@ class EventQueue
         simStats.eventsScheduled++;
         if (cb.onHeap())
             simStats.callbackHeapFallbacks++;
+        if (M3_METRICS_ON) {
+            static trace::Histogram &depth =
+                trace::Metrics::histogram("sim.queue_depth");
+            depth.observe(heap.size() + 1);
+        }
         const uint32_t slot = acquireSlot();
         slots[slot].cb = std::move(cb);
         heapPush(HeapEntry{when, nextSeq++, slot});

@@ -1,0 +1,142 @@
+#include "trace/metrics.hh"
+
+#include <cstdio>
+#include <map>
+
+namespace m3
+{
+namespace trace
+{
+
+bool Metrics::on = false;
+
+namespace
+{
+
+/**
+ * Ordered maps: JSON dumps iterate alphabetically, which makes the
+ * output deterministic and diff-friendly. Entries are never erased, so
+ * references handed out by the accessors stay valid (std::map nodes are
+ * stable under insertion).
+ */
+struct Registry
+{
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+};
+
+Registry &
+reg()
+{
+    static Registry r;
+    return r;
+}
+
+} // anonymous namespace
+
+void
+Metrics::reset()
+{
+    for (auto &[name, c] : reg().counters)
+        c = Counter{};
+    for (auto &[name, g] : reg().gauges)
+        g = Gauge{};
+    for (auto &[name, h] : reg().histograms)
+        h = Histogram{};
+}
+
+Counter &
+Metrics::counter(const std::string &name)
+{
+    return reg().counters[name];
+}
+
+Gauge &
+Metrics::gauge(const std::string &name)
+{
+    return reg().gauges[name];
+}
+
+Histogram &
+Metrics::histogram(const std::string &name)
+{
+    return reg().histograms[name];
+}
+
+std::string
+Metrics::toJson()
+{
+    std::string out = "{\n  \"schema\": 1,\n";
+    char buf[128];
+
+    out += "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : reg().counters) {
+        std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %llu",
+                      first ? "" : ",", name.c_str(),
+                      static_cast<unsigned long long>(c.value));
+        out += buf;
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : reg().gauges) {
+        std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %llu",
+                      first ? "" : ",", name.c_str(),
+                      static_cast<unsigned long long>(g.value));
+        out += buf;
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : reg().histograms) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+            "\"min\": %llu, \"max\": %llu, \"buckets\": [",
+            first ? "" : ",", name.c_str(),
+            static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.sum),
+            static_cast<unsigned long long>(h.count ? h.minVal : 0),
+            static_cast<unsigned long long>(h.maxVal));
+        out += buf;
+        // Sparse dump: [bit-width, count] pairs for non-empty buckets.
+        // Bucket i counts values in [2^(i-1), 2^i); bucket 0 is zeros.
+        bool bfirst = true;
+        for (uint32_t i = 0; i < Histogram::BUCKETS; ++i) {
+            if (!h.buckets[i])
+                continue;
+            std::snprintf(buf, sizeof(buf), "%s[%u, %llu]",
+                          bfirst ? "" : ", ", i,
+                          static_cast<unsigned long long>(h.buckets[i]));
+            out += buf;
+            bfirst = false;
+        }
+        out += "]}";
+        first = false;
+    }
+    out += first ? "}\n" : "\n  }\n";
+
+    out += "}\n";
+    return out;
+}
+
+bool
+Metrics::writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string json = toJson();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return written == json.size();
+}
+
+} // namespace trace
+} // namespace m3

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The observability layer's own contract: tracing must be deterministic
+ * (byte-identical JSON across identical seeded runs), free when off
+ * (zero events recorded, zero simulated-cycle drift when on), and the
+ * metrics dump must keep its schema so CI can parse it blindly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "libm3/m3system.hh"
+#include "m3fs/client.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+#include "workloads/micro.hh"
+#include "workloads/runners.hh"
+
+namespace m3
+{
+namespace workloads
+{
+namespace
+{
+
+/** Every test starts and ends with both subsystems off and empty. */
+class Trace : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::Tracer::disable();
+        trace::Tracer::reset();
+        trace::Metrics::disable();
+        trace::Metrics::reset();
+    }
+    void TearDown() override { SetUp(); }
+};
+
+/** A small full-stack workload with m3fs traffic and fault knobs. */
+std::tuple<Cycles, int>
+statRun(double dropRate)
+{
+    M3SystemCfg cfg;
+    cfg.appPes = 2;
+    cfg.fsSpec.dirs = {"/d"};
+    if (dropRate > 0) {
+        cfg.faults.seed = 7;
+        cfg.faults.dropRate = dropRate;
+        cfg.faults.dropPairs = {{2, 1}};
+    }
+    M3System sys(cfg);
+    sys.runRoot("t", [] {
+        Env &env = Env::cur();
+        Error e = Error::None;
+        auto fs = m3fs::M3fsSession::create(env, e);
+        if (e != Error::None)
+            return 1;
+        fs->callTimeout = 20000;
+        fs->callRetries = 8;
+        for (int i = 0; i < 10; ++i) {
+            FileInfo info;
+            if (fs->stat("/d", info) != Error::None)
+                return 2;
+        }
+        return 0;
+    });
+    sys.simulate();
+    return {sys.now(), sys.rootExitCode()};
+}
+
+TEST_F(Trace, DisabledTracerRecordsNothing)
+{
+    auto [wall, rc] = statRun(0);
+    ASSERT_EQ(rc, 0);
+    EXPECT_GT(wall, 0u);
+    EXPECT_EQ(trace::Tracer::eventCount(), 0u);
+    EXPECT_EQ(trace::Tracer::droppedEvents(), 0u);
+    EXPECT_EQ(trace::Metrics::toJson().find("dtu."), std::string::npos);
+}
+
+TEST_F(Trace, TracingDoesNotMoveASingleCycle)
+{
+    auto [plainWall, rc0] = statRun(0);
+    ASSERT_EQ(rc0, 0);
+
+    trace::Tracer::enable();
+    trace::Metrics::enable();
+    auto [tracedWall, rc1] = statRun(0);
+    ASSERT_EQ(rc1, 0);
+
+    EXPECT_EQ(plainWall, tracedWall);
+    EXPECT_GT(trace::Tracer::eventCount(), 0u);
+}
+
+TEST_F(Trace, TraceJsonIsByteIdenticalAcrossRuns)
+{
+    trace::Tracer::enable();
+    auto [w0, rc0] = statRun(0);
+    ASSERT_EQ(rc0, 0);
+    const std::string a = trace::Tracer::toJson();
+
+    trace::Tracer::reset();
+    auto [w1, rc1] = statRun(0);
+    ASSERT_EQ(rc1, 0);
+    const std::string b = trace::Tracer::toJson();
+
+    EXPECT_EQ(w0, w1);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(Trace, TraceJsonHasEveryPhaseAndNamedTracks)
+{
+    trace::Tracer::enable();
+    trace::Metrics::enable();
+    MicroOpts micro;
+    micro.fileBytes = 64 * KiB;
+    RunResult r = m3FileRead(micro);
+    ASSERT_EQ(r.rc, 0);
+
+    const std::string doc = trace::Tracer::toJson();
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    // span begin/end (syscalls, gate ops, DTU commands), complete slices
+    // (NoC packets), instants, counter samples (accounting categories)
+    // and both flow endpoints must all be present.
+    for (const char *needle :
+         {"\"ph\":\"B\"", "\"ph\":\"E\"", "\"ph\":\"X\"", "\"ph\":\"C\"",
+          "\"ph\":\"s\"", "\"ph\":\"f\"", "\"ph\":\"M\"", "noc:pkt",
+          "dtu:read", "\"dram\""})
+        EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+}
+
+TEST_F(Trace, MetricsJsonKeepsItsSchema)
+{
+    trace::Metrics::enable();
+    auto [wall, rc] = statRun(0);
+    ASSERT_EQ(rc, 0);
+
+    const std::string doc = trace::Metrics::toJson();
+    for (const char *needle :
+         {"\"schema\"", "\"counters\"", "\"gauges\"", "\"histograms\"",
+          "\"dtu.msgs_sent\"", "\"kernel.syscalls\"", "\"noc.packets\"",
+          "\"sim.queue_depth\"", "\"sim.peak_pending\"",
+          "\"m3fs.op.stat\"", "\"m3fs.op_cycles\"",
+          "\"kernel.syscall.OpenSess.count\""})
+        EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+}
+
+TEST_F(Trace, FaultsShowUpAsInstantsAndACounter)
+{
+    trace::Tracer::enable();
+    trace::Metrics::enable();
+    auto [wall, rc] = statRun(0.2);
+    ASSERT_EQ(rc, 0);
+
+    EXPECT_GT(trace::Metrics::counter("faults_injected").value, 0u);
+    const std::string doc = trace::Tracer::toJson();
+    EXPECT_NE(doc.find("fault:drop"), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST_F(Trace, ResetZeroesMetricsButKeepsHandlesValid)
+{
+    trace::Metrics::enable();
+    trace::Counter &c = trace::Metrics::counter("test.counter");
+    c.add(5);
+    EXPECT_EQ(trace::Metrics::counter("test.counter").value, 5u);
+    trace::Metrics::reset();
+    // The reference survives reset (hot paths cache them as statics).
+    EXPECT_EQ(c.value, 0u);
+    c.inc();
+    EXPECT_EQ(trace::Metrics::counter("test.counter").value, 1u);
+}
+
+TEST_F(Trace, HistogramUsesLog2Buckets)
+{
+    trace::Histogram h;
+    for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 1024ull})
+        h.observe(v);
+    EXPECT_EQ(h.count, 5u);
+    EXPECT_EQ(h.sum, 1030u);
+    EXPECT_EQ(h.minVal, 0u);
+    EXPECT_EQ(h.maxVal, 1024u);
+    EXPECT_EQ(h.buckets[0], 1u);   // the zero
+    EXPECT_EQ(h.buckets[1], 1u);   // 1
+    EXPECT_EQ(h.buckets[2], 2u);   // 2, 3
+    EXPECT_EQ(h.buckets[11], 1u);  // 1024 = 2^10
+}
+
+} // anonymous namespace
+} // namespace workloads
+} // namespace m3

@@ -23,9 +23,25 @@ run_config() {
 run_config build-release -DCMAKE_BUILD_TYPE=Release -DM3_SANITIZE=
 run_config build-asan -DM3_SANITIZE=address,undefined
 
+# Observability smoke: a traced micro-benchmark must emit a well-formed
+# Chrome trace containing every phase the exporter produces (span B/E,
+# complete X, flow s/f, counter C) and a metrics dump with the schema
+# keys CI consumers rely on.
+echo "=== traced micro-benchmark (tracecheck)"
+obs=$(mktemp -d)
+trap 'rm -rf "$obs"' EXIT
+./build-release/tools/m3bench syscall \
+    --trace="$obs/t.json" --metrics="$obs/m.json" > /dev/null
+./build-release/tools/tracecheck \
+    --trace "$obs/t.json" --phases BEXsfC \
+    --metrics "$obs/m.json" \
+    --require dtu.msgs_sent,dtu.reply_latency.ep0,noc.packets,kernel.syscalls,sim.queue_depth
+
 # Perf smoke: the release build must reproduce the committed simulated
 # state (events, sim_cycles) exactly and stay within the events/sec
-# regression tolerance recorded in BENCH_simperf.json.
+# regression tolerance recorded in BENCH_simperf.json. Tracing is
+# compiled in but disabled here, so this doubles as the zero-overhead
+# gate for the observability layer.
 echo "=== simperf smoke (vs BENCH_simperf.json)"
 ./build-release/bench/simperf --quick --check BENCH_simperf.json
 

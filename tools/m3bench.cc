@@ -21,6 +21,10 @@
  *   --append-blocks N  m3fs allocation granularity (default 256)
  *   --frag N           blocks per extent of prepared files
  *   --json             machine-readable output (one JSON object)
+ *   --workload NAME    alternative to the positional workload; also
+ *                      accepts "fig6" (= tar x8, the Fig. 6 setup)
+ *   --trace=FILE       record a Chrome trace (open in Perfetto)
+ *   --metrics=FILE     dump the metric registry as JSON
  */
 
 #include <cstdio>
@@ -28,6 +32,8 @@
 #include <cstring>
 #include <string>
 
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "workloads/generators.hh"
 #include "workloads/micro.hh"
 #include "workloads/runners.hh"
@@ -46,8 +52,28 @@ usage()
         "usage: m3bench <cat+tr|tar|untar|find|sqlite|fft|read|write|"
         "pipe|syscall> [options]\n"
         "  --lx --lx-hit --arm --accel --instances N --fs-instances K\n"
-        "  --bytes N --buf N --append-blocks N --frag N --json\n");
+        "  --bytes N --buf N --append-blocks N --frag N --json\n"
+        "  --workload NAME --trace=FILE --metrics=FILE\n");
     std::exit(2);
+}
+
+std::string traceFile;
+std::string metricsFile;
+
+/** Write the pending trace/metrics dumps (call once, before exiting). */
+void
+writeObservability()
+{
+    if (!traceFile.empty() && !trace::Tracer::writeJson(traceFile)) {
+        std::fprintf(stderr, "m3bench: cannot write trace to %s\n",
+                     traceFile.c_str());
+        std::exit(1);
+    }
+    if (!metricsFile.empty() && !trace::Metrics::writeJson(metricsFile)) {
+        std::fprintf(stderr, "m3bench: cannot write metrics to %s\n",
+                     metricsFile.c_str());
+        std::exit(1);
+    }
 }
 
 bool jsonOutput = false;
@@ -88,7 +114,7 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         usage();
-    std::string workload = argv[1];
+    std::string workload;
 
     bool onLx = false;
     bool accel = false;
@@ -97,7 +123,7 @@ main(int argc, char **argv)
     M3RunOpts m3opts;
     LxRunOpts lxopts;
 
-    for (int i = 2; i < argc; ++i) {
+    for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto intArg = [&](const char *) {
             if (i + 1 >= argc)
@@ -133,11 +159,36 @@ main(int argc, char **argv)
             m3opts.fsBlocksPerExtent = micro.blocksPerExtent;
         } else if (arg == "--json") {
             jsonOutput = true;
+        } else if (arg == "--workload") {
+            if (i + 1 >= argc)
+                usage();
+            workload = argv[++i];
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            traceFile = arg.substr(8);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            metricsFile = arg.substr(10);
+        } else if (arg.rfind("--", 0) != 0 && workload.empty()) {
+            workload = arg;
         } else {
             usage();
         }
     }
+    if (workload.empty())
+        usage();
     micro.m3 = m3opts;
+
+    if (!traceFile.empty())
+        trace::Tracer::enable();
+    if (!metricsFile.empty())
+        trace::Metrics::enable();
+
+    // "fig6" is shorthand for the paper's Fig. 6 setup: the tar workload
+    // scaled over parallel instances (8 unless --instances overrides).
+    if (workload == "fig6") {
+        workload = "tar";
+        if (instances == 0)
+            instances = 8;
+    }
 
     // Scalability mode.
     if (instances > 0) {
@@ -148,6 +199,7 @@ main(int argc, char **argv)
         }
         ScalabilityResult r = runM3Scalability(workload, instances,
                                                m3opts);
+        writeObservability();
         if (r.rc != 0) {
             std::printf("FAILED (rc=%d)\n", r.rc);
             return 1;
@@ -212,5 +264,6 @@ main(int argc, char **argv)
         if (!found)
             usage();
     }
+    writeObservability();
     return 0;
 }

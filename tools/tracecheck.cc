@@ -1,0 +1,284 @@
+/**
+ * @file
+ * tracecheck: CI validator for the observability dumps.
+ *
+ * Checks that a file is well-formed JSON (a minimal recursive-descent
+ * parser, no external dependency) and that it contains what the CI
+ * stage requires:
+ *
+ *   tracecheck --trace FILE [--phases BEXsfC]
+ *       the file parses and, for each listed Chrome trace-event phase
+ *       letter, at least one event with that "ph" is present
+ *
+ *   tracecheck --metrics FILE [--require key,key,...]
+ *       the file parses, has the metrics schema sections, and every
+ *       listed key occurs somewhere in the document
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal JSON syntax validation.
+// ---------------------------------------------------------------------
+
+void
+skipWs(const char *&p, const char *end)
+{
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+        ++p;
+}
+
+bool parseValue(const char *&p, const char *end);
+
+bool
+parseString(const char *&p, const char *end)
+{
+    if (p >= end || *p != '"')
+        return false;
+    ++p;
+    while (p < end && *p != '"') {
+        if (*p == '\\') {
+            ++p;
+            if (p >= end)
+                return false;
+        }
+        ++p;
+    }
+    if (p >= end)
+        return false;
+    ++p;  // closing quote
+    return true;
+}
+
+bool
+parseNumber(const char *&p, const char *end)
+{
+    const char *start = p;
+    if (p < end && (*p == '-' || *p == '+'))
+        ++p;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                       *p == '+'))
+        ++p;
+    return p > start;
+}
+
+bool
+parseObject(const char *&p, const char *end)
+{
+    ++p;  // '{'
+    skipWs(p, end);
+    if (p < end && *p == '}') {
+        ++p;
+        return true;
+    }
+    for (;;) {
+        skipWs(p, end);
+        if (!parseString(p, end))
+            return false;
+        skipWs(p, end);
+        if (p >= end || *p != ':')
+            return false;
+        ++p;
+        if (!parseValue(p, end))
+            return false;
+        skipWs(p, end);
+        if (p < end && *p == ',') {
+            ++p;
+            continue;
+        }
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+}
+
+bool
+parseArray(const char *&p, const char *end)
+{
+    ++p;  // '['
+    skipWs(p, end);
+    if (p < end && *p == ']') {
+        ++p;
+        return true;
+    }
+    for (;;) {
+        if (!parseValue(p, end))
+            return false;
+        skipWs(p, end);
+        if (p < end && *p == ',') {
+            ++p;
+            continue;
+        }
+        if (p < end && *p == ']') {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+}
+
+bool
+parseValue(const char *&p, const char *end)
+{
+    skipWs(p, end);
+    if (p >= end)
+        return false;
+    switch (*p) {
+      case '{':
+        return parseObject(p, end);
+      case '[':
+        return parseArray(p, end);
+      case '"':
+        return parseString(p, end);
+      case 't':
+        if (end - p >= 4 && !std::strncmp(p, "true", 4)) {
+            p += 4;
+            return true;
+        }
+        return false;
+      case 'f':
+        if (end - p >= 5 && !std::strncmp(p, "false", 5)) {
+            p += 5;
+            return true;
+        }
+        return false;
+      case 'n':
+        if (end - p >= 4 && !std::strncmp(p, "null", 4)) {
+            p += 4;
+            return true;
+        }
+        return false;
+      default:
+        return parseNumber(p, end);
+    }
+}
+
+bool
+validJson(const std::string &doc)
+{
+    const char *p = doc.data();
+    const char *end = doc.data() + doc.size();
+    if (!parseValue(p, end))
+        return false;
+    skipWs(p, end);
+    return p == end;
+}
+
+// ---------------------------------------------------------------------
+// Content checks.
+// ---------------------------------------------------------------------
+
+int
+fail(const char *what)
+{
+    std::fprintf(stderr, "tracecheck: %s\n", what);
+    return 1;
+}
+
+int
+checkTrace(const std::string &doc, const std::string &phases)
+{
+    if (doc.find("\"traceEvents\"") == std::string::npos)
+        return fail("trace has no traceEvents array");
+    for (char ph : phases) {
+        std::string needle = std::string("\"ph\":\"") + ph + "\"";
+        if (doc.find(needle) == std::string::npos) {
+            std::fprintf(stderr,
+                         "tracecheck: no event with phase '%c' found\n",
+                         ph);
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int
+checkMetrics(const std::string &doc, const std::string &require)
+{
+    for (const char *key : {"\"schema\"", "\"counters\"", "\"gauges\"",
+                            "\"histograms\""})
+        if (doc.find(key) == std::string::npos) {
+            std::fprintf(stderr, "tracecheck: metrics missing %s\n", key);
+            return 1;
+        }
+    std::stringstream ss(require);
+    std::string key;
+    while (std::getline(ss, key, ',')) {
+        if (key.empty())
+            continue;
+        if (doc.find("\"" + key + "\"") == std::string::npos) {
+            std::fprintf(stderr,
+                         "tracecheck: required metric '%s' not found\n",
+                         key.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string tracePath, metricsPath, phases = "BEXsfC", require;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--trace" && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            metricsPath = argv[++i];
+        } else if (arg == "--phases" && i + 1 < argc) {
+            phases = argv[++i];
+        } else if (arg == "--require" && i + 1 < argc) {
+            require = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: tracecheck --trace FILE [--phases LIST] "
+                         "| --metrics FILE [--require k1,k2,...]\n");
+            return 2;
+        }
+    }
+    if (tracePath.empty() && metricsPath.empty())
+        return fail("nothing to check (pass --trace and/or --metrics)");
+
+    for (const auto &[path, isTrace] :
+         {std::pair<const std::string &, bool>{tracePath, true},
+          std::pair<const std::string &, bool>{metricsPath, false}}) {
+        if (path.empty())
+            continue;
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "tracecheck: cannot read '%s'\n",
+                         path.c_str());
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string doc = buf.str();
+        if (!validJson(doc)) {
+            std::fprintf(stderr, "tracecheck: '%s' is not valid JSON\n",
+                         path.c_str());
+            return 1;
+        }
+        int rc = isTrace ? checkTrace(doc, phases)
+                         : checkMetrics(doc, require);
+        if (rc)
+            return rc;
+        std::printf("tracecheck: %s OK (%zu bytes)\n", path.c_str(),
+                    doc.size());
+    }
+    return 0;
+}
