@@ -72,6 +72,16 @@ struct M3Costs
     Cycles fileLocate = 90;
     /** libm3: checking/refreshing an endpoint binding (EP multiplexing). */
     Cycles epCheck = 8;
+    /**
+     * libm3, time-multiplexed PEs only: how long a blocked VPE spins for
+     * a message before yielding the PE (spin-then-yield). Long enough
+     * that a prompt syscall/IPC reply arrives within it — yielding for
+     * those would pay a full context switch to save a few hundred
+     * cycles of waiting. Sized above the loaded service reply latency:
+     * a yield pays two context switches through the (single) kernel,
+     * which also delays every other VPE's syscalls behind the transfer.
+     */
+    Cycles yieldSpin = 8000;
     /** Kernel: configure a remote endpoint (ext. request construction). */
     Cycles epConfig = 35;
     /** Kernel: capability-table operation (create/lookup/delegate node). */
@@ -99,6 +109,15 @@ struct M3Costs
     Cycles cloneSetup = 900;
     /** VPE exec: argument setup besides loading the binary from m3fs. */
     Cycles execSetup = 1200;
+    /**
+     * Kernel-side bookkeeping to suspend a VPE (run-queue update, drain
+     * decision, CSA addressing) — excludes the DTU context fetch and the
+     * SPM spill, which are modelled as real NoC/DTU transfers at DTU
+     * bandwidth.
+     */
+    Cycles ctxswSave = 400;
+    /** Kernel-side bookkeeping to resume a VPE (the restore mirror). */
+    Cycles ctxswRestore = 400;
 };
 
 /**

@@ -61,6 +61,8 @@ Dtu::configSend(epid_t id, const SendEpCfg &cfg)
     r.invalidate();
     r.type = EpType::Send;
     r.send = cfg;
+    if (r.send.maxCredits == 0)
+        r.send.maxCredits = r.send.credits;
     return Error::None;
 }
 
@@ -154,6 +156,8 @@ Dtu::applyExtConfig(epid_t id, const EpRegs &regs)
     if (id >= EP_COUNT)
         return Error::InvalidArgs;
     eps[id] = regs;
+    if (eps[id].type == EpType::Send && eps[id].send.maxCredits == 0)
+        eps[id].send.maxCredits = eps[id].send.credits;
     if (regs.type == EpType::Receive || regs.type == EpType::Invalid)
         recvState[id] = RecvState{};
     return Error::None;
@@ -242,6 +246,157 @@ Dtu::extStart(uint32_t targetNode, std::function<void(Error)> onDone)
                    std::move(onDone));
 }
 
+Error
+Dtu::extStartVpe(uint32_t targetNode, uint64_t vpeId,
+                 std::function<void(Error)> onDone)
+{
+    return sendExt(targetNode,
+                   [vpeId](Dtu &d) {
+                       if (d.startVpeHook)
+                           d.startVpeHook(vpeId);
+                       else if (d.startHook)
+                           d.startHook();
+                       return Error::None;
+                   },
+                   std::move(onDone));
+}
+
+// ---------------------------------------------------------------------
+// VPE context switching.
+// ---------------------------------------------------------------------
+
+Error
+Dtu::extDrain(uint32_t targetNode, std::function<void(Error)> onDone)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    Dtu *target = dtuAt ? dtuAt(targetNode) : nullptr;
+    if (!target)
+        panic("ext drain to node %u which has no DTU", targetNode);
+    dtuStats.extConfigs++;
+    noc.send(nocId, targetNode, 0,
+             [this, target, targetNode, onDone = std::move(onDone)] {
+                 auto ack = [this, targetNode, onDone] {
+                     if (onDone)
+                         noc.send(targetNode, nocId, 0,
+                                  [onDone] { onDone(Error::None); });
+                 };
+                 // Unlike the other ext ops the ack is deferred until the
+                 // target is idle: that is the whole point of a drain.
+                 if (!target->busy)
+                     ack();
+                 else
+                     target->idleWaiters.push_back(std::move(ack));
+             });
+    return Error::None;
+}
+
+Error
+Dtu::extFetchCtx(uint32_t targetNode, CtxState *out,
+                 std::function<void(Error)> onDone)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    Dtu *target = dtuAt ? dtuAt(targetNode) : nullptr;
+    if (!target)
+        panic("ext fetch-ctx to node %u which has no DTU", targetNode);
+    dtuStats.extConfigs++;
+    noc.send(nocId, targetNode, 0,
+             [this, target, targetNode, out,
+              onDone = std::move(onDone)] {
+                 target->fetchCtxLocal(*out);
+                 // The register file travels back with the ack.
+                 if (onDone)
+                     noc.send(targetNode, nocId, CTX_WIRE_BYTES,
+                              [onDone] { onDone(Error::None); });
+             });
+    return Error::None;
+}
+
+Error
+Dtu::extRestoreCtx(uint32_t targetNode, const CtxState *st,
+                   std::function<void(Error)> onDone)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    Dtu *target = dtuAt ? dtuAt(targetNode) : nullptr;
+    if (!target)
+        panic("ext restore-ctx to node %u which has no DTU", targetNode);
+    dtuStats.extConfigs++;
+    // The register file travels with the request.
+    noc.send(nocId, targetNode, CTX_WIRE_BYTES,
+             [this, target, targetNode, st,
+              onDone = std::move(onDone)] {
+                 target->restoreCtxLocal(*st);
+                 if (onDone)
+                     noc.send(targetNode, nocId, 0,
+                              [onDone] { onDone(Error::None); });
+             });
+    return Error::None;
+}
+
+Error
+Dtu::extDiscardCtx(uint32_t targetNode, uint32_t gen,
+                   std::function<void(Error)> onDone)
+{
+    return sendExt(targetNode,
+                   [gen](Dtu &d) {
+                       auto it = d.parkedMsgs.find(gen);
+                       if (it != d.parkedMsgs.end()) {
+                           d.dtuStats.msgsDropped += it->second.size();
+                           d.parkedMsgs.erase(it);
+                       }
+                       return Error::None;
+                   },
+                   std::move(onDone));
+}
+
+void
+Dtu::fetchCtxLocal(CtxState &out)
+{
+    // The kernel drains first, so a busy command here means the drain
+    // raced a brand-new command; abort it and give the credit back so
+    // the saved context is self-consistent (the VPE's retry layer sees
+    // a loss, which it already handles).
+    if (busy)
+        abortCommand(true);
+    out.eps = eps;
+    out.recvState = recvState;
+    out.generation = generation;
+    out.lastErr = cmdError;
+    // Park the fetched generation: messages addressed to it are buffered
+    // until the kernel restores or discards it. The PE itself is left
+    // ownerless (generation 0 is never assigned).
+    parkedMsgs.emplace(generation, std::vector<ParkedMsg>{});
+    for (epid_t i = 0; i < EP_COUNT; ++i) {
+        eps[i].invalidate();
+        recvState[i] = RecvState{};
+    }
+    generation = 0;
+}
+
+void
+Dtu::restoreCtxLocal(const CtxState &st)
+{
+    eps = st.eps;
+    recvState = st.recvState;
+    generation = st.generation;
+    cmdError = st.lastErr;
+    ctxSwitchEpoch++;
+    // Deliver what arrived while this VPE was descheduled, in arrival
+    // order. handleMsg re-runs the full acceptance checks against the
+    // restored endpoint registers.
+    auto it = parkedMsgs.find(generation);
+    if (it == parkedMsgs.end())
+        return;
+    std::vector<ParkedMsg> pending = std::move(it->second);
+    parkedMsgs.erase(it);
+    for (ParkedMsg &m : pending) {
+        dtuStats.msgsUnparked++;
+        handleMsg(m.ep, m.hdr, std::move(m.payload));
+    }
+}
+
 void
 Dtu::applyReset()
 {
@@ -252,6 +407,9 @@ Dtu::applyReset()
         eps[i].invalidate();
         recvState[i] = RecvState{};
     }
+    // Parked contexts belong to VPEs the kernel has already discarded or
+    // migrated by the time it resets the PE for a new owner.
+    parkedMsgs.clear();
     if (busy)
         abortCommand();
 }
@@ -269,10 +427,18 @@ Dtu::finishCommand(Error e)
         trace::Tracer::spanEnd(trace::dtuTrack(nocId));
     busy = false;
     cmdError = e;
+    cmdEp = INVALID_EP;
+    cmdTookCredit = false;
     if (cmdWaiter) {
         Fiber *w = cmdWaiter;
         cmdWaiter = nullptr;
         w->unblock();
+    }
+    if (!idleWaiters.empty()) {
+        auto acks = std::move(idleWaiters);
+        idleWaiters.clear();
+        for (auto &ack : acks)
+            ack();
     }
 }
 
@@ -288,11 +454,15 @@ Dtu::completeCommand(uint64_t seq, Error e)
 }
 
 void
-Dtu::abortCommand()
+Dtu::abortCommand(bool refund)
 {
     if (!busy)
         return;
+    epid_t ep = cmdEp;
+    bool took = cmdTookCredit;
     finishCommand(Error::Aborted);
+    if (refund && took && ep != INVALID_EP)
+        refundCredit(ep);
 }
 
 Error
@@ -301,9 +471,24 @@ Dtu::refundCredit(epid_t id)
     EpRegs &r = epRef(id);
     if (r.type != EpType::Send)
         return Error::InvalidEp;
-    if (r.send.credits != CREDITS_UNLIMITED)
+    // Refunds never raise the credit count above the configured ceiling
+    // (a retried send whose original reply eventually arrives must not
+    // mint credits).
+    if (r.send.credits != CREDITS_UNLIMITED &&
+        r.send.credits < r.send.maxCredits) {
         r.send.credits++;
+    }
     return Error::None;
+}
+
+void
+Dtu::removeWaiter(Fiber *f)
+{
+    if (cmdWaiter == f)
+        cmdWaiter = nullptr;
+    for (epid_t i = 0; i < EP_COUNT; ++i)
+        if (msgWaiters[i] == f)
+            msgWaiters[i] = nullptr;
 }
 
 Error
@@ -353,12 +538,14 @@ Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
         return Error::InvalidEp;
     if (size + sizeof(MessageHeader) > r.send.maxMsgSize)
         return Error::MsgTooBig;
+    bool tookCredit = false;
     if (r.send.credits != CREDITS_UNLIMITED) {
         if (r.send.credits == 0) {
             dtuStats.creditDenials++;
             return Error::NoCredits;
         }
         r.send.credits--;
+        tookCredit = true;
     }
     if (replyEp != INVALID_EP && ep(replyEp).type != EpType::Receive)
         return Error::InvalidEp;
@@ -372,6 +559,10 @@ Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
     hdr.replyLabel = replyLabel;
     hdr.creditEp = INVALID_EP;
     hdr.senderGen = generation;
+    // Kernel-stamped target generation (0 = wildcard): a message for a
+    // VPE that is currently descheduled must not land in the ringbuffers
+    // of whoever owns the receiver PE right now.
+    hdr.targetGen = r.send.targetGen;
     hdr.flags = (replyEp != INVALID_EP) ? MessageHeader::FL_REPLY_EN : 0;
 
     std::vector<uint8_t> payload(size);
@@ -397,6 +588,8 @@ Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
     }
 
     busy = true;
+    cmdEp = id;
+    cmdTookCredit = tookCredit;
     if (M3_TRACE_ON)
         trace::Tracer::spanBegin(trace::dtuTrack(nocId), "dtu:send");
     const uint64_t seq = ++cmdSeq;
@@ -516,12 +709,33 @@ Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
                  nocId, id, hdr.senderNode);
         return;
     }
-    if (hdr.isReply() && hdr.targetGen != generation) {
-        // The reply targets a previous owner of this PE (Sec. 3:
-        // NoC-level isolation across PE reuse).
+    if (hdr.targetGen != 0 && hdr.targetGen != generation) {
+        // Addressed to a generation that is not resident. If the kernel
+        // parked that generation here (the VPE is descheduled but alive),
+        // buffer the message and re-inject it on restore — the DTU stays
+        // receptive on behalf of suspended VPEs, credit-bounded. Anything
+        // else is stale: a previous owner of this PE (Sec. 3: NoC-level
+        // isolation across PE reuse) or a reclaimed VPE.
+        auto parked = parkedMsgs.find(hdr.targetGen);
+        if (parked != parkedMsgs.end()) {
+            if (parked->second.size() >= MAX_SLOTS) {
+                dtuStats.msgsDropped++;
+                logtrace("node%u: drop at ep%u: parked buffer full "
+                         "(gen %u)", nocId, id, hdr.targetGen);
+                return;
+            }
+            parked->second.push_back(
+                ParkedMsg{id, hdr, std::move(payload)});
+            dtuStats.msgsParked++;
+            logtrace("node%u: park at ep%u: gen %u descheduled "
+                     "(resident %u)", nocId, id, hdr.targetGen,
+                     generation);
+            return;
+        }
         dtuStats.msgsDropped++;
-        logtrace("node%u: drop at ep%u: stale reply (gen %u != %u)",
-                 nocId, id, hdr.targetGen, generation);
+        logtrace("node%u: drop at ep%u: stale %s (gen %u != %u)",
+                 nocId, id, hdr.isReply() ? "reply" : "message",
+                 hdr.targetGen, generation);
         return;
     }
     if (id >= EP_COUNT || eps[id].type != EpType::Receive) {
@@ -567,12 +781,15 @@ Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
 
     dtuStats.msgsReceived++;
 
-    // A reply refunds one credit to the sender's send EP (Sec. 4.4.3).
+    // A reply refunds one credit to the sender's send EP (Sec. 4.4.3),
+    // clamped at the configured ceiling: if the sender timed out and
+    // already reclaimed the credit, the late reply must not mint one.
     if (hdr.isReply() && hdr.creditEp != INVALID_EP &&
         hdr.creditEp < EP_COUNT) {
         EpRegs &sep = eps[hdr.creditEp];
         if (sep.type == EpType::Send &&
-            sep.send.credits != CREDITS_UNLIMITED) {
+            sep.send.credits != CREDITS_UNLIMITED &&
+            sep.send.credits < sep.send.maxCredits) {
             sep.send.credits++;
         }
     }

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "base/cost_model.hh"
@@ -49,6 +50,8 @@ struct DtuStats
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
     uint64_t extConfigs = 0;
+    uint64_t msgsParked = 0;    //!< buffered for a descheduled generation
+    uint64_t msgsUnparked = 0;  //!< re-injected when that VPE came back
 };
 
 /**
@@ -63,6 +66,42 @@ class Dtu
     using DtuResolver = std::function<Dtu *(uint32_t)>;
     /** Resolves a NoC node id to a memory target (or nullptr). */
     using MemResolver = std::function<MemTarget *(uint32_t)>;
+
+    struct RecvSlotState
+    {
+        enum class S : uint8_t { Free, Ready, Fetched };
+        S s = S::Free;
+    };
+
+    struct RecvState
+    {
+        std::array<RecvSlotState, MAX_SLOTS> slots;
+        uint32_t rdPos = 0;  //!< next slot to fetch
+        uint32_t wrPos = 0;  //!< next slot the DTU writes to
+    };
+
+    /**
+     * The complete per-VPE DTU context, as fetched/restored by the kernel
+     * on a VPE switch: every endpoint register, the ringbuffer cursor
+     * state, and the owning generation. The ringbuffer *contents* live in
+     * the SPM and travel with the scratchpad spill, not with this struct.
+     */
+    struct CtxState
+    {
+        std::array<EpRegs, EP_COUNT> eps;
+        std::array<RecvState, EP_COUNT> recvState;
+        uint32_t generation = 0;
+        /** The last-error register: co-residents share the physical one,
+         *  so each context carries its own copy across switches. */
+        Error lastErr = Error::None;
+    };
+
+    /**
+     * Architectural size of the context on the wire (EP register file +
+     * ring cursors). A fixed constant, not sizeof(CtxState): host padding
+     * must not leak into simulated cycles.
+     */
+    static constexpr uint32_t CTX_WIRE_BYTES = EP_COUNT * 48 + 64;
 
     Dtu(EventQueue &eq, Noc &noc, Spm &spm, uint32_t nocId,
         const HwCosts &hw);
@@ -136,6 +175,88 @@ class Dtu
         startHook = std::move(hook);
     }
 
+    /**
+     * Remotely wake the attached core to run the program of @p vpeId.
+     * Like extStart, but carries the VPE identity so a PE hosting several
+     * VPEs starts the right one (kernel-driven multiplexing).
+     */
+    Error extStartVpe(uint32_t targetNode, uint64_t vpeId,
+                      std::function<void(Error)> onDone = nullptr);
+
+    /** Invoked on a VPE-qualified start command (wired by the PE). */
+    void setStartVpeHook(std::function<void(uint64_t)> hook)
+    {
+        startVpeHook = std::move(hook);
+    }
+
+    /**
+     * Kernel-maintained hint: more than one VPE currently lives on this
+     * PE. Software uses it to yield instead of idle-waiting, so a
+     * blocked VPE does not burn the rest of its slice holding the core
+     * (the multiplexing analogue of MONITOR/MWAIT). Purely advisory —
+     * not part of the architectural context.
+     */
+    void setSharedPe(bool shared) { sharedPeHint = shared; }
+    bool sharedPe() const { return sharedPeHint; }
+
+    // -------------------------------------------------------------------
+    // VPE context switching (kernel-driven time multiplexing). The kernel
+    // suspends the resident VPE by draining the in-flight command,
+    // fetching the DTU context, and spilling the SPM; the reverse order
+    // restores another VPE.
+    // -------------------------------------------------------------------
+
+    /**
+     * Wait remotely until the target DTU's in-flight command (if any) has
+     * completed: the ack is deferred until the DTU is idle. Issued before
+     * a context fetch so no command is lost mid-flight.
+     */
+    Error extDrain(uint32_t targetNode, std::function<void(Error)> onDone);
+
+    /**
+     * Fetch the target DTU's context into @p out (kernel-owned storage;
+     * must stay alive until @p onDone fires). The target is left without
+     * an owner: all EPs invalid, generation 0, and the fetched generation
+     * registered as *parked* — messages addressed to it are buffered at
+     * the DTU instead of delivered or dropped, bounded by MAX_SLOTS.
+     */
+    Error extFetchCtx(uint32_t targetNode, CtxState *out,
+                      std::function<void(Error)> onDone);
+
+    /**
+     * Restore a previously fetched (or kernel-built) context on the
+     * target DTU (@p st must stay alive until @p onDone fires). Messages
+     * buffered for the restored generation are re-injected in arrival
+     * order, and the target's context-switch epoch is bumped so local
+     * software can invalidate cached gate bindings.
+     */
+    Error extRestoreCtx(uint32_t targetNode, const CtxState *st,
+                        std::function<void(Error)> onDone);
+
+    /**
+     * Discard the parked state of @p gen on the target DTU (the VPE
+     * exited or was reclaimed while descheduled): buffered messages for
+     * it are dropped, and future messages carrying it become stale.
+     */
+    Error extDiscardCtx(uint32_t targetNode, uint32_t gen,
+                        std::function<void(Error)> onDone = nullptr);
+
+    /** The DTU's current owning generation (kernel bookkeeping, tests). */
+    uint32_t dtuGeneration() const { return generation; }
+
+    /**
+     * Bumped on every context restore. Software compares a cached value
+     * to detect that a switch happened and its gate bindings may be gone.
+     */
+    uint32_t ctxEpoch() const { return ctxSwitchEpoch; }
+
+    /**
+     * Drop any wait registrations @p f holds on this DTU (the fiber is
+     * being parked; a co-resident VPE must not consume its wakeups).
+     * unpark() delivers a spurious wakeup, so the waiter re-registers.
+     */
+    void removeWaiter(Fiber *f);
+
     // -------------------------------------------------------------------
     // Commands, issued by the local core via the command registers.
     // All return immediately with a validation result; completion is
@@ -192,9 +313,11 @@ class Dtu
      * Abort the in-flight command, if any: the DTU becomes idle with
      * lastError() == Aborted, and a late completion of the aborted
      * command is ignored. Software calls this after a timed-out wait
-     * before reusing the DTU.
+     * before reusing the DTU. With @p refund, a credit consumed by an
+     * aborted send is put back (kernel-driven aborts on a VPE switch;
+     * the software retry layer instead calls refundCredit() itself).
      */
-    void abortCommand();
+    void abortCommand(bool refund = false);
 
     /**
      * Put one credit back into send EP @p ep. Models the abort-reclaim
@@ -250,17 +373,12 @@ class Dtu
     void setFaultPlan(FaultPlan *plan) { faults = plan; }
 
   private:
-    struct RecvSlotState
+    /** A message buffered for a descheduled (parked) generation. */
+    struct ParkedMsg
     {
-        enum class S : uint8_t { Free, Ready, Fetched };
-        S s = S::Free;
-    };
-
-    struct RecvState
-    {
-        std::array<RecvSlotState, MAX_SLOTS> slots;
-        uint32_t rdPos = 0;  //!< next slot to fetch
-        uint32_t wrPos = 0;  //!< next slot the DTU writes to
+        epid_t ep;
+        MessageHeader hdr;
+        std::vector<uint8_t> payload;
     };
 
     /** Incoming message (runs at packet arrival on the receive side). */
@@ -286,6 +404,10 @@ class Dtu
     /** Unconditionally finish the current command with result @p e. */
     void finishCommand(Error e);
 
+    /** Receive-side application of a context fetch/restore. */
+    void fetchCtxLocal(CtxState &out);
+    void restoreCtxLocal(const CtxState &st);
+
     EpRegs &epRef(epid_t id);
     void checkEpId(epid_t id) const;
 
@@ -305,12 +427,24 @@ class Dtu
     Error cmdError = Error::None;
     /** Epoch of the current command; completions carry the epoch. */
     uint64_t cmdSeq = 0;
+    /** Send EP of the in-flight command and whether it took a credit
+     *  (abort-with-refund needs to know what to give back). */
+    epid_t cmdEp = INVALID_EP;
+    bool cmdTookCredit = false;
     Fiber *cmdWaiter = nullptr;
     std::array<Fiber *, EP_COUNT> msgWaiters{};
+    /** Deferred drain acks, fired when the current command finishes. */
+    std::vector<std::function<void()>> idleWaiters;
+    /** Parked generations and the messages buffered for them. */
+    std::map<uint32_t, std::vector<ParkedMsg>> parkedMsgs;
+    /** Bumped on every context restore (gate-cache invalidation). */
+    uint32_t ctxSwitchEpoch = 0;
 
     DtuResolver dtuAt;
     MemResolver memAt;
     std::function<void()> startHook;
+    std::function<void(uint64_t)> startVpeHook;
+    bool sharedPeHint = false;
     FaultPlan *faults = nullptr;
 
     DtuStats dtuStats;

@@ -47,6 +47,22 @@ struct SendEpCfg
     label_t label = 0;         //!< receiver-chosen, unforgeable by sender
     uint32_t credits = 0;      //!< messages in flight; CREDITS_UNLIMITED
     uint32_t maxMsgSize = 0;   //!< slot size of the target ringbuffer
+    /**
+     * Credit ceiling: refunds (reply delivery, aborts) never raise the
+     * credit count above this. 0 means "use the initial credits" — the
+     * kernel-side config helpers fill it in, so non-multiplexed setups
+     * behave exactly as before.
+     */
+    uint32_t maxCredits = 0;
+    /**
+     * Required DTU generation of the receiver, stamped into outgoing
+     * headers. 0 is the wildcard (deliver to whatever generation is
+     * resident — the single-occupancy behaviour). The kernel sets a
+     * VPE's generation here when multiplexing, so messages addressed to
+     * a descheduled VPE are dropped instead of leaking into the VPE that
+     * currently owns the receiver PE.
+     */
+    uint32_t targetGen = 0;
 };
 
 /** Configuration of a receive endpoint. */

@@ -14,6 +14,45 @@ namespace kernel
 
 using kif::Syscall;
 
+namespace
+{
+
+/**
+ * Block the calling (kernel) fiber until an asynchronous ext operation
+ * acks. The kernel performs context switches synchronously: it issues
+ * the DTU operation and sleeps until the remote side confirmed it.
+ */
+class ExtWaiter
+{
+  public:
+    std::function<void(Error)>
+    cb()
+    {
+        return [this](Error e) {
+            result = e;
+            done = true;
+            if (waiter)
+                waiter->unblock();
+        };
+    }
+
+    Error
+    wait()
+    {
+        waiter = Fiber::current();
+        while (!done)
+            waiter->block();
+        return result;
+    }
+
+  private:
+    Fiber *waiter = nullptr;
+    bool done = false;
+    Error result = Error::None;
+};
+
+} // anonymous namespace
+
 Kernel::Kernel(Platform &platform, peid_t kernelPe, goff_t dramAllocStart)
     : platform(platform), kernelPe(kernelPe), costs(platform.costs().m3),
       dramNext((dramAllocStart + 63) & ~goff_t{63}),
@@ -82,6 +121,10 @@ Kernel::bootSetup()
     srvRing = spm.alloc(16 * 512);
     stage = spm.alloc(kif::MAX_SYSC_MSG);
     srvStage = spm.alloc(kif::MAX_SYSC_MSG);
+    // The SPM spill/fill staging buffer exists only when multiplexing is
+    // enabled, so default setups keep their exact SPM layout.
+    if (timeSlice)
+        ctxStage = spm.alloc(CTX_CHUNK);
 
     RecvEpCfg sysc;
     sysc.bufAddr = syscRing;
@@ -172,11 +215,17 @@ Kernel::run()
     Fiber::current()->accounting().push(Category::Os);
     bootSetup();
     for (;;) {
-        // The watchdog only needs to tick while a VPE could expire;
-        // waiting without a timeout otherwise lets the event queue
-        // drain once all programs exited (end-of-simulation detection).
+        // The watchdog and the time-slice scheduler only need to tick
+        // while a VPE could expire / is waiting for its turn; waiting
+        // without a timeout otherwise lets the event queue drain once
+        // all programs exited (end-of-simulation detection).
+        Cycles tmo = 0;
         if (watchdogPeriod && anyWatchedVpe())
-            kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY}, watchdogPeriod);
+            tmo = watchdogPeriod;
+        if (timeSlice && schedulePending())
+            tmo = tmo ? std::min(tmo, timeSlice) : timeSlice;
+        if (tmo)
+            kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY}, tmo);
         else
             kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY});
         int slot;
@@ -186,6 +235,8 @@ Kernel::run()
             handleSyscall(static_cast<uint32_t>(slot));
         if (watchdogPeriod)
             checkWatchdog();
+        if (timeSlice)
+            checkSchedule();
     }
 }
 
@@ -376,6 +427,9 @@ Kernel::handleSyscall(uint32_t slot)
       case Syscall::Heartbeat:
         sysHeartbeat(*caller, um, slot);
         break;
+      case Syscall::Yield:
+        sysYield(*caller, um, slot);
+        break;
       default:
         replyError(slot, Error::InvalidArgs);
         break;
@@ -457,23 +511,65 @@ Kernel::tryCreateVpe(Vpe &caller, const PendingVpeReq &req)
             break;
         }
     }
+    bool coScheduled = false;
+    if (chosen == INVALID_PE && timeSlice) {
+        // Oversubscription: co-schedule onto the multiplexed PE with the
+        // fewest VPEs (lowest PE id breaks ties — deterministic).
+        uint32_t best = ~0u;
+        for (const auto &[p, s] : scheds) {
+            if (platform.pe(p).desc().matches(wanted, req.attr) &&
+                s.assigned < best) {
+                best = s.assigned;
+                chosen = p;
+            }
+        }
+        coScheduled = chosen != INVALID_PE;
+    }
     if (chosen == INVALID_PE)
         return false;
 
     peBusy[chosen] = true;
     Vpe &child = createVpeObj(req.name, chosen);
-    logtrace("kernel: vpe%u '%s' -> pe%u (for vpe%u)", child.id,
-             req.name.c_str(), chosen, caller.id);
+    logtrace("kernel: vpe%u '%s' -> pe%u (for vpe%u)%s", child.id,
+             req.name.c_str(), chosen, caller.id,
+             coScheduled ? " [co-scheduled]" : "");
 
     caller.caps.put(req.dstSel, std::make_shared<VpeRefObj>(child.id));
-    // The memory gate for the child's local memory enables application
-    // loading (Sec. 4.5.5).
-    caller.caps.put(req.mgateSel,
-                    std::make_shared<MemObj>(
-                        platform.nocIdOf(chosen), 0,
-                        platform.pe(chosen).desc().spmDataSize, MEM_RW));
+    uint64_t spmSize = platform.pe(chosen).desc().spmDataSize;
+    if (!coScheduled) {
+        // The memory gate for the child's local memory enables
+        // application loading (Sec. 4.5.5).
+        caller.caps.put(req.mgateSel,
+                        std::make_shared<MemObj>(platform.nocIdOf(chosen),
+                                                 0, spmSize, MEM_RW));
+    } else {
+        // The PE's SPM belongs to whoever is resident; the loader writes
+        // the image into the child's context-save area instead, and the
+        // first resume fills the SPM from there.
+        caller.caps.put(req.mgateSel,
+                        std::make_shared<MemObj>(platform.dramNode(),
+                                                 csaOf(child), spmSize,
+                                                 MEM_RW));
+    }
 
-    configureVpeEps(child);
+    if (!timeSlice) {
+        configureVpeEps(child);
+    } else {
+        // Multiplexed VPEs get a kernel-assigned generation and their
+        // syscall EPs via a context restore, so suspend/resume and the
+        // initial setup share one mechanism.
+        child.dtuGen = nextDtuGen++;
+        buildInitialCtx(child);
+        PeSched &s = scheds[chosen];
+        s.assigned++;
+        platform.pe(chosen).dtu().setSharedPe(s.assigned > 1);
+        if (!coScheduled) {
+            s.resident = child.id;
+            s.residentSince = platform.simulator().curCycle();
+            applyCtx(child);
+        }
+        compute(2 * costs.epConfig);
+    }
     compute(2 * costs.capOp);
 
     uint8_t buf[64];
@@ -518,7 +614,17 @@ Kernel::sysVpeStart(Vpe &caller, Unmarshaller &um, uint32_t slot)
     }
     child->state = Vpe::State::Running;
     child->lastActivity = platform.simulator().curCycle();
-    kdtu().extStart(nodeOf(*child));
+    auto sIt = scheds.find(child->pe);
+    if (sIt != scheds.end() && sIt->second.resident != child->id) {
+        // Co-scheduled on a busy PE: just mark it runnable; the
+        // scheduler switches it in and the first resume starts it.
+        sIt->second.runQueue.push_back(child->id);
+        compute(costs.epConfig);
+        replyError(slot, Error::None);
+        return;
+    }
+    child->started = true;
+    kdtu().extStartVpe(nodeOf(*child), child->id);
     compute(costs.epConfig);
     replyError(slot, Error::None);
 }
@@ -567,10 +673,35 @@ Kernel::finishVpe(Vpe &v, int exitCode)
     v.exitCode = exitCode;
     logtrace("kernel: vpe%u exited, freeing pe%u", v.id, v.pe);
 
-    // Reclaim the PE: reset its DTU and mark it available again.
-    kdtu().extReset(nodeOf(v));
-    platform.pe(v.pe).release();
-    peBusy[v.pe] = false;
+    auto sIt = scheds.find(v.pe);
+    if (sIt == scheds.end()) {
+        // Reclaim the PE: reset its DTU and mark it available again.
+        kdtu().extReset(nodeOf(v));
+        platform.pe(v.pe).release();
+        peBusy[v.pe] = false;
+    } else {
+        // A multiplexed PE is shared: drop only this VPE's share of it.
+        // Messages buffered for its generation are stale now, and future
+        // ones become stale once another context is restored.
+        PeSched &s = sIt->second;
+        if (s.resident == v.id)
+            s.resident = INVALID_VPE;
+        s.runQueue.erase(
+            std::remove(s.runQueue.begin(), s.runQueue.end(), v.id),
+            s.runQueue.end());
+        platform.pe(v.pe).dropParked(v.id);
+        kdtu().extDiscardCtx(nodeOf(v), v.dtuGen);
+        if (s.assigned)
+            s.assigned--;
+        platform.pe(v.pe).dtu().setSharedPe(s.assigned > 1);
+        if (s.assigned == 0) {
+            // Last VPE gone: now the PE really is free again.
+            scheds.erase(sIt);
+            kdtu().extReset(nodeOf(v));
+            platform.pe(v.pe).release();
+            peBusy[v.pe] = false;
+        }
+    }
 
     for (auto [ep, slot, waitingVpe] : v.waiters) {
         deferredReplySent(waitingVpe);
@@ -730,6 +861,13 @@ Kernel::doActivate(Vpe &caller, Capability *cap, epid_t ep,
     uint32_t node = nodeOf(caller);
     compute(costs.epConfig);
 
+    // A multiplexed caller may have been descheduled between sending the
+    // syscall and the kernel processing it (or before a deferred
+    // activation flushed). Its EP registers then live in its saved
+    // context — the PE currently belongs to another VPE, so external
+    // configuration packets must not touch it.
+    const bool viaCtx = caller.dtuGen != 0 && !isResident(caller);
+
     switch (cap->obj->type) {
       case ObjType::RGate: {
         auto &rg = static_cast<RGateObj &>(*cap->obj);
@@ -742,7 +880,15 @@ Kernel::doActivate(Vpe &caller, Capability *cap, epid_t ep,
         // The kernel has verified the ring placement, so replies on the
         // stored header information are safe (Sec. 4.4.4).
         cfg.replyProtected = true;
-        kdtu().extConfigRecv(node, ep, cfg);
+        if (viaCtx) {
+            EpRegs r;
+            r.type = EpType::Receive;
+            r.recv = cfg;
+            caller.ctx->eps[ep] = r;
+            caller.ctx->recvState[ep] = Dtu::RecvState{};
+        } else {
+            kdtu().extConfigRecv(node, ep, cfg);
+        }
         rg.activated = true;
         rg.node = node;
         rg.ep = ep;
@@ -760,7 +906,20 @@ Kernel::doActivate(Vpe &caller, Capability *cap, epid_t ep,
         cfg.label = sg.label;
         cfg.credits = sg.credits;
         cfg.maxMsgSize = sg.rgate->slotSize;
-        kdtu().extConfigSend(node, ep, cfg);
+        // Address the receiver's generation: if that VPE is descheduled
+        // when a message arrives, the DTU buffers it instead of handing
+        // it to whichever VPE owns the ring's EP index by then.
+        cfg.targetGen = vpeGenOf(sg.rgate->owner);
+        if (viaCtx) {
+            EpRegs r;
+            r.type = EpType::Send;
+            r.send = cfg;
+            if (r.send.maxCredits == 0)
+                r.send.maxCredits = r.send.credits;
+            caller.ctx->eps[ep] = r;
+        } else {
+            kdtu().extConfigSend(node, ep, cfg);
+        }
         cap->activatedEp = ep;
         return Error::None;
       }
@@ -771,7 +930,14 @@ Kernel::doActivate(Vpe &caller, Capability *cap, epid_t ep,
         cfg.offset = mem.off;
         cfg.size = mem.size;
         cfg.perms = mem.perms;
-        kdtu().extConfigMem(node, ep, cfg);
+        if (viaCtx) {
+            EpRegs r;
+            r.type = EpType::Memory;
+            r.mem = cfg;
+            caller.ctx->eps[ep] = r;
+        } else {
+            kdtu().extConfigMem(node, ep, cfg);
+        }
         cap->activatedEp = ep;
         return Error::None;
       }
@@ -1176,7 +1342,14 @@ Kernel::revokeRec(Capability *cap)
     // Hardware side effects of losing the capability.
     if (owner && cap->activatedEp != INVALID_EP &&
         owner->state != Vpe::State::Exited) {
-        kdtu().extInvalidateEp(nodeOf(*owner), cap->activatedEp);
+        if (owner->dtuGen != 0 && !isResident(*owner)) {
+            // The owner is descheduled: its EP lives in the saved
+            // context, not on the PE.
+            owner->ctx->eps[cap->activatedEp].invalidate();
+            owner->ctx->recvState[cap->activatedEp] = Dtu::RecvState{};
+        } else {
+            kdtu().extInvalidateEp(nodeOf(*owner), cap->activatedEp);
+        }
     }
 
     switch (cap->obj->type) {
@@ -1211,6 +1384,293 @@ Kernel::revokeRec(Capability *cap)
 
     if (owner)
         owner->caps.remove(cap->sel);
+}
+
+// ---------------------------------------------------------------------
+// Time multiplexing: kernel-driven VPE context switching (more VPEs
+// than PEs). A suspend parks the core model, drains the DTU, fetches
+// its context and spills the SPM to the VPE's context-save area in
+// DRAM; a resume mirrors that and then unparks (or first-starts) the
+// program. All transfers are real DTU/NoC traffic at DTU bandwidth;
+// only the kernel's bookkeeping is charged via ctxswSave/ctxswRestore.
+// ---------------------------------------------------------------------
+
+bool
+Kernel::isResident(const Vpe &v) const
+{
+    if (v.dtuGen == 0)
+        return true;
+    auto it = scheds.find(v.pe);
+    return it == scheds.end() || it->second.resident == v.id;
+}
+
+uint32_t
+Kernel::vpeGenOf(vpeid_t id)
+{
+    Vpe *v = vpeById(id);
+    return v ? v->dtuGen : 0;
+}
+
+void
+Kernel::buildInitialCtx(Vpe &v)
+{
+    v.ctx = std::make_unique<Dtu::CtxState>();
+    v.ctx->generation = v.dtuGen;
+
+    // The same syscall EPs configureVpeEps() would set up externally.
+    EpRegs &sep = v.ctx->eps[kif::SYSC_SEP];
+    sep.type = EpType::Send;
+    sep.send.targetNode = platform.nocIdOf(kernelPe);
+    sep.send.targetEp = KEP_SYSC;
+    sep.send.label = v.id;
+    sep.send.credits = 1;
+    sep.send.maxCredits = 1;
+    sep.send.maxMsgSize = kif::MAX_SYSC_MSG;
+
+    EpRegs &rep = v.ctx->eps[kif::SYSC_REP];
+    rep.type = EpType::Receive;
+    rep.recv.bufAddr = kif::SYSC_RBUF_ADDR;
+    rep.recv.slotCount = kif::SYSC_RBUF_SLOTS;
+    rep.recv.slotSize = kif::SYSC_RBUF_SLOTSIZE;
+}
+
+void
+Kernel::applyCtx(Vpe &v)
+{
+    ExtWaiter w;
+    Error e = kdtu().extRestoreCtx(nodeOf(v), v.ctx.get(), w.cb());
+    if (e != Error::None)
+        panic("kernel: restoring context of vpe%u failed: %s", v.id,
+              errorName(e));
+    w.wait();
+}
+
+goff_t
+Kernel::csaOf(Vpe &v)
+{
+    if (v.csa == 0) {
+        uint64_t size = platform.pe(v.pe).desc().spmDataSize;
+        size = (size + 63) & ~uint64_t{63};
+        if (dramNext + size > dramEnd)
+            fatal("out of DRAM for VPE context-save areas");
+        v.csa = dramNext;
+        dramNext += size;
+    }
+    return v.csa;
+}
+
+void
+Kernel::spillSpm(Vpe &v)
+{
+    uint64_t size = platform.pe(v.pe).desc().spmDataSize;
+    MemEpCfg spmEp;
+    spmEp.targetNode = nodeOf(v);
+    spmEp.offset = 0;
+    spmEp.size = size;
+    spmEp.perms = MEM_RW;
+    MemEpCfg csaEp;
+    csaEp.targetNode = platform.dramNode();
+    csaEp.offset = csaOf(v);
+    csaEp.size = size;
+    csaEp.perms = MEM_RW;
+    kdtu().configMem(KEP_CTX_SPM, spmEp);
+    kdtu().configMem(KEP_CTX_CSA, csaEp);
+    compute(2 * costs.epConfig);
+
+    // Only the allocated prefix is live (the bump allocator hands out
+    // every addressable buffer); the full SPM at DTU bandwidth costs
+    // ~8k cycles per direction, which would dominate every switch.
+    uint64_t used = platform.pe(v.pe).spm().allocated();
+    used = std::min(size, (used + 63) & ~uint64_t{63});
+    v.ctxBytes = used;
+
+    for (uint64_t off = 0; off < used; off += CTX_CHUNK) {
+        uint64_t n = std::min<uint64_t>(CTX_CHUNK, used - off);
+        if (kdtu().startRead(KEP_CTX_SPM, ctxStage, off, n) != Error::None)
+            panic("kernel: ctx spill read failed (vpe%u)", v.id);
+        kdtu().waitUntilIdle();
+        if (kdtu().startWrite(KEP_CTX_CSA, ctxStage, off, n) != Error::None)
+            panic("kernel: ctx spill write failed (vpe%u)", v.id);
+        kdtu().waitUntilIdle();
+    }
+}
+
+void
+Kernel::fillSpm(Vpe &v)
+{
+    uint64_t size = platform.pe(v.pe).desc().spmDataSize;
+    MemEpCfg spmEp;
+    spmEp.targetNode = nodeOf(v);
+    spmEp.offset = 0;
+    spmEp.size = size;
+    spmEp.perms = MEM_RW;
+    MemEpCfg csaEp;
+    csaEp.targetNode = platform.dramNode();
+    csaEp.offset = csaOf(v);
+    csaEp.size = size;
+    csaEp.perms = MEM_RW;
+    kdtu().configMem(KEP_CTX_SPM, spmEp);
+    kdtu().configMem(KEP_CTX_CSA, csaEp);
+    compute(2 * costs.epConfig);
+
+    // Restore what the last spill recorded; a first fill of a
+    // loader-written image has no record and restores everything.
+    uint64_t used = v.ctxBytes ? v.ctxBytes : size;
+
+    for (uint64_t off = 0; off < used; off += CTX_CHUNK) {
+        uint64_t n = std::min<uint64_t>(CTX_CHUNK, used - off);
+        if (kdtu().startRead(KEP_CTX_CSA, ctxStage, off, n) != Error::None)
+            panic("kernel: ctx fill read failed (vpe%u)", v.id);
+        kdtu().waitUntilIdle();
+        if (kdtu().startWrite(KEP_CTX_SPM, ctxStage, off, n) != Error::None)
+            panic("kernel: ctx fill write failed (vpe%u)", v.id);
+        kdtu().waitUntilIdle();
+    }
+}
+
+void
+Kernel::suspendVpe(Vpe &v)
+{
+    PeSched &s = scheds.at(v.pe);
+    logtrace("kernel: suspending vpe%u on pe%u", v.id, v.pe);
+    kstats.ctxSwitches++;
+    compute(costs.ctxswSave);
+
+    Pe &pe = platform.pe(v.pe);
+    uint32_t node = nodeOf(v);
+
+    // Stop the core model first: park the fiber and drop its DTU wait
+    // registrations — a co-resident VPE must not consume its wakeups.
+    // unpark() later delivers a spurious wakeup so it re-registers.
+    if (v.started) {
+        Fiber *f = pe.programFiber();
+        if (f && !f->finished()) {
+            pe.dtu().removeWaiter(f);
+            pe.parkResident(v.id);
+        }
+    }
+
+    // Drain: the ack is deferred until any in-flight command completed.
+    {
+        ExtWaiter w;
+        kdtu().extDrain(node, w.cb());
+        w.wait();
+    }
+
+    // Fetch the DTU context. The fetched generation stays parked at the
+    // DTU, so messages for it are buffered until the VPE returns.
+    if (!v.ctx)
+        v.ctx = std::make_unique<Dtu::CtxState>();
+    {
+        ExtWaiter w;
+        kdtu().extFetchCtx(node, v.ctx.get(), w.cb());
+        w.wait();
+    }
+
+    // Spill the scratchpad (ringbuffer contents, stacks, heaps).
+    spillSpm(v);
+
+    s.resident = INVALID_VPE;
+    s.runQueue.push_back(v.id);
+}
+
+void
+Kernel::resumeVpe(Vpe &v)
+{
+    PeSched &s = scheds.at(v.pe);
+    logtrace("kernel: resuming vpe%u on pe%u", v.id, v.pe);
+    compute(costs.ctxswRestore);
+
+    // Fill the scratchpad before restoring the context: re-injected
+    // buffered messages write into the ring *after* its bytes are back.
+    // For a first start on a shared PE this loads the image the parent
+    // wrote into the CSA.
+    if (v.csa)
+        fillSpm(v);
+
+    applyCtx(v);
+
+    s.resident = v.id;
+    s.residentSince = platform.simulator().curCycle();
+
+    if (!v.started) {
+        v.started = true;
+        kdtu().extStartVpe(nodeOf(v), v.id);
+    } else if (platform.pe(v.pe).hasParked(v.id)) {
+        platform.pe(v.pe).resumeParked(v.id);
+    }
+}
+
+void
+Kernel::scheduleNext(peid_t pe, PeSched &s)
+{
+    // A just-exited resident may still be winding down (its fiber is
+    // mid-return from the exit syscall); wait for the next tick then.
+    Fiber *cur = platform.pe(pe).programFiber();
+    if (cur && !cur->finished())
+        return;
+    while (!s.runQueue.empty()) {
+        vpeid_t id = s.runQueue.front();
+        s.runQueue.erase(s.runQueue.begin());
+        Vpe *next = vpeById(id);
+        if (!next || next->state != Vpe::State::Running)
+            continue;  // exited or reclaimed while queued
+        resumeVpe(*next);
+        return;
+    }
+}
+
+void
+Kernel::checkSchedule()
+{
+    Cycles now = platform.simulator().curCycle();
+    for (auto &[pe, s] : scheds) {
+        if (s.runQueue.empty())
+            continue;
+        if (s.resident != INVALID_VPE) {
+            Vpe *r = vpeById(s.resident);
+            if (r && now - s.residentSince < timeSlice)
+                continue;  // slice not yet expired
+            if (r)
+                suspendVpe(*r);
+            else
+                s.resident = INVALID_VPE;
+        }
+        scheduleNext(pe, s);
+    }
+}
+
+bool
+Kernel::schedulePending() const
+{
+    for (const auto &[pe, s] : scheds)
+        if (!s.runQueue.empty())
+            return true;
+    return false;
+}
+
+void
+Kernel::sysYield(Vpe &caller, Unmarshaller &, uint32_t slot)
+{
+    kstats.yields++;
+    compute(costs.nullHandler);
+
+    // If another VPE waits for this PE, switch now instead of letting
+    // the rest of the slice run out; the caller learns from the reply
+    // whether that happened (NoSuchVpe = nobody else to run, so
+    // blocking locally is the right move). The reply goes out before
+    // the switch: the packet is already on the wire and the NoC keeps
+    // per-route FIFO order, so it lands before the context fetch
+    // mutates the PE.
+    auto it = scheds.find(caller.pe);
+    bool canSwitch = it != scheds.end() &&
+                     it->second.resident == caller.id &&
+                     !it->second.runQueue.empty();
+    replyError(slot, canSwitch ? Error::None : Error::NoSuchVpe);
+    if (!canSwitch)
+        return;
+    suspendVpe(caller);
+    scheduleNext(caller.pe, it->second);
 }
 
 } // namespace kernel

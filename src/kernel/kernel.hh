@@ -54,6 +54,32 @@ struct Vpe
     int exitCode = 0;
     CapTable caps;
 
+    // --- time multiplexing (kernel-driven context switching) ----------
+    /**
+     * Non-zero iff the VPE participates in time multiplexing: its stable
+     * DTU generation, stamped into every send EP that targets it so
+     * messages for a descheduled VPE are buffered rather than delivered
+     * to whoever currently owns the PE.
+     */
+    uint32_t dtuGen = 0;
+    /** DRAM context-save area for the SPM contents (0 = none yet). */
+    goff_t csa = 0;
+    /**
+     * Live SPM bytes recorded at the last spill (the bump allocator's
+     * high-water mark, 64-byte aligned). The matching fill restores only
+     * this prefix: everything software can address comes from the
+     * allocator, so the mark bounds the bytes worth moving. 0 = no spill
+     * yet (first fill of a loader-written image restores everything).
+     */
+    uint64_t ctxBytes = 0;
+    /** The program has been started (start command sent) at least once. */
+    bool started = false;
+    /**
+     * The DTU context while descheduled. Also holds the kernel-built
+     * initial context (syscall EPs + generation) before the first run.
+     */
+    std::unique_ptr<Dtu::CtxState> ctx;
+
     /** Cycle of the last syscall/heartbeat (watchdog liveness). */
     Cycles lastActivity = 0;
 
@@ -85,6 +111,8 @@ struct KernelStats
     uint64_t serviceRequests = 0;
     uint64_t heartbeats = 0;
     uint64_t watchdogReclaims = 0;
+    uint64_t ctxSwitches = 0;  //!< VPE suspends (time multiplexing)
+    uint64_t yields = 0;       //!< cooperative Yield syscalls
 };
 
 /**
@@ -143,6 +171,21 @@ class Kernel
         watchdogPeriod = period;
     }
 
+    /**
+     * Enable time multiplexing of VPEs on PEs (more VPEs than PEs): when
+     * no suitable PE is free, CreateVpe co-schedules the new VPE onto an
+     * already multiplexed PE, and the kernel switches the residents
+     * round-robin every @p slice cycles (plus on Yield syscalls). A
+     * switch drains the DTU, fetches its context, and spills the SPM to
+     * a per-VPE context-save area in DRAM through the kernel's
+     * privileged memory EPs. Call before start(); disabled by default
+     * (zero behavioural change).
+     */
+    void enableMultiplexing(Cycles slice) { timeSlice = slice; }
+
+    /** Whether enableMultiplexing() was called. */
+    bool multiplexing() const { return timeSlice != 0; }
+
     Kernel(const Kernel &) = delete;
     Kernel &operator=(const Kernel &) = delete;
 
@@ -161,6 +204,8 @@ class Kernel
     static constexpr epid_t KEP_SYSC = 0;  //!< syscall receive ring
     static constexpr epid_t KEP_SRV_REPLY = 1; //!< service replies
     static constexpr epid_t KEP_SRV_SEND = 2;  //!< scratch send EP
+    static constexpr epid_t KEP_CTX_SPM = 3;   //!< ctx switch: app SPM
+    static constexpr epid_t KEP_CTX_CSA = 4;   //!< ctx switch: DRAM CSA
 
   private:
     /** The kernel program's main loop. */
@@ -192,6 +237,7 @@ class Kernel
     void sysExchangeSess(Vpe &vpe, Unmarshaller &um, uint32_t slot);
     void sysRevoke(Vpe &vpe, Unmarshaller &um, uint32_t slot);
     void sysHeartbeat(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysYield(Vpe &vpe, Unmarshaller &um, uint32_t slot);
 
     // --- service interaction -----------------------------------------
     void handleServiceReply(uint32_t slot);
@@ -266,6 +312,52 @@ class Kernel
     // Watchdog configuration (0 = disabled).
     Cycles watchdogDeadline = 0;
     Cycles watchdogPeriod = 0;
+
+    // --- time multiplexing (0 = disabled) ------------------------------
+    /** Per-PE schedule; only multiplexed PEs have an entry. */
+    struct PeSched
+    {
+        vpeid_t resident = INVALID_VPE;
+        std::vector<vpeid_t> runQueue;  //!< descheduled runnable VPEs
+        Cycles residentSince = 0;
+        uint32_t assigned = 0;  //!< live VPEs placed on this PE
+    };
+    std::map<peid_t, PeSched> scheds;
+    Cycles timeSlice = 0;
+    /**
+     * Kernel-assigned VPE generations start high above the hardware
+     * reset counter (which starts at 1 and bumps per reset), so a
+     * reused PE can never collide with a multiplexed VPE's generation.
+     */
+    uint32_t nextDtuGen = 1u << 20;
+    /** Kernel SPM staging buffer for SPM spill/fill transfers. */
+    spmaddr_t ctxStage = 0;
+    static constexpr uint32_t CTX_CHUNK = 16 * KiB;
+
+    /** Is the VPE currently the one owning its PE (or not multiplexed)? */
+    bool isResident(const Vpe &v) const;
+    /** The generation to stamp into sends targeting VPE @p id (0 = any). */
+    uint32_t vpeGenOf(vpeid_t id);
+    /** Build the initial context: syscall EPs + the VPE's generation. */
+    void buildInitialCtx(Vpe &v);
+    /** Push @p v's context to its (resident) DTU and wait for the ack. */
+    void applyCtx(Vpe &v);
+    /** The VPE's DRAM context-save area (allocated on first use). */
+    goff_t csaOf(Vpe &v);
+    /** Copy the VPE's SPM to its CSA, chunked through the staging buf. */
+    void spillSpm(Vpe &v);
+    /** The reverse: CSA to SPM (also loads a first-run image). */
+    void fillSpm(Vpe &v);
+    /** Deschedule the resident VPE @p v (park, drain, fetch, spill). */
+    void suspendVpe(Vpe &v);
+    /** Make @p v resident (fill, restore, unpark/start). */
+    void resumeVpe(Vpe &v);
+    /** Preempt expired slices and fill idle multiplexed PEs. */
+    void checkSchedule();
+    /** Resume the next runnable VPE of @p s, if any. */
+    void scheduleNext(peid_t pe, PeSched &s);
+    /** Any multiplexed PE with a VPE waiting for its turn? */
+    bool schedulePending() const;
 
     /** Try to satisfy @p req now. @return false if no PE is free. */
     bool tryCreateVpe(Vpe &caller, const PendingVpeReq &req);

@@ -75,6 +75,9 @@ enum class Syscall : uint64_t
                   //!< -> { Error, args... } (deferred)
     Revoke,       //!< { capSel, own } -> { Error }
     Heartbeat,    //!< { } -> { Error } (watchdog liveness, Sec. 3.3)
+    Yield,        //!< { } -> { Error } (cooperative deschedule request:
+                  //!< after the reply, the kernel may switch the PE to
+                  //!< another VPE of its run queue)
     COUNT,
 };
 
@@ -99,6 +102,7 @@ syscallName(Syscall s)
       case Syscall::ExchangeSess: return "ExchangeSess";
       case Syscall::Revoke: return "Revoke";
       case Syscall::Heartbeat: return "Heartbeat";
+      case Syscall::Yield: return "Yield";
       default: return "Unknown";
     }
 }

@@ -35,6 +35,7 @@ Env::Env(Platform &platform, peid_t peId, vpeid_t vpeId)
     spm.alloc(kif::RESERVED_SPM);
     syscStage = spm.alloc(kif::MAX_SYSC_MSG);
     xferBufAddr = spm.alloc(XFER_BUF_SIZE);
+    seenCtxEpoch = dtu.ctxEpoch();
 
     envRegistry()[&fiber] = this;
 }
@@ -74,6 +75,23 @@ Env::attach(Gate &gate)
     // "libm3 checks before the usage of a gate whether the endpoint is
     // appropriately configured" (Sec. 4.5.4).
     compute(cm.m3.epCheck);
+
+    // A context restore rewrote the physical EPs. The restore itself is
+    // exact, but a revoke that happened while this VPE was descheduled
+    // landed in the saved context — drop the non-pinned cache so such
+    // gates lazily re-activate. Pinned gates keep their slot: the kernel
+    // never moves them and their restored registers are authoritative.
+    if (dtu.ctxEpoch() != seenCtxEpoch) {
+        seenCtxEpoch = dtu.ctxEpoch();
+        for (epid_t e = kif::FIRST_FREE_EP; e < EP_COUNT; ++e) {
+            Gate *g = epSlots[e].gate;
+            if (g && !g->pinned) {
+                g->ep = INVALID_EP;
+                epSlots[e] = EpSlot{};
+            }
+        }
+    }
+
     if (gate.ep != INVALID_EP) {
         epSlots[gate.ep].lastUse = ++useCounter;
         return gate.ep;
@@ -168,6 +186,10 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
         break;
     }
 
+    // A plain blocking wait, deliberately not waitMsgYielding: yielding
+    // is itself a syscall, and the single SYSC_SEP credit is still out
+    // until this reply arrives. A shared PE is reclaimed by slice
+    // preemption instead while this VPE sits blocked here.
     Cycles t0 = platform.simulator().curCycle();
     dtu.waitForMsg(kif::SYSC_REP);
     Cycles elapsed = platform.simulator().curCycle() - t0;
@@ -225,6 +247,38 @@ Env::heartbeat()
     Marshaller m = beginSyscall();
     m << kif::Syscall::Heartbeat;
     return sysCall(m);
+}
+
+Error
+Env::yield()
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::Yield;
+    inYield = true;
+    Error e = sysCall(m);
+    inYield = false;
+    return e;
+}
+
+Error
+Env::waitMsgYielding(epid_t ep)
+{
+    while (!dtu.hasMsg(ep)) {
+        if (!dtu.sharedPe() || inYield)
+            return dtu.waitForMsg(ep);
+        // Spin-then-yield: a prompt reply beats a context switch, so
+        // give it a short grace window before handing the PE over.
+        if (dtu.waitForMsg(ep, cm.m3.yieldSpin) == Error::None)
+            return Error::None;
+        if (yield() != Error::None) {
+            // Nobody else to run: parking the fiber is free, and the
+            // kernel can still preempt us when that changes.
+            return dtu.waitForMsg(ep);
+        }
+        // We were descheduled and are resident again; anything that
+        // arrived meanwhile was parked and has been re-injected.
+    }
+    return Error::None;
 }
 
 Error

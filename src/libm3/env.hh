@@ -104,6 +104,24 @@ class Env
      */
     Error heartbeat();
 
+    /**
+     * Cooperative yield: offer the PE back to the kernel. On a
+     * time-multiplexed PE the kernel may switch to another VPE right
+     * after replying; execution resumes here once this VPE is
+     * scheduled again.
+     */
+    Error yield();
+
+    /**
+     * Wait for a message on @p ep, yielding the PE instead of idling
+     * when other VPEs share it: a blocked VPE should not burn the rest
+     * of its slice holding the core. Falls back to a plain blocking
+     * wait on a dedicated PE (bit-identical to dtu.waitForMsg then) or
+     * when the kernel reports nobody else to run. Returns when a
+     * message is available.
+     */
+    Error waitMsgYielding(epid_t ep);
+
     Error createVpe(capsel_t dstSel, capsel_t mgateSel,
                     const std::string &name, kif::PeTypeReq type,
                     const std::string &attr, vpeid_t &vpeOut,
@@ -167,6 +185,11 @@ class Env
     };
     std::array<EpSlot, EP_COUNT> epSlots;
     uint64_t useCounter = 0;
+    /** DTU context epoch this Env last synced its EP cache against. */
+    uint32_t seenCtxEpoch = 0;
+    /** True while the Yield syscall itself runs (its reply wait must
+     *  block plainly instead of yielding again). */
+    bool inYield = false;
 
     std::unique_ptr<Vfs> vfsPtr;
 };

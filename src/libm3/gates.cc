@@ -50,7 +50,7 @@ RecvGate::hasMsg()
 GateIStream
 RecvGate::receive()
 {
-    env.dtu.waitForMsg(ep);
+    env.waitMsgYielding(ep);
     return GateIStream(*this, env.dtu.fetchMsg(ep));
 }
 
@@ -222,7 +222,7 @@ SendGate::call(Marshaller &m, RecvGate &replyGate)
     if (e != Error::None)
         panic("send for call failed: %s", errorName(e));
     Cycles t0 = env.platform.simulator().curCycle();
-    env.dtu.waitForMsg(replyGate.boundEp());
+    env.waitMsgYielding(replyGate.boundEp());
     Cycles elapsed = env.platform.simulator().curCycle() - t0;
     env.acct().charge(elapsed);
     if (M3_METRICS_ON) {

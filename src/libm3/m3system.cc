@@ -50,6 +50,8 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
                                             dramAllocStart);
     if (cfg.watchdogPeriod)
         kern->enableWatchdog(cfg.watchdogDeadline, cfg.watchdogPeriod);
+    if (cfg.multiplexSlice)
+        kern->enableMultiplexing(cfg.multiplexSlice);
 
     for (uint32_t k = 0; k < fsCount(); ++k) {
         m3fs::ServerConfig srvCfg = cfg.fsCfg;
@@ -114,6 +116,8 @@ M3System::exportMetrics()
     Metrics::counter("kernel.service_requests").add(ks.serviceRequests);
     Metrics::counter("kernel.heartbeats").add(ks.heartbeats);
     Metrics::counter("kernel.watchdog_reclaims").add(ks.watchdogReclaims);
+    Metrics::counter("kernel.ctx_switches").add(ks.ctxSwitches);
+    Metrics::counter("kernel.yields").add(ks.yields);
 
     DtuStats agg;
     for (peid_t p = 0; p < plat->peCount(); ++p) {
@@ -128,6 +132,8 @@ M3System::exportMetrics()
         agg.bytesRead += ds.bytesRead;
         agg.bytesWritten += ds.bytesWritten;
         agg.extConfigs += ds.extConfigs;
+        agg.msgsParked += ds.msgsParked;
+        agg.msgsUnparked += ds.msgsUnparked;
     }
     Metrics::counter("dtu.msgs_sent").add(agg.msgsSent);
     Metrics::counter("dtu.msgs_received").add(agg.msgsReceived);
@@ -139,6 +145,8 @@ M3System::exportMetrics()
     Metrics::counter("dtu.bytes_read").add(agg.bytesRead);
     Metrics::counter("dtu.bytes_written").add(agg.bytesWritten);
     Metrics::counter("dtu.ext_configs").add(agg.extConfigs);
+    Metrics::counter("dtu.msgs_parked").add(agg.msgsParked);
+    Metrics::counter("dtu.msgs_unparked").add(agg.msgsUnparked);
 
     const NocStats &ns = plat->noc().stats();
     Metrics::counter("noc.packets").add(ns.packets);
@@ -146,6 +154,7 @@ M3System::exportMetrics()
     Metrics::counter("noc.contention_stalls").add(ns.contentionStalls);
     Metrics::counter("noc.packets_dropped").add(ns.packetsDropped);
     Metrics::counter("noc.packets_delayed").add(ns.packetsDelayed);
+    Metrics::counter("noc.packets_delivered").add(ns.packetsDelivered);
     plat->noc().exportMetrics(sim.curCycle());
 
     if (faults) {
@@ -217,6 +226,10 @@ M3System::printStats() const
                 static_cast<unsigned long long>(ks.capsDelegated),
                 static_cast<unsigned long long>(ks.capsRevoked),
                 static_cast<unsigned long long>(ks.serviceRequests));
+    if (ks.ctxSwitches || ks.yields)
+        std::printf("kernel: %llu ctx switches, %llu yields\n",
+                    static_cast<unsigned long long>(ks.ctxSwitches),
+                    static_cast<unsigned long long>(ks.yields));
     const NocStats &ns = plat->noc().stats();
     std::printf("noc: %llu packets, %llu payload bytes, "
                 "%llu contention stall cycles\n",

@@ -57,6 +57,15 @@ struct M3SystemCfg
     /** How often the kernel checks (0 = off). */
     Cycles watchdogPeriod = 0;
 
+    /**
+     * VPE time multiplexing: the kernel's scheduling quantum. 0 (the
+     * default) disables multiplexing entirely — CreateVpe fails when no
+     * PE is free, and no context-switch machinery runs. Non-zero lets
+     * the kernel co-schedule several VPEs per PE, preempting the
+     * resident one after this many cycles when others wait.
+     */
+    Cycles multiplexSlice = 0;
+
     /** Service name of instance @p k. */
     static std::string
     fsName(uint32_t k)

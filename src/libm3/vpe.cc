@@ -29,8 +29,11 @@ VPE::startWith(const std::string &progName, std::function<int()> fn)
     Platform &platform = env.platform;
     peid_t pe = childPe;
     vpeid_t id = childVpe;
-    platform.pe(pe).installProgram(
-        progName, [&platform, pe, id, fn = std::move(fn)] {
+    // Installed under the VPE identity: on a time-multiplexed PE several
+    // children can be pending, and the kernel's VPE-qualified start
+    // command picks this one.
+    platform.pe(pe).installProgramFor(
+        id, progName, [&platform, pe, id, fn = std::move(fn)] {
             Env childEnv(platform, pe, id);
             int rc = fn();
             childEnv.vpeExit(rc);

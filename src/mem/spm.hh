@@ -94,6 +94,19 @@ class Spm : public MemTarget
     /** Bytes currently allocated. */
     size_t allocated() const { return bumpPos; }
 
+    /**
+     * Restore a previously observed allocation mark. The cursor is
+     * logically per-VPE: on a time-multiplexed PE it is saved with the
+     * descheduled VPE and restored here when that VPE comes back.
+     */
+    void
+    restoreAlloc(size_t mark)
+    {
+        if (mark > bytes)
+            panic("SPM alloc mark out of bounds: %zu > %zu", mark, bytes);
+        bumpPos = mark;
+    }
+
   private:
     void
     check(goff_t off, size_t len) const

@@ -142,6 +142,11 @@ Noc::send(nocid_t src, nocid_t dst, uint32_t payloadBytes, DeliverFn deliver)
         trace::Tracer::flowEnd(trace::nocTrack(dst), arrival, flowId, "noc");
     }
 
+    // Counted when the delivery is committed to the queue; together with
+    // the queue-drain invariant (eventsScheduled == eventsExecuted at
+    // quiescence) this gives exact packet conservation: every packet is
+    // either delivered or accounted as dropped, never silently lost.
+    nocStats.packetsDelivered++;
     eq.scheduleAbs(arrival, std::move(deliver));
     return arrival;
 }

@@ -39,8 +39,12 @@ struct NocStats
     uint64_t packets = 0;
     uint64_t payloadBytes = 0;
     Cycles contentionStalls = 0;
-    uint64_t packetsDropped = 0;  //!< lost to injected faults
-    uint64_t packetsDelayed = 0;  //!< delayed by injected faults
+    uint64_t packetsDropped = 0;    //!< lost to injected faults
+    uint64_t packetsDelayed = 0;    //!< delayed by injected faults
+    /** Delivery callbacks that actually ran. Packet conservation —
+     *  packets == packetsDelivered + packetsDropped at quiescence — is
+     *  one of the checked invariants (tests/test_invariants.cc). */
+    uint64_t packetsDelivered = 0;
 };
 
 /**

@@ -10,6 +10,7 @@
 #define M3_PE_PE_HH
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -42,6 +43,7 @@ class Pe
                                         hw))
     {
         dtuUnit->setStartHook([this] { startProgram(); });
+        dtuUnit->setStartVpeHook([this](uint64_t v) { startProgramFor(v); });
     }
 
     peid_t id() const { return peId; }
@@ -86,6 +88,110 @@ class Pe
     Fiber *programFiber() { return fiber; }
 
     /**
+     * Install a program under a VPE identity. Unlike installProgram, any
+     * number of these can be pending at once (co-scheduled children whose
+     * parents loaded them before either started); the kernel's
+     * VPE-qualified start command picks the right one.
+     */
+    void
+    installProgramFor(uint64_t vpeId, std::string name, Program body)
+    {
+        pendingPrograms[vpeId] = {std::move(name), std::move(body)};
+    }
+
+    /** Start the program installed for @p vpeId on a fresh fiber. */
+    Fiber *
+    startProgramFor(uint64_t vpeId)
+    {
+        auto it = pendingPrograms.find(vpeId);
+        if (it == pendingPrograms.end()) {
+            // Boot-style installation: fall back to the unqualified slot.
+            return startProgram();
+        }
+        if (fiber && !fiber->finished())
+            panic("PE%u: VPE start while another program is resident",
+                  peId);
+        std::string name = std::move(it->second.first);
+        Program body = std::move(it->second.second);
+        pendingPrograms.erase(it);
+        fiber = &sim.run("pe" + std::to_string(peId) + ":" + name,
+                         std::move(body));
+        if (M3_TRACE_ON) {
+            fiber->accounting().traceTrack = peId;
+            trace::Tracer::trackName(peId, "pe" + std::to_string(peId) +
+                                               ":" + name);
+        }
+        return fiber;
+    }
+
+    // -------------------------------------------------------------------
+    // Time multiplexing: more than one VPE can live on this PE. Exactly
+    // one is resident (its fiber is `fiber`); the others are parked —
+    // their fibers exist but never run until the kernel resumes them.
+    // -------------------------------------------------------------------
+
+    /**
+     * Park the resident program under @p vpeId: the kernel descheduled
+     * that VPE. The PE is afterwards free to start another program.
+     */
+    void
+    parkResident(uint64_t vpeId)
+    {
+        if (!fiber)
+            panic("PE%u: parkResident without a resident program", peId);
+        fiber->park();
+        // The SPM bump cursor is per-VPE state (the co-resident resets
+        // it for its own layout); it travels with the parked fiber.
+        parkedFibers[vpeId] = {fiber, spmMem->allocated()};
+        fiber = nullptr;
+    }
+
+    /** True if @p vpeId has a parked fiber on this PE. */
+    bool
+    hasParked(uint64_t vpeId) const
+    {
+        return parkedFibers.count(vpeId) != 0;
+    }
+
+    /**
+     * Resume the parked VPE @p vpeId: its fiber becomes the resident one
+     * and receives any dispatch deferred while parked, plus a spurious
+     * wakeup so it re-checks DTU state.
+     */
+    void
+    resumeParked(uint64_t vpeId)
+    {
+        auto it = parkedFibers.find(vpeId);
+        if (it == parkedFibers.end())
+            panic("PE%u: resume of unknown VPE %llu", peId,
+                  (unsigned long long)vpeId);
+        if (fiber && !fiber->finished())
+            panic("PE%u: resume while another program is resident", peId);
+        fiber = it->second.fiber;
+        spmMem->restoreAlloc(it->second.spmAllocMark);
+        parkedFibers.erase(it);
+        fiber->unpark();
+    }
+
+    /**
+     * Drop a parked VPE's fiber (the VPE exited or was reclaimed while
+     * descheduled). The fiber is killed: its stack is not unwound, like
+     * a core that stops fetching.
+     */
+    void
+    dropParked(uint64_t vpeId)
+    {
+        auto it = parkedFibers.find(vpeId);
+        if (it == parkedFibers.end())
+            return;
+        it->second.fiber->kill();
+        parkedFibers.erase(it);
+    }
+
+    /** Number of parked VPEs on this PE. */
+    size_t parkedCount() const { return parkedFibers.size(); }
+
+    /**
      * Fault injection: the core dies mid-run. Only the core stops; the
      * DTU keeps operating, so the kernel can still reset and reclaim
      * the PE through the NoC (the paper's point, Sec. 3).
@@ -95,13 +201,17 @@ class Pe
     {
         if (fiber && !fiber->finished())
             fiber->kill();
+        // A dead core takes every VPE living on it down, parked or not.
+        for (auto &[vpe, parked] : parkedFibers)
+            parked.fiber->kill();
     }
 
     /** True if a program is installed or still running. */
     bool
     busy() const
     {
-        return pendingBody != nullptr || (fiber && !fiber->finished());
+        return pendingBody != nullptr || !pendingPrograms.empty() ||
+               (fiber && !fiber->finished());
     }
 
     /** Mark the PE free again (after the kernel reclaimed it). */
@@ -110,7 +220,10 @@ class Pe
     {
         fiber = nullptr;
         pendingBody = nullptr;
-        spmMem->resetAlloc();
+        if (parkedFibers.empty()) {
+            pendingPrograms.clear();
+            spmMem->resetAlloc();
+        }
     }
 
   private:
@@ -122,7 +235,18 @@ class Pe
 
     std::string pendingName;
     Program pendingBody;
+    /** Per-VPE installed-but-not-started programs (multiplexed PEs). */
+    std::map<uint64_t, std::pair<std::string, Program>> pendingPrograms;
     Fiber *fiber = nullptr;
+    /** A descheduled VPE: its fiber (owned by Simulator) plus the SPM
+     *  allocation cursor it left behind. */
+    struct Parked
+    {
+        Fiber *fiber = nullptr;
+        size_t spmAllocMark = 0;
+    };
+    /** Descheduled VPEs, keyed by VPE id. */
+    std::map<uint64_t, Parked> parkedFibers;
 };
 
 } // namespace m3

@@ -67,9 +67,11 @@ FaultPlan::onPacket(Cycles now, uint32_t src, uint32_t dst)
     d.seq = packetSeq++;
     st.packetsSeen++;
 
+    bool armed = now >= cfg.armAt;
     bool drop = std::binary_search(dropSeqsSorted.begin(),
                                    dropSeqsSorted.end(), d.seq);
-    if (!drop && cfg.dropRate > 0.0 && pairMatch(cfg.dropPairs, src, dst) &&
+    if (!drop && armed && cfg.dropRate > 0.0 &&
+        pairMatch(cfg.dropPairs, src, dst) &&
         (cfg.maxDrops == 0 || st.packetsDropped < cfg.maxDrops)) {
         drop = roll(SALT_DROP, d.seq) < cfg.dropRate;
     }
@@ -80,7 +82,8 @@ FaultPlan::onPacket(Cycles now, uint32_t src, uint32_t dst)
         return d;
     }
 
-    if (cfg.delayRate > 0.0 && roll(SALT_DELAY, d.seq) < cfg.delayRate) {
+    if (armed && cfg.delayRate > 0.0 &&
+        roll(SALT_DELAY, d.seq) < cfg.delayRate) {
         Cycles span = cfg.delayMax >= cfg.delayMin
                           ? cfg.delayMax - cfg.delayMin + 1
                           : 1;
@@ -98,7 +101,7 @@ FaultPlan::corruptPayload(Cycles now, uint32_t src, uint32_t dst,
                           uint64_t payloadBytes, uint64_t &byteOffset)
 {
     uint64_t seq = corruptSeq++;
-    if (cfg.corruptRate <= 0.0 || payloadBytes == 0 ||
+    if (now < cfg.armAt || cfg.corruptRate <= 0.0 || payloadBytes == 0 ||
         !pairMatch(cfg.corruptPairs, src, dst)) {
         return false;
     }
@@ -114,7 +117,7 @@ bool
 FaultPlan::refuseExtAck(Cycles now, uint32_t src, uint32_t dst)
 {
     uint64_t seq = extAckSeq++;
-    if (cfg.extAckDropRate <= 0.0)
+    if (now < cfg.armAt || cfg.extAckDropRate <= 0.0)
         return false;
     if (roll(SALT_EXTACK, seq) >= cfg.extAckDropRate)
         return false;

@@ -76,6 +76,17 @@ struct FaultPlanCfg
     /** Scheduled core kills (the DTU survives; the kernel can reclaim). */
     std::vector<PeKill> killPes;
 
+    /**
+     * No probabilistic fault fires before this cycle (0 = from the
+     * start). Sequence numbers still advance while disarmed, so arming
+     * late changes WHICH packets are eligible, not the decision stream
+     * determinism. Lets a plan spare a workload's setup phase (e.g. VPE
+     * loading, whose memory acks software cannot retry) and fault only
+     * the steady-state traffic. Explicit dropSeqs and killPes ignore
+     * the gate: they name their victims directly.
+     */
+    Cycles armAt = 0;
+
     /** Attach the plan even if it can never fire (overhead tests). */
     bool attachInert = false;
 

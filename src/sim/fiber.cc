@@ -64,6 +64,12 @@ Fiber::dispatch()
 {
     if (killed)
         return;
+    if (parked) {
+        // The VPE is descheduled: the core does not execute. Remember
+        // the dispatch so unpark() can deliver it.
+        dispatchPending = true;
+        return;
+    }
     if (state == State::Finished)
         panic("dispatch of finished fiber '%s'", name.c_str());
     if (!contextInitialized) {
@@ -133,6 +139,35 @@ Fiber::unblock()
         eq.schedule(0, [this] { dispatch(); });
     } else if (state != State::Finished) {
         // The fiber has not blocked yet; remember the wakeup.
+        wakeupPending = true;
+    }
+}
+
+void
+Fiber::park()
+{
+    if (state == State::Running)
+        panic("fiber '%s' cannot park itself", name.c_str());
+    parked = true;
+}
+
+void
+Fiber::unpark()
+{
+    parked = false;
+    if (killed || state == State::Finished)
+        return;
+    if (dispatchPending) {
+        dispatchPending = false;
+        state = State::Ready;
+        eq.schedule(0, [this] { dispatch(); });
+    } else if (state == State::Blocked) {
+        // Spurious wakeup: whatever it was waiting on may have been torn
+        // down during the switch (DTU waiter lists are cleared). All wait
+        // loops re-check their condition and re-register.
+        state = State::Ready;
+        eq.schedule(0, [this] { dispatch(); });
+    } else {
         wakeupPending = true;
     }
 }

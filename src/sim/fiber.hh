@@ -96,6 +96,24 @@ class Fiber
     /** Wake a blocked fiber (or pre-arm the next block()). */
     void unblock();
 
+    /**
+     * Park the fiber: its VPE has been descheduled, so the core no longer
+     * fetches its instructions. Dispatches that arrive while parked are
+     * deferred, not lost — unpark() re-delivers them. Must not be called
+     * on the currently running fiber.
+     */
+    void park();
+
+    /**
+     * Unpark the fiber: its VPE is resident again. Re-schedules any
+     * dispatch deferred while parked and additionally delivers a spurious
+     * wakeup so condition loops re-check state that may have changed
+     * (e.g. DTU waiter registrations cleared during the switch).
+     */
+    void unpark();
+
+    bool isParked() const { return parked; }
+
     /** Block the calling fiber until this fiber's body has returned. */
     void join();
 
@@ -137,6 +155,8 @@ class Fiber
     State state = State::Created;
     bool killed = false;
     bool wakeupPending = false;
+    bool parked = false;
+    bool dispatchPending = false;
     std::vector<Fiber *> joiners;
     Accounting acct;
 

@@ -210,6 +210,16 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
 
     M3SystemCfg cfg;
     cfg.appPes = 1 + instances * pesPerInstance;
+    if (opts.maxAppPes && opts.maxAppPes < cfg.appPes) {
+        if (!opts.multiplexSlice)
+            fatal("capping %u needed app PEs at %u requires a multiplex "
+                  "slice",
+                  cfg.appPes, opts.maxAppPes);
+        cfg.appPes = opts.maxAppPes;
+        result.capped = true;
+    }
+    result.appPes = cfg.appPes;
+    cfg.multiplexSlice = opts.multiplexSlice;
     cfg.costs = opts.costs;
     cfg.fsInstances = opts.fsInstances;
     cfg.dramBytes = 256 * MiB;  // images + one pipe ring per instance

@@ -47,6 +47,16 @@ struct M3RunOpts
     uint32_t fsAppendBlocks = 256;  //!< m3fs allocation granularity
     bool fsBackgroundZero = true;
     uint32_t fsBlocksPerExtent = 0xffffffff;  //!< image fragmentation
+
+    /**
+     * Oversubscription (scalability runs only): cap the machine at this
+     * many application PEs even when the instance count wants more; the
+     * kernel time-multiplexes the excess VPEs. 0 = one PE per instance
+     * as before. Requires a non-zero multiplexSlice when it bites.
+     */
+    uint32_t maxAppPes = 0;
+    /** Kernel scheduling quantum for time multiplexing (0 = off). */
+    Cycles multiplexSlice = 0;
 };
 
 /** Extra knobs for Linux runs. */
@@ -88,6 +98,11 @@ struct ScalabilityResult
     std::vector<Cycles> instances;
     uint64_t events = 0;     //!< engine events executed by the run
     double hostSeconds = 0;  //!< host seconds of the simulate phase
+    /** Application PEs the machine was actually built with. Smaller than
+     *  the instance demand when maxAppPes capped it (time-multiplexed). */
+    uint32_t appPes = 0;
+    /** True when maxAppPes reduced the machine below one PE/instance. */
+    bool capped = false;
 };
 
 ScalabilityResult runM3Scalability(const std::string &benchName,

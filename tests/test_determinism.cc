@@ -11,7 +11,9 @@
 #include <tuple>
 
 #include "libm3/m3system.hh"
+#include "libm3/vpe.hh"
 #include "m3fs/client.hh"
+#include "trace/trace.hh"
 #include "workloads/micro.hh"
 #include "workloads/runners.hh"
 
@@ -98,6 +100,65 @@ TEST(Determinism, ScalabilityInstancesReproduce)
     ASSERT_EQ(a.rc, 0);
     ASSERT_EQ(b.rc, 0);
     EXPECT_EQ(a.instances, b.instances);
+}
+
+TEST(Determinism, MultiplexedRunReproducesExactly)
+{
+    // Time multiplexing adds kernel scheduling, context save/restore
+    // DTU traffic and message parking to a run — all of which must be
+    // as deterministic as the rest of the machine: same wall time, same
+    // per-instance cycles, same number of context switches.
+    auto run = [] {
+        M3RunOpts opts;
+        // tar needs 1 + 4 instances = 5 app PEs; capping at 3 runs the
+        // four instances 2x oversubscribed on two PEs.
+        opts.maxAppPes = 3;
+        opts.multiplexSlice = 50000;
+        return runM3Scalability("tar", 4, opts);
+    };
+    ScalabilityResult a = run();
+    ScalabilityResult b = run();
+    ASSERT_EQ(a.rc, 0);
+    ASSERT_EQ(b.rc, 0);
+    EXPECT_EQ(a.instances, b.instances);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Determinism, MultiplexedTraceIsByteIdentical)
+{
+    // The cycle-accurate trace of a multiplexed run — including the
+    // context-switch spans and park/unpark instants — must serialize to
+    // byte-identical JSON across two runs of the same configuration.
+    auto traced = [] {
+        trace::Tracer::enable(1 << 16);
+        trace::Tracer::reset();
+        M3SystemCfg cfg;
+        cfg.appPes = 2;
+        cfg.withFs = false;
+        cfg.multiplexSlice = 20000;
+        std::string json;
+        {
+            M3System sys(cfg);
+            sys.runRoot("root", [&] {
+                Env &env = Env::cur();
+                VPE a(env, "a"), b(env, "b");
+                if (a.err() != Error::None || b.err() != Error::None)
+                    return 1;
+                a.run([] { Env::cur().compute(120000); return 0; });
+                b.run([] { Env::cur().compute(120000); return 0; });
+                return a.wait() + b.wait();
+            });
+            if (!sys.simulate() || sys.rootExitCode() != 0)
+                return std::string();
+            json = trace::Tracer::toJson();
+        }
+        trace::Tracer::disable();
+        return json;
+    };
+    std::string a = traced();
+    std::string b = traced();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
 }
 
 } // anonymous namespace

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * VPE time multiplexing: the DTU's context fetch/restore machinery
+ * (register exactness, message parking for descheduled generations,
+ * stale-message dropping) and the kernel-driven scheduler that runs
+ * more VPEs than the machine has PEs — including scratchpad spill and
+ * fill, cooperative yield, and output-exactness of oversubscribed
+ * pipelines against their single-occupancy runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "libm3/m3system.hh"
+#include "libm3/pipe.hh"
+#include "libm3/vpe.hh"
+#include "pe/platform.hh"
+
+namespace m3
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// DTU level: the context fetch/restore primitive.
+// ---------------------------------------------------------------------
+
+/** A small bare platform: 3 PEs + DRAM, DTUs still privileged. */
+struct BareSystem
+{
+    BareSystem() : platform(sim, PlatformSpec::generalPurpose(3)) {}
+
+    Simulator sim;
+    Platform platform;
+
+    Dtu &dtu(peid_t p) { return platform.pe(p).dtu(); }
+    Spm &spm(peid_t p) { return platform.pe(p).spm(); }
+
+    /** Issue an ext op from dtu(0) and block the fiber until acked. */
+    template <typename Fn>
+    Error
+    extSync(Fn &&issue)
+    {
+        bool done = false;
+        Error result = Error::None;
+        Fiber *self = Fiber::current();
+        issue([&](Error e) {
+            result = e;
+            done = true;
+            self->unblock();
+        });
+        while (!done)
+            self->block();
+        return result;
+    }
+};
+
+RecvEpCfg
+ringCfg(Spm &spm, uint32_t slots, uint32_t slotSize)
+{
+    RecvEpCfg cfg;
+    cfg.bufAddr = spm.alloc(slots * slotSize);
+    cfg.slotCount = slots;
+    cfg.slotSize = slotSize;
+    cfg.replyProtected = true;
+    return cfg;
+}
+
+SendEpCfg
+sendCfg(uint32_t targetNode, epid_t targetEp, label_t label,
+        uint32_t credits, uint32_t maxMsg, uint32_t targetGen = 0)
+{
+    SendEpCfg cfg;
+    cfg.targetNode = targetNode;
+    cfg.targetEp = targetEp;
+    cfg.label = label;
+    cfg.credits = credits;
+    cfg.maxMsgSize = maxMsg;
+    cfg.targetGen = targetGen;
+    return cfg;
+}
+
+TEST(DtuCtx, FetchRestorePreservesRegistersExactly)
+{
+    BareSystem s;
+    // A full register file on PE 1: send (with a consumed credit),
+    // receive, and memory endpoint.
+    ASSERT_EQ(s.dtu(2).configRecv(2, ringCfg(s.spm(2), 4, 128)),
+              Error::None);
+    ASSERT_EQ(s.dtu(1).configSend(2, sendCfg(2, 2, 0xabc, 3, 128)),
+              Error::None);
+    ASSERT_EQ(s.dtu(1).configRecv(3, ringCfg(s.spm(1), 4, 256)),
+              Error::None);
+    MemEpCfg mem;
+    mem.targetNode = s.platform.dramNode();
+    mem.offset = 0x100;
+    mem.size = 0x1000;
+    mem.perms = MEM_RW;
+    ASSERT_EQ(s.dtu(1).configMem(4, mem), Error::None);
+    const RecvEpCfg ring1 = s.dtu(1).ep(3).recv;
+
+    s.sim.run("test", [&] {
+        // Consume one credit so the saved count is not the initial one.
+        spmaddr_t msg = s.spm(1).alloc(16);
+        ASSERT_EQ(s.dtu(1).startSend(2, msg, 16), Error::None);
+        s.dtu(1).waitUntilIdle();
+        ASSERT_EQ(s.dtu(1).credits(2), 2u);
+
+        const uint32_t gen = s.dtu(1).dtuGeneration();
+        ASSERT_NE(gen, 0u);
+
+        Dtu::CtxState st;
+        ASSERT_EQ(s.extSync([&](auto cb) {
+            s.dtu(0).extDrain(1, cb);
+        }), Error::None);
+        ASSERT_EQ(s.extSync([&](auto cb) {
+            s.dtu(0).extFetchCtx(1, &st, cb);
+        }), Error::None);
+
+        // The PE is ownerless: every EP invalid, generation 0.
+        EXPECT_EQ(s.dtu(1).dtuGeneration(), 0u);
+        for (epid_t e = 0; e < EP_COUNT; ++e)
+            EXPECT_EQ(s.dtu(1).ep(e).type, EpType::Invalid);
+
+        // The fetched context carries the exact registers.
+        EXPECT_EQ(st.generation, gen);
+        EXPECT_EQ(st.eps[2].type, EpType::Send);
+        EXPECT_EQ(st.eps[2].send.targetNode, 2u);
+        EXPECT_EQ(st.eps[2].send.label, 0xabcu);
+        EXPECT_EQ(st.eps[2].send.credits, 2u);
+        EXPECT_EQ(st.eps[2].send.maxCredits, 3u);
+        EXPECT_EQ(st.eps[3].type, EpType::Receive);
+        EXPECT_EQ(st.eps[4].type, EpType::Memory);
+
+        ASSERT_EQ(s.extSync([&](auto cb) {
+            s.dtu(0).extRestoreCtx(1, &st, cb);
+        }), Error::None);
+
+        // Bit-exact round trip.
+        EXPECT_EQ(s.dtu(1).dtuGeneration(), gen);
+        EXPECT_EQ(s.dtu(1).credits(2), 2u);
+        EXPECT_EQ(s.dtu(1).ep(2).send.label, 0xabcu);
+        EXPECT_EQ(s.dtu(1).ep(2).send.maxMsgSize, 128u);
+        EXPECT_EQ(s.dtu(1).ep(3).recv.bufAddr, ring1.bufAddr);
+        EXPECT_EQ(s.dtu(1).ep(3).recv.slotCount, ring1.slotCount);
+        EXPECT_EQ(s.dtu(1).ep(3).recv.slotSize, ring1.slotSize);
+        EXPECT_EQ(s.dtu(1).ep(4).mem.offset, 0x100u);
+        EXPECT_EQ(s.dtu(1).ep(4).mem.size, 0x1000u);
+        EXPECT_EQ(s.dtu(1).ep(4).mem.perms, MEM_RW);
+    });
+    s.sim.simulate();
+    EXPECT_TRUE(s.sim.allFinished());
+}
+
+TEST(DtuCtx, MessagesParkWhileDescheduledAndReinjectOnRestore)
+{
+    BareSystem s;
+    ASSERT_EQ(s.dtu(1).configRecv(2, ringCfg(s.spm(1), 4, 128)),
+              Error::None);
+    const uint32_t gen = s.dtu(1).dtuGeneration();
+    ASSERT_EQ(s.dtu(2).configSend(
+                  2, sendCfg(1, 2, 7, CREDITS_UNLIMITED, 128, gen)),
+              Error::None);
+
+    s.sim.run("test", [&] {
+        Dtu::CtxState st;
+        ASSERT_EQ(s.extSync([&](auto cb) {
+            s.dtu(0).extFetchCtx(1, &st, cb);
+        }), Error::None);
+
+        // A message addressed to the descheduled generation is buffered
+        // at the DTU, not delivered and not dropped.
+        spmaddr_t msg = s.spm(2).alloc(16);
+        s.spm(2).write(msg, "parked-payload!!", 16);
+        ASSERT_EQ(s.dtu(2).startSend(2, msg, 16), Error::None);
+        s.dtu(2).waitUntilIdle();
+        Fiber::current()->sleep(1000);
+        EXPECT_EQ(s.dtu(1).stats().msgsParked, 1u);
+        EXPECT_EQ(s.dtu(1).stats().msgsReceived, 0u);
+        EXPECT_FALSE(s.dtu(1).hasMsg(2));
+
+        // On restore the message is re-injected and becomes fetchable.
+        ASSERT_EQ(s.extSync([&](auto cb) {
+            s.dtu(0).extRestoreCtx(1, &st, cb);
+        }), Error::None);
+        EXPECT_EQ(s.dtu(1).stats().msgsUnparked, 1u);
+        ASSERT_TRUE(s.dtu(1).hasMsg(2));
+        int slot = s.dtu(1).fetchMsg(2);
+        ASSERT_GE(slot, 0);
+        char payload[16];
+        s.spm(1).read(s.dtu(1).msgAddr(2, slot) + sizeof(MessageHeader),
+                      payload, 16);
+        EXPECT_EQ(std::memcmp(payload, "parked-payload!!", 16), 0);
+        s.dtu(1).ackMsg(2, slot);
+    });
+    s.sim.simulate();
+    EXPECT_TRUE(s.sim.allFinished());
+}
+
+TEST(DtuCtx, DiscardDropsParkedAndSubsequentStaleMessages)
+{
+    BareSystem s;
+    ASSERT_EQ(s.dtu(1).configRecv(2, ringCfg(s.spm(1), 4, 128)),
+              Error::None);
+    const uint32_t gen = s.dtu(1).dtuGeneration();
+    ASSERT_EQ(s.dtu(2).configSend(
+                  2, sendCfg(1, 2, 7, CREDITS_UNLIMITED, 128, gen)),
+              Error::None);
+
+    s.sim.run("test", [&] {
+        Dtu::CtxState st;
+        ASSERT_EQ(s.extSync([&](auto cb) {
+            s.dtu(0).extFetchCtx(1, &st, cb);
+        }), Error::None);
+
+        spmaddr_t msg = s.spm(2).alloc(16);
+        ASSERT_EQ(s.dtu(2).startSend(2, msg, 16), Error::None);
+        s.dtu(2).waitUntilIdle();
+        Fiber::current()->sleep(1000);
+        ASSERT_EQ(s.dtu(1).stats().msgsParked, 1u);
+
+        // The VPE exited while descheduled: its buffered messages die
+        // with the context.
+        ASSERT_EQ(s.extSync([&](auto cb) {
+            s.dtu(0).extDiscardCtx(1, gen, cb);
+        }), Error::None);
+        EXPECT_EQ(s.dtu(1).stats().msgsDropped, 1u);
+
+        // Later messages to the dead generation are stale: dropped on
+        // arrival, never parked again.
+        ASSERT_EQ(s.dtu(2).startSend(2, msg, 16), Error::None);
+        s.dtu(2).waitUntilIdle();
+        Fiber::current()->sleep(1000);
+        EXPECT_EQ(s.dtu(1).stats().msgsDropped, 2u);
+        EXPECT_EQ(s.dtu(1).stats().msgsParked, 1u);
+        EXPECT_EQ(s.dtu(1).stats().msgsReceived, 0u);
+    });
+    s.sim.simulate();
+    EXPECT_TRUE(s.sim.allFinished());
+}
+
+// ---------------------------------------------------------------------
+// Kernel level: scheduling more VPEs than PEs.
+// ---------------------------------------------------------------------
+
+M3SystemCfg
+plexCfg(uint32_t appPes, Cycles slice = 50000)
+{
+    M3SystemCfg cfg;
+    cfg.appPes = appPes;
+    cfg.withFs = false;
+    cfg.multiplexSlice = slice;
+    return cfg;
+}
+
+TEST(Multiplex, TwoVpesShareOnePe)
+{
+    // One spare PE, two children: the kernel must time-multiplex.
+    M3System sys(plexCfg(2));
+    peid_t peA = INVALID_PE, peB = INVALID_PE;
+    sys.runRoot("root", [&] {
+        Env &env = Env::cur();
+        VPE a(env, "a");
+        if (a.err() != Error::None)
+            return 1;
+        VPE b(env, "b");
+        if (b.err() != Error::None)
+            return 2;
+        peA = a.peId();
+        peB = b.peId();
+        if (a.run([] { Env::cur().compute(400000); return 7; }) !=
+            Error::None)
+            return 3;
+        if (b.run([] { Env::cur().compute(400000); return 9; }) !=
+            Error::None)
+            return 4;
+        if (a.wait() != 7)
+            return 5;
+        if (b.wait() != 9)
+            return 6;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_EQ(peA, peB);
+    EXPECT_GE(sys.kernelInstance().stats().ctxSwitches, 1u);
+}
+
+TEST(Multiplex, ScratchpadBytesSurviveContextSwitches)
+{
+    // Both co-resident VPEs fill the SAME scratchpad addresses with
+    // different patterns; the spill/fill machinery must give each VPE
+    // its own bytes back after every switch.
+    M3System sys(plexCfg(2));
+    sys.runRoot("root", [&] {
+        Env &env = Env::cur();
+        auto body = [](uint8_t pattern) {
+            Env &e = Env::cur();
+            const size_t n = 8 * KiB;
+            spmaddr_t buf = e.spm.alloc(n);
+            std::vector<uint8_t> data(n);
+            for (size_t i = 0; i < n; ++i)
+                data[i] = static_cast<uint8_t>(pattern ^ (i & 0xff));
+            e.spm.write(buf, data.data(), n);
+            // Long enough to guarantee several slice expirations while
+            // the co-resident runs.
+            for (int r = 0; r < 4; ++r) {
+                e.compute(120000);
+                std::vector<uint8_t> got(n);
+                e.spm.read(buf, got.data(), n);
+                if (std::memcmp(got.data(), data.data(), n) != 0)
+                    return 100 + r;
+            }
+            return 0;
+        };
+        VPE a(env, "a");
+        VPE b(env, "b");
+        if (a.err() != Error::None || b.err() != Error::None)
+            return 1;
+        if (a.run([body] { return body(0x5a); }) != Error::None)
+            return 2;
+        if (b.run([body] { return body(0xc3); }) != Error::None)
+            return 3;
+        if (a.wait() != 0)
+            return 4;
+        if (b.wait() != 0)
+            return 5;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_GE(sys.kernelInstance().stats().ctxSwitches, 2u);
+}
+
+TEST(Multiplex, YieldHandsThePeOver)
+{
+    // Cooperative yield: a slice much longer than the workload would
+    // serialize the VPEs; yielding interleaves them without preemption.
+    M3System sys(plexCfg(2, /*slice=*/5000000));
+    sys.runRoot("root", [&] {
+        Env &env = Env::cur();
+        auto body = [] {
+            Env &e = Env::cur();
+            for (int r = 0; r < 3; ++r) {
+                e.compute(10000);
+                // None: the PE was handed over. NoSuchVpe: nobody else
+                // was runnable (e.g. the peer already exited).
+                Error err = e.yield();
+                if (err != Error::None && err != Error::NoSuchVpe)
+                    return 1;
+            }
+            return 0;
+        };
+        VPE a(env, "a");
+        VPE b(env, "b");
+        if (a.err() != Error::None || b.err() != Error::None)
+            return 1;
+        if (a.run(body) != Error::None || b.run(body) != Error::None)
+            return 2;
+        return a.wait() == 0 && b.wait() == 0 ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_GE(sys.kernelInstance().stats().yields, 6u);
+    EXPECT_GE(sys.kernelInstance().stats().ctxSwitches, 2u);
+}
+
+/**
+ * Run two producer pipelines into the root and return every byte the
+ * root read, in order, per producer. @p spares controls occupancy: with
+ * 2 spare PEs each producer has its own PE; with 1 they are multiplexed.
+ */
+std::array<std::vector<uint8_t>, 2>
+runProducerPipes(uint32_t spares, Cycles slice, uint64_t *switches)
+{
+    M3SystemCfg cfg;
+    cfg.appPes = 1 + spares;
+    cfg.withFs = false;
+    cfg.multiplexSlice = slice;
+    M3System sys(cfg);
+    std::array<std::vector<uint8_t>, 2> out;
+    sys.runRoot("consumer", [&] {
+        Env &env = Env::cur();
+        Pipe p0(env, /*creatorWrites=*/false, 16 * KiB, 4);
+        Pipe p1(env, /*creatorWrites=*/false, 16 * KiB, 4);
+        VPE a(env, "prod0");
+        VPE b(env, "prod1");
+        if (a.err() != Error::None || b.err() != Error::None)
+            return 1;
+        if (p0.delegateTo(a, 16) != Error::None ||
+            p1.delegateTo(b, 16) != Error::None)
+            return 2;
+        auto producer = [](uint8_t seed) {
+            Env &e = Env::cur();
+            auto out = pipePeer(e, /*peerWrites=*/true, 16, 16 * KiB, 4);
+            std::vector<uint8_t> chunk(1024);
+            uint8_t v = seed;
+            for (int c = 0; c < 24; ++c) {
+                for (auto &x : chunk) {
+                    v = static_cast<uint8_t>(v * 37 + 11);
+                    x = v;
+                }
+                e.compute(5000);
+                if (out->write(chunk.data(), chunk.size()) !=
+                    static_cast<ssize_t>(chunk.size()))
+                    return 1;
+            }
+            return 0;
+        };
+        if (a.run([producer] { return producer(1); }) != Error::None)
+            return 3;
+        if (b.run([producer] { return producer(2); }) != Error::None)
+            return 4;
+        auto h0 = p0.host();
+        auto h1 = p1.host();
+        // Drain both pipes; alternate so neither producer stalls on a
+        // full ring forever.
+        std::vector<uint8_t> buf(2048);
+        bool open0 = true, open1 = true;
+        while (open0 || open1) {
+            if (open0) {
+                ssize_t n = h0->read(buf.data(), buf.size());
+                if (n < 0)
+                    return 5;
+                if (n == 0)
+                    open0 = false;
+                else
+                    out[0].insert(out[0].end(), buf.data(),
+                                  buf.data() + n);
+            }
+            if (open1) {
+                ssize_t n = h1->read(buf.data(), buf.size());
+                if (n < 0)
+                    return 6;
+                if (n == 0)
+                    open1 = false;
+                else
+                    out[1].insert(out[1].end(), buf.data(),
+                                  buf.data() + n);
+            }
+        }
+        return a.wait() == 0 && b.wait() == 0 ? 0 : 7;
+    });
+    if (!sys.simulate())
+        return {};
+    if (sys.rootExitCode() != 0)
+        return {};
+    if (switches)
+        *switches = sys.kernelInstance().stats().ctxSwitches;
+    return out;
+}
+
+TEST(Multiplex, OversubscribedPipelineSameOutputBytes)
+{
+    // 2 producers on 1 PE vs 2 producers on 2 PEs: the data each
+    // pipeline delivers must be byte-identical — multiplexing may move
+    // cycles, never bytes.
+    uint64_t switches = 0;
+    auto separate = runProducerPipes(2, 50000, nullptr);
+    auto plexed = runProducerPipes(1, 50000, &switches);
+    ASSERT_EQ(separate[0].size(), 24u * 1024u);
+    ASSERT_EQ(separate[1].size(), 24u * 1024u);
+    EXPECT_GE(switches, 2u);
+    EXPECT_EQ(plexed[0], separate[0]);
+    EXPECT_EQ(plexed[1], separate[1]);
+}
+
+TEST(Multiplex, DefaultPathCreateVpeStillFailsWhenPesExhausted)
+{
+    // Without a slice the kernel must behave exactly as before: no
+    // co-scheduling, creation fails when no PE is free.
+    M3SystemCfg cfg;
+    cfg.appPes = 2;
+    cfg.withFs = false;
+    M3System sys(cfg);
+    sys.runRoot("root", [&] {
+        Env &env = Env::cur();
+        VPE a(env, "a");
+        if (a.err() != Error::None)
+            return 1;
+        VPE b(env, "b");
+        return b.err() == Error::NoFreePe ? 0 : 2;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_EQ(sys.kernelInstance().stats().ctxSwitches, 0u);
+}
+
+} // anonymous namespace
+} // namespace m3

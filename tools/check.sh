@@ -11,17 +11,24 @@ jobs=${1:-$(nproc)}
 
 run_config() {
     dir=$1
-    shift
+    labels=$2
+    shift 2
     echo "=== configure $dir ($*)"
     cmake -B "$dir" -S . "$@"
     echo "=== build $dir"
     cmake --build "$dir" -j "$jobs"
-    echo "=== test $dir"
-    ctest --test-dir "$dir" -j "$jobs" --output-on-failure
+    echo "=== test $dir ($labels)"
+    # shellcheck disable=SC2086  # $labels is a ctest flag pair
+    ctest --test-dir "$dir" -j "$jobs" --output-on-failure $labels
 }
 
-run_config build-release -DCMAKE_BUILD_TYPE=Release -DM3_SANITIZE=
-run_config build-asan -DM3_SANITIZE=address,undefined
+# The release pass runs the quick suite; the randomized invariant/fuzz
+# tests (label "slow") run once, in the sanitized build, so every check
+# includes ASan+UBSan-instrumented fuzzing without doubling its cost.
+run_config build-release "-LE slow" -DCMAKE_BUILD_TYPE=Release -DM3_SANITIZE=
+run_config build-asan "-LE slow" -DM3_SANITIZE=address,undefined
+echo "=== test build-asan (-L slow: sanitized invariant/fuzz suite)"
+ctest --test-dir build-asan -j "$jobs" --output-on-failure -L slow
 
 # Observability smoke: a traced micro-benchmark must emit a well-formed
 # Chrome trace containing every phase the exporter produces (span B/E,
