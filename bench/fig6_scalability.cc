@@ -17,8 +17,17 @@ using namespace m3;
 using namespace m3::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --multikernel-only: skip straight to the multi-kernel table (the
+    // CI hook runs just that stage).
+    bool mkOnly = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--multikernel-only")
+            mkOnly = true;
+
+    bool ok = true;
+    if (!mkOnly) {
     const std::vector<uint32_t> counts = {1, 2, 4, 8, 16};
     const std::vector<std::string> benches = {"cat+tr", "tar", "untar",
                                               "find", "sqlite"};
@@ -61,7 +70,7 @@ main()
                 idx = i;
         return normalised[b][idx];
     };
-    bool ok = allOk;
+    ok &= allOk;
     ok &= bench::verdict("all benchmarks scale well up to 4 instances "
                          "(within 25%)",
                          at("cat+tr", 4) < 1.25 && at("tar", 4) < 1.25 &&
@@ -165,5 +174,51 @@ main()
     ok &= bench::verdict("4x oversubscription stays under 5x per "
                          "instance",
                          plex[2] / plex[0] <= 5.0);
+    }  // !mkOnly
+
+    // ------------------------------------------------------------------
+    // Extension (Sec. 7: "another alternative is using multiple kernel
+    // instances"): shard the control plane. With m3fs already sharded
+    // four ways, a write-heavy workload at fine allocation granularity
+    // (every 8-block append is a kernel-mediated session exchange)
+    // leaves the single kernel PE as the remaining syscall bottleneck;
+    // spreading the same machine across 1/2/4 cooperating kernels
+    // dissolves it. Setup (mount, capability exchanges) is included in
+    // the timed window — the control plane is what is being measured —
+    // and each column is normalised to a 1-instance run of its own
+    // configuration, so only the contention moves.
+    // ------------------------------------------------------------------
+    const std::vector<uint32_t> kernelCounts = {1, 2, 4};
+    std::vector<std::string> cols4 = {"kernels"};
+    for (uint32_t k : kernelCounts)
+        cols4.push_back(std::to_string(k));
+    bench::header("tar, 16 clients, 4 m3fs, sharded kernels "
+                  "(multi-kernel M3)",
+                  cols4, 14);
+    bench::cell("norm. time", 14);
+    std::vector<double> mk;
+    for (uint32_t k : kernelCounts) {
+        workloads::M3RunOpts opts;
+        opts.numKernels = k;
+        opts.fsInstances = 4;
+        opts.fsAppendBlocks = 8;
+        opts.timeSetup = true;
+        ScalabilityResult base = runM3Scalability("tar", 1, opts);
+        ScalabilityResult r = runM3Scalability("tar", 16, opts);
+        if (base.rc != 0 || r.rc != 0) {
+            std::printf(" run failed (%d/%d)\n", base.rc, r.rc);
+            return 1;
+        }
+        mk.push_back(static_cast<double>(r.avgInstance) /
+                     static_cast<double>(base.avgInstance));
+        bench::cellRatio(mk.back(), 14);
+    }
+    bench::endRow();
+    ok &= bench::verdict("two kernels remove most of the remaining "
+                         "syscall bottleneck",
+                         mk[1] < 1.0 + (mk[0] - 1.0) * 0.6);
+    ok &= bench::verdict("four kernels strictly beat the single kernel "
+                         "per instance",
+                         mk[2] < mk[0]);
     return ok ? 0 : 1;
 }

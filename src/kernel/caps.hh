@@ -61,6 +61,13 @@ struct RGateObj : KObject
     bool activated = false;
     uint32_t node = 0;
     epid_t ep = INVALID_EP;
+
+    /**
+     * Multi-kernel: a shadow of a gate owned by another kernel domain.
+     * The owner VPE is unknown locally, so the serialized generation of
+     * the remote owner is carried along for send-EP configuration.
+     */
+    uint32_t fixedGen = 0;
 };
 
 /** A send gate: the right to send to a receive gate with a given label. */
@@ -133,8 +140,21 @@ struct SessObj : KObject
     {
     }
 
-    std::shared_ptr<ServObj> serv;
+    /** A session with a service living in another kernel domain. */
+    SessObj(std::string remoteName, uint32_t remoteDomain, uint64_t ident)
+        : KObject(ObjType::Sess), ident(ident),
+          remoteName(std::move(remoteName)), remoteDomain(remoteDomain)
+    {
+    }
+
+    bool remote() const { return serv == nullptr; }
+
+    std::shared_ptr<ServObj> serv;  //!< nullptr for remote sessions
     uint64_t ident;
+
+    /** Multi-kernel: service name and owning domain of a remote session. */
+    std::string remoteName;
+    uint32_t remoteDomain = ~0u;
 };
 
 /**

@@ -53,13 +53,35 @@ class ExtWaiter
 
 } // anonymous namespace
 
-Kernel::Kernel(Platform &platform, peid_t kernelPe, goff_t dramAllocStart)
+Kernel::Kernel(Platform &platform, peid_t kernelPe, goff_t dramAllocStart,
+               goff_t dramAllocEnd)
     : platform(platform), kernelPe(kernelPe), costs(platform.costs().m3),
       dramNext((dramAllocStart + 63) & ~goff_t{63}),
-      dramEnd(platform.dram().size()),
+      dramEnd(dramAllocEnd ? dramAllocEnd : platform.dram().size()),
       peBusy(platform.peCount(), false)
 {
     peBusy.at(kernelPe) = true;
+}
+
+void
+Kernel::setDomain(DomainCfg cfg)
+{
+    domain = std::move(cfg);
+    // Domain-tagged VPE ids: globally unique, and the id names the
+    // owning kernel (kif::domainOfVpe).
+    nextVpe = domain.id * kif::VPE_DOMAIN_STRIDE + 1;
+    // Distinct generation spaces per kernel so multiplexed VPEs of
+    // different domains can never collide.
+    nextDtuGen = (1u << 20) + domain.id * (1u << 24);
+    // PEs of other domains are another kernel's business: treat them as
+    // permanently busy so placement never considers them.
+    for (peid_t p = 0; p < platform.peCount(); ++p)
+        if (p >= domain.ownedPes.size() || !domain.ownedPes[p])
+            peBusy[p] = true;
+    peBusy.at(kernelPe) = true;
+    freeEst = domain.ownedCounts;
+    ikCredits.assign(domain.count, kif::IK_CREDITS);
+    ikSendQueue.assign(domain.count, {});
 }
 
 void
@@ -139,11 +161,39 @@ Kernel::bootSetup()
     srv.slotSize = 512;
     kdtu().configRecv(KEP_SRV_REPLY, srv);
 
+    // Multi-kernel: the inter-kernel rings must exist before any peer
+    // can send (all kernels run bootSetup at simulation start, so the
+    // local configuration races nothing).
+    if (multiKernel()) {
+        ikRing = spm.alloc(kif::IK_SLOTS * kif::IK_MSG_SIZE);
+        ikReplyRing = spm.alloc(kif::IK_SLOTS * kif::IK_MSG_SIZE);
+        ikStage = spm.alloc(kif::IK_MSG_SIZE);
+
+        RecvEpCfg ik;
+        ik.bufAddr = ikRing;
+        ik.slotCount = kif::IK_SLOTS;
+        ik.slotSize = kif::IK_MSG_SIZE;
+        ik.replyProtected = true;
+        kdtu().configRecv(KEP_IK, ik);
+
+        RecvEpCfg ikr;
+        ikr.bufAddr = ikReplyRing;
+        ikr.slotCount = kif::IK_SLOTS;
+        ikr.slotSize = kif::IK_MSG_SIZE;
+        kdtu().configRecv(KEP_IK_REPLY, ikr);
+    }
+
     // Downgrade all application PEs: after this, only the kernel can
-    // configure endpoints anywhere (Sec. 3: NoC-level isolation).
+    // configure endpoints anywhere (Sec. 3: NoC-level isolation). In a
+    // multi-kernel machine each kernel downgrades exactly the PEs of its
+    // own domain; peer kernel PEs keep their privilege.
     for (peid_t p = 0; p < platform.peCount(); ++p) {
-        if (p != kernelPe)
-            kdtu().extDowngrade(platform.nocIdOf(p));
+        if (p == kernelPe)
+            continue;
+        if (multiKernel() &&
+            (p >= domain.ownedPes.size() || !domain.ownedPes[p]))
+            continue;
+        kdtu().extDowngrade(platform.nocIdOf(p));
     }
 
     // Load the boot programs (OS services and the root application).
@@ -224,13 +274,26 @@ Kernel::run()
             tmo = watchdogPeriod;
         if (timeSlice && schedulePending())
             tmo = tmo ? std::min(tmo, timeSlice) : timeSlice;
+        std::vector<epid_t> waitEps{KEP_SYSC, KEP_SRV_REPLY};
+        if (multiKernel()) {
+            waitEps.push_back(KEP_IK);
+            waitEps.push_back(KEP_IK_REPLY);
+        }
         if (tmo)
-            kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY}, tmo);
+            kdtu().waitForMsgs(waitEps, tmo);
         else
-            kdtu().waitForMsgs({KEP_SYSC, KEP_SRV_REPLY});
+            kdtu().waitForMsgs(waitEps);
         int slot;
         while ((slot = kdtu().fetchMsg(KEP_SRV_REPLY)) >= 0)
             handleServiceReply(static_cast<uint32_t>(slot));
+        if (multiKernel()) {
+            // Replies first: they refund peer credits and may dispatch
+            // queued requests; then serve incoming peer requests.
+            while ((slot = kdtu().fetchMsg(KEP_IK_REPLY)) >= 0)
+                handleIkReply(static_cast<uint32_t>(slot));
+            while ((slot = kdtu().fetchMsg(KEP_IK)) >= 0)
+                handleIkRequest(static_cast<uint32_t>(slot));
+        }
         while ((slot = kdtu().fetchMsg(KEP_SYSC)) >= 0)
             handleSyscall(static_cast<uint32_t>(slot));
         if (watchdogPeriod)
@@ -485,6 +548,24 @@ Kernel::sysCreateVpe(Vpe &caller, Unmarshaller &um, uint32_t slot)
     }
     if (tryCreateVpe(caller, req))
         return;
+    if (multiKernel()) {
+        // No free PE in this domain: place the child in the least-loaded
+        // peer domain. The reply stays deferred until the owning kernel
+        // answers (or all candidates declined).
+        PendingIkReq ik;
+        ik.op = kif::IkOp::CreateVpe;
+        ik.caller = req.caller;
+        ik.slot = req.slot;
+        ik.dstSel = req.dstSel;
+        ik.mgateSel = req.mgateSel;
+        ik.name = req.name;
+        ik.type = req.type;
+        ik.attr = req.attr;
+        if (tryRemoteCreateVpe(caller, std::move(ik))) {
+            deferReply(caller);
+            return;
+        }
+    }
     if (queueVpes) {
         // Sec. 3.3: wait for a reusable core instead of failing; the
         // reply (and thereby the caller) blocks until a PE frees up.
@@ -607,7 +688,22 @@ Kernel::sysVpeStart(Vpe &caller, Unmarshaller &um, uint32_t slot)
         replyError(slot, Error::NoSuchCap);
         return;
     }
-    Vpe *child = vpeById(static_cast<VpeRefObj &>(*cap->obj).vpe);
+    vpeid_t childId = static_cast<VpeRefObj &>(*cap->obj).vpe;
+    if (multiKernel() && kif::domainOfVpe(childId) != domain.id) {
+        // The child lives in another domain: its owning kernel starts it.
+        uint8_t buf[64];
+        Marshaller m(buf, sizeof(buf));
+        m << kif::IkOp::VpeStart << static_cast<uint64_t>(childId);
+        PendingIkReq ik;
+        ik.op = kif::IkOp::VpeStart;
+        ik.caller = caller.id;
+        ik.slot = slot;
+        deferReply(caller);
+        sendIk(kif::domainOfVpe(childId), buf,
+               static_cast<uint32_t>(m.size()), std::move(ik));
+        return;
+    }
+    Vpe *child = vpeById(childId);
     if (!child || child->state != Vpe::State::Boot) {
         replyError(slot, Error::NoSuchVpe);
         return;
@@ -638,7 +734,23 @@ Kernel::sysVpeWait(Vpe &caller, Unmarshaller &um, uint32_t slot)
         replyError(slot, Error::NoSuchCap);
         return;
     }
-    Vpe *child = vpeById(static_cast<VpeRefObj &>(*cap->obj).vpe);
+    vpeid_t childId = static_cast<VpeRefObj &>(*cap->obj).vpe;
+    if (multiKernel() && kif::domainOfVpe(childId) != domain.id) {
+        // Wait at the owning kernel; the local syscall stays deferred
+        // until the remote exit comes back over the IK channel.
+        uint8_t buf[64];
+        Marshaller m(buf, sizeof(buf));
+        m << kif::IkOp::VpeWait << static_cast<uint64_t>(childId);
+        PendingIkReq ik;
+        ik.op = kif::IkOp::VpeWait;
+        ik.caller = caller.id;
+        ik.slot = slot;
+        deferReply(caller);
+        sendIk(kif::domainOfVpe(childId), buf,
+               static_cast<uint32_t>(m.size()), std::move(ik));
+        return;
+    }
+    Vpe *child = vpeById(childId);
     if (!child) {
         replyError(slot, Error::NoSuchVpe);
         return;
@@ -908,8 +1020,12 @@ Kernel::doActivate(Vpe &caller, Capability *cap, epid_t ep,
         cfg.maxMsgSize = sg.rgate->slotSize;
         // Address the receiver's generation: if that VPE is descheduled
         // when a message arrives, the DTU buffers it instead of handing
-        // it to whichever VPE owns the ring's EP index by then.
+        // it to whichever VPE owns the ring's EP index by then. For a
+        // shadow of a remote domain's gate the owner is unknown here;
+        // the serialized generation travels with the gate instead.
         cfg.targetGen = vpeGenOf(sg.rgate->owner);
+        if (cfg.targetGen == 0)
+            cfg.targetGen = sg.rgate->fixedGen;
         if (viaCtx) {
             EpRegs r;
             r.type = EpType::Send;
@@ -993,7 +1109,43 @@ Kernel::sysExchange(Vpe &caller, Unmarshaller &um, uint32_t slot)
         replyError(slot, Error::NoSuchCap);
         return;
     }
-    Vpe *other = vpeById(static_cast<VpeRefObj &>(*vcap->obj).vpe);
+    vpeid_t otherId = static_cast<VpeRefObj &>(*vcap->obj).vpe;
+    if (multiKernel() && kif::domainOfVpe(otherId) != domain.id) {
+        // Cross-domain exchange: only Delegate is supported (the caller
+        // pushes serialized copies of its own caps to the owning kernel;
+        // Obtain would have to pull from a table this kernel cannot see).
+        if (op != kif::ExchangeOp::Obtain &&
+            count > 0 && count <= kif::MAX_EXCHG_CAPS) {
+            uint8_t buf[kif::MAX_SYSC_MSG];
+            Marshaller m(buf, sizeof(buf));
+            m << kif::IkOp::DelegateCaps << static_cast<uint64_t>(otherId)
+              << dstStart << count;
+            for (uint64_t i = 0; i < count; ++i) {
+                Capability *src = caller.caps.get(srcStart + i);
+                if (!src) {
+                    replyError(slot, Error::NoSuchCap);
+                    return;
+                }
+                Error se = serializeCap(m, *src);
+                if (se != Error::None) {
+                    replyError(slot, se);
+                    return;
+                }
+            }
+            PendingIkReq ik;
+            ik.op = kif::IkOp::DelegateCaps;
+            ik.caller = caller.id;
+            ik.slot = slot;
+            deferReply(caller);
+            sendIk(kif::domainOfVpe(otherId), buf,
+                   static_cast<uint32_t>(m.size()), std::move(ik));
+            return;
+        }
+        replyError(slot, op == kif::ExchangeOp::Obtain ? Error::NoPerm
+                                                       : Error::InvalidArgs);
+        return;
+    }
+    Vpe *other = vpeById(otherId);
     if (!other) {
         replyError(slot, Error::NoSuchVpe);
         return;
@@ -1062,6 +1214,8 @@ Kernel::sysCreateSrv(Vpe &caller, Unmarshaller &um, uint32_t slot)
     services[name] = serv;
     caller.caps.put(dstSel, serv, rgCap);
     compute(costs.capOp);
+    if (multiKernel())
+        announceService(name);
     replyError(slot, Error::None);
 }
 
@@ -1113,6 +1267,31 @@ Kernel::sysOpenSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
 
     auto it = services.find(name);
     if (it == services.end()) {
+        if (multiKernel()) {
+            auto rit = remoteServices.find(name);
+            if (rit != remoteServices.end()) {
+                if (caller.caps.get(dstSel)) {
+                    replyError(slot, Error::CapExists);
+                    return;
+                }
+                // The service lives in another domain: open the session
+                // through its owning kernel (cross-domain mount).
+                uint8_t buf[kif::IK_MSG_SIZE];
+                Marshaller m(buf, sizeof(buf));
+                m << kif::IkOp::OpenSess << name << arg;
+                PendingIkReq ik;
+                ik.op = kif::IkOp::OpenSess;
+                ik.caller = caller.id;
+                ik.slot = slot;
+                ik.dstSel = dstSel;
+                ik.servName = name;
+                ik.servDomain = rit->second;
+                deferReply(caller);
+                sendIk(rit->second, buf, static_cast<uint32_t>(m.size()),
+                       std::move(ik));
+                return;
+            }
+        }
         replyError(slot, Error::NoSuchService);
         return;
     }
@@ -1160,6 +1339,31 @@ Kernel::sysExchangeSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
         return;
     }
     auto sess = std::static_pointer_cast<SessObj>(sessCap->obj);
+    if (sess->remote()) {
+        if (op != kif::ExchangeOp::Obtain) {
+            // Delegating caps into a remote session would require the
+            // serving kernel to pull from this client's table; not
+            // supported across domains.
+            replyError(slot, Error::InvalidArgs);
+            return;
+        }
+        uint8_t rbuf[kif::IK_MSG_SIZE];
+        Marshaller rm(rbuf, sizeof(rbuf));
+        rm << kif::IkOp::SessExchange << sess->remoteName << sess->ident
+           << op << count << argc;
+        for (uint64_t i = 0; i < argc; ++i)
+            rm << args[i];
+        PendingIkReq ik;
+        ik.op = kif::IkOp::SessExchange;
+        ik.caller = caller.id;
+        ik.slot = slot;
+        ik.dstStart = dstStart;
+        ik.count = static_cast<uint32_t>(count);
+        deferReply(caller);
+        sendIk(sess->remoteDomain, rbuf, static_cast<uint32_t>(rm.size()),
+               std::move(ik));
+        return;
+    }
 
     uint8_t buf[kif::MAX_SYSC_MSG];
     Marshaller m(buf, sizeof(buf));
@@ -1224,6 +1428,70 @@ Kernel::handleServiceReply(uint32_t slot)
     kdtu().ackMsg(KEP_SRV_REPLY, slot);
 
     compute(costs.fetchMsg + costs.unmarshal);
+
+    if (req.kind == PendingSrvReq::Kind::RemoteOpen ||
+        req.kind == PendingSrvReq::Kind::RemoteObtain) {
+        // The request came in over the IK channel on behalf of a remote
+        // kernel; relay the service's answer back onto that ring slot.
+        auto e = um.pull<Error>();
+        uint8_t buf[kif::IK_MSG_SIZE];
+        Marshaller m(buf, sizeof(buf));
+        if (req.kind == PendingSrvReq::Kind::RemoteOpen) {
+            if (e == Error::None)
+                m << Error::None << um.pull<uint64_t>();
+            else
+                m << e;
+            replyOnEp(KEP_IK, req.slot, buf,
+                      static_cast<uint32_t>(m.size()));
+            return;
+        }
+        if (e != Error::None) {
+            m << e << uint64_t{0} << uint64_t{0};
+            replyOnEp(KEP_IK, req.slot, buf,
+                      static_cast<uint32_t>(m.size()));
+            return;
+        }
+        auto numCaps = um.pull<uint64_t>();
+        Vpe *srvVpe = vpeById(req.serv->owner);
+        Error xe = (numCaps > req.count || !srvVpe) ? Error::InvalidArgs
+                                                    : Error::None;
+        // The service names its caps by selector; serialize them for the
+        // remote kernel to install as shadow caps. Validate first so the
+        // reply never carries a partial cap list.
+        std::vector<Capability *> srcs;
+        for (uint64_t i = 0; xe == Error::None && i < numCaps; ++i) {
+            auto srvSel = um.pull<capsel_t>();
+            Capability *src = srvVpe->caps.get(srvSel);
+            if (!src)
+                xe = Error::NoSuchCap;
+            else
+                srcs.push_back(src);
+        }
+        m << xe << static_cast<uint64_t>(xe == Error::None ? numCaps : 0);
+        if (xe == Error::None) {
+            for (Capability *src : srcs) {
+                Error se = serializeCap(m, *src);
+                if (se != Error::None) {
+                    // Undelegable object (receive gate / service):
+                    // restart the reply as a clean error.
+                    Marshaller em(buf, sizeof(buf));
+                    em << se << uint64_t{0} << uint64_t{0};
+                    replyOnEp(KEP_IK, req.slot, buf,
+                              static_cast<uint32_t>(em.size()));
+                    return;
+                }
+                compute(costs.capOp);
+            }
+            auto numArgs = um.pull<uint64_t>();
+            m << numArgs;
+            for (uint64_t i = 0; i < numArgs; ++i)
+                m << um.pull<uint64_t>();
+        } else {
+            m << uint64_t{0};
+        }
+        replyOnEp(KEP_IK, req.slot, buf, static_cast<uint32_t>(m.size()));
+        return;
+    }
 
     Vpe *caller = vpeById(req.caller);
     if (!caller)
@@ -1303,6 +1571,631 @@ Kernel::handleServiceReply(uint32_t slot)
             }
         }
         replyOnEpError(req.slot, xe);
+        break;
+      }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-kernel: the inter-kernel protocol. Each kernel owns a slice of
+// the PE grid; requests that concern another domain travel as ordinary
+// DTU messages between kernel PEs, mirroring the kernel<->service
+// channel (per-peer software credits, deferred replies hold ring
+// slots). Kernels never block on each other: every request is answered
+// from the main loop in continuation style.
+// ---------------------------------------------------------------------
+
+uint32_t
+Kernel::freeOwnedPes() const
+{
+    // Non-owned PEs are pinned busy (setDomain), so this counts exactly
+    // the free PEs of this kernel's domain.
+    uint32_t n = 0;
+    for (peid_t p = 0; p < platform.peCount(); ++p)
+        if (!peBusy[p])
+            n++;
+    return n;
+}
+
+void
+Kernel::announceService(const std::string &name)
+{
+    for (uint32_t d = 0; d < domain.count; ++d) {
+        if (d == domain.id)
+            continue;
+        uint8_t buf[kif::IK_MSG_SIZE];
+        Marshaller m(buf, sizeof(buf));
+        m << kif::IkOp::AnnounceSrv << name
+          << static_cast<uint64_t>(domain.id);
+        PendingIkReq req;
+        req.op = kif::IkOp::AnnounceSrv;
+        sendIk(d, buf, static_cast<uint32_t>(m.size()), std::move(req));
+    }
+}
+
+bool
+Kernel::tryRemoteCreateVpe(Vpe &caller, PendingIkReq req)
+{
+    if (!multiKernel())
+        return false;
+    if (req.arg == 0) {
+        // First attempt: order the peer domains least-loaded first (by
+        // the free-PE estimate; domain id breaks ties). The estimate
+        // self-corrects from freePesAfter in every reply.
+        std::vector<uint32_t> cand;
+        for (uint32_t d = 0; d < domain.count; ++d)
+            if (d != domain.id && freeEst[d] > 0)
+                cand.push_back(d);
+        std::stable_sort(cand.begin(), cand.end(),
+                         [this](uint32_t a, uint32_t b) {
+                             return freeEst[a] > freeEst[b];
+                         });
+        req.candidates = std::move(cand);
+        req.arg = 1;  // candidates computed (even if empty)
+    }
+    if (req.candidates.empty())
+        return false;
+    uint32_t peer = req.candidates.front();
+    req.candidates.erase(req.candidates.begin());
+
+    uint8_t buf[kif::IK_MSG_SIZE];
+    Marshaller m(buf, sizeof(buf));
+    m << kif::IkOp::CreateVpe << req.name << req.type << req.attr;
+    logtrace("kernel%u: remote CreateVpe '%s' -> kernel%u (for vpe%u)",
+             domain.id, req.name.c_str(), peer, caller.id);
+    sendIk(peer, buf, static_cast<uint32_t>(m.size()), std::move(req));
+    return true;
+}
+
+uint64_t
+Kernel::sendIk(uint32_t peer, const void *msg, uint32_t size,
+               PendingIkReq req)
+{
+    uint64_t id = nextIkReqId++;
+    req.domain = peer;
+    const uint8_t *bytes = static_cast<const uint8_t *>(msg);
+    if (ikCredits.at(peer) == 0) {
+        // Peer's ring budget exhausted: queue until a reply refunds.
+        ikSendQueue[peer].emplace_back(
+            id, std::vector<uint8_t>(bytes, bytes + size));
+        pendingIkReqs[id] = std::move(req);
+        return id;
+    }
+    ikCredits[peer]--;
+    pendingIkReqs[id] = std::move(req);
+    dispatchIk(peer, bytes, size, id);
+    return id;
+}
+
+void
+Kernel::dispatchIk(uint32_t peer, const uint8_t *msg, uint32_t size,
+                   uint64_t id)
+{
+    SendEpCfg cfg;
+    cfg.targetNode = platform.nocIdOf(domain.kernelPes.at(peer));
+    cfg.targetEp = KEP_IK;
+    cfg.label = domain.id;
+    cfg.credits = CREDITS_UNLIMITED;  // bounded by ikCredits
+    cfg.maxMsgSize = kif::IK_MSG_SIZE;
+    kdtu().configSend(KEP_IK_SEND, cfg);
+
+    Spm &spm = platform.pe(kernelPe).spm();
+    spm.write(ikStage, msg, size);
+    compute(costs.epConfig + costs.marshal + costs.dtuCommand);
+    Error e = kdtu().startSend(KEP_IK_SEND, ikStage, size, KEP_IK_REPLY, id);
+    if (e != Error::None)
+        panic("kernel -> kernel send failed: %s", errorName(e));
+    kdtu().waitUntilIdle();
+    kstats.ikRequestsSent++;
+}
+
+void
+Kernel::ikReply(uint32_t slot, const void *msg, uint32_t size)
+{
+    replyOnEp(KEP_IK, slot, msg, size);
+}
+
+void
+Kernel::ikReplyError(uint32_t slot, Error e)
+{
+    uint8_t buf[16];
+    Marshaller m(buf, sizeof(buf));
+    m << e;
+    ikReply(slot, buf, static_cast<uint32_t>(m.size()));
+}
+
+void
+Kernel::handleIkRequest(uint32_t slot)
+{
+    kstats.ikRequestsHandled++;
+    MessageHeader hdr = kdtu().msgHeader(KEP_IK, slot);
+    Spm &spm = platform.pe(kernelPe).spm();
+    const uint8_t *payload =
+        spm.ptr(kdtu().msgAddr(KEP_IK, slot) + sizeof(MessageHeader),
+                hdr.length);
+    Unmarshaller um(payload, hdr.length);
+    auto op = um.pull<kif::IkOp>();
+
+    compute(costs.fetchMsg + costs.unmarshal + costs.syscallDispatch);
+
+    const bool traced = M3_TRACE_ON;
+    if (traced)
+        trace::Tracer::spanBegin(kernelPe, kif::ikOpName(op));
+
+    switch (op) {
+      case kif::IkOp::AnnounceSrv:
+        ikAnnounceSrv(um, slot);
+        break;
+      case kif::IkOp::CreateVpe:
+        ikCreateVpe(um, slot);
+        break;
+      case kif::IkOp::VpeStart:
+        ikVpeStart(um, slot);
+        break;
+      case kif::IkOp::VpeWait:
+        ikVpeWait(um, slot);
+        break;
+      case kif::IkOp::OpenSess:
+        ikOpenSess(um, slot);
+        break;
+      case kif::IkOp::SessExchange:
+        ikSessExchange(um, slot);
+        break;
+      case kif::IkOp::DelegateCaps:
+        ikDelegateCaps(um, slot);
+        break;
+      default:
+        ikReplyError(slot, Error::InvalidArgs);
+        break;
+    }
+
+    if (traced)
+        trace::Tracer::spanEnd(kernelPe);
+    if (M3_METRICS_ON) {
+        trace::Metrics::counter(std::string("kernel.ik.") +
+                                kif::ikOpName(op) + ".count")
+            .inc();
+    }
+}
+
+void
+Kernel::ikAnnounceSrv(Unmarshaller &um, uint32_t slot)
+{
+    auto name = um.pull<std::string>();
+    auto dom = um.pull<uint64_t>();
+    remoteServices[name] = static_cast<uint32_t>(dom);
+    ikReplyError(slot, Error::None);
+}
+
+void
+Kernel::ikCreateVpe(Unmarshaller &um, uint32_t slot)
+{
+    auto name = um.pull<std::string>();
+    auto type = um.pull<kif::PeTypeReq>();
+    auto attr = um.pull<std::string>();
+
+    PeType wanted = type == kif::PeTypeReq::Accelerator
+                        ? PeType::Accelerator
+                        : PeType::General;
+    peid_t chosen = INVALID_PE;
+    for (peid_t p = 0; p < platform.peCount(); ++p) {
+        if (!peBusy[p] && platform.pe(p).desc().matches(wanted, attr)) {
+            chosen = p;
+            break;
+        }
+    }
+    if (chosen == INVALID_PE) {
+        // This domain is full too. Do NOT re-forward: the requesting
+        // kernel walks its own candidate list, so a single hop suffices
+        // and forwarding loops are impossible.
+        ikReplyError(slot, Error::NoFreePe);
+        return;
+    }
+
+    peBusy[chosen] = true;
+    Vpe &child = createVpeObj(name, chosen);
+    kstats.remoteVpesPlaced++;
+    logtrace("kernel%u: remote vpe%u '%s' -> pe%u", domain.id, child.id,
+             name.c_str(), chosen);
+    // The child's syscall EPs point at THIS kernel, so its syscalls
+    // route to the owning domain; the remote parent loads the image
+    // through a Mem capability over the child's SPM (installed by the
+    // requesting kernel from this reply).
+    configureVpeEps(child);
+    compute(2 * costs.capOp);
+
+    uint8_t buf[64];
+    Marshaller m(buf, sizeof(buf));
+    m << Error::None << static_cast<uint64_t>(child.id)
+      << static_cast<uint64_t>(chosen)
+      << static_cast<uint64_t>(freeOwnedPes());
+    ikReply(slot, buf, static_cast<uint32_t>(m.size()));
+}
+
+void
+Kernel::ikVpeStart(Unmarshaller &um, uint32_t slot)
+{
+    auto id = static_cast<vpeid_t>(um.pull<uint64_t>());
+    Vpe *child = vpeById(id);
+    if (!child || child->state != Vpe::State::Boot) {
+        ikReplyError(slot, Error::NoSuchVpe);
+        return;
+    }
+    child->state = Vpe::State::Running;
+    child->lastActivity = platform.simulator().curCycle();
+    child->started = true;
+    kdtu().extStartVpe(nodeOf(*child), child->id);
+    compute(costs.epConfig);
+    ikReplyError(slot, Error::None);
+}
+
+void
+Kernel::ikVpeWait(Unmarshaller &um, uint32_t slot)
+{
+    auto id = static_cast<vpeid_t>(um.pull<uint64_t>());
+    Vpe *child = vpeById(id);
+    if (!child) {
+        ikReplyError(slot, Error::NoSuchVpe);
+        return;
+    }
+    if (child->state == Vpe::State::Exited) {
+        uint8_t buf[64];
+        Marshaller m(buf, sizeof(buf));
+        m << Error::None << static_cast<int64_t>(child->exitCode);
+        ikReply(slot, buf, static_cast<uint32_t>(m.size()));
+        return;
+    }
+    // Defer: the ring slot is held until the child exits, exactly like
+    // a local VpeWait. finishVpe answers it via the waiter list.
+    child->waiters.push_back({KEP_IK, slot, INVALID_VPE});
+}
+
+void
+Kernel::ikOpenSess(Unmarshaller &um, uint32_t slot)
+{
+    auto name = um.pull<std::string>();
+    auto arg = um.pull<uint64_t>();
+
+    auto it = services.find(name);
+    if (it == services.end()) {
+        ikReplyError(slot, Error::NoSuchService);
+        return;
+    }
+    uint8_t buf[128];
+    Marshaller m(buf, sizeof(buf));
+    m << kif::ServiceOp::Open << arg;
+    uint64_t id = sendToService(*it->second, buf,
+                                static_cast<uint32_t>(m.size()));
+
+    PendingSrvReq req;
+    req.kind = PendingSrvReq::Kind::RemoteOpen;
+    req.caller = INVALID_VPE;
+    req.slot = slot;
+    req.serv = it->second;
+    pendingSrvReqs[id] = std::move(req);
+}
+
+void
+Kernel::ikSessExchange(Unmarshaller &um, uint32_t slot)
+{
+    auto name = um.pull<std::string>();
+    auto ident = um.pull<uint64_t>();
+    auto op = um.pull<kif::ExchangeOp>();
+    auto count = um.pull<uint64_t>();
+    auto argc = um.pull<uint64_t>();
+    if (count > kif::MAX_EXCHG_CAPS || argc > kif::MAX_EXCHG_ARGS) {
+        ikReplyError(slot, Error::InvalidArgs);
+        return;
+    }
+    uint64_t args[kif::MAX_EXCHG_ARGS];
+    for (uint64_t i = 0; i < argc; ++i)
+        um >> args[i];
+
+    auto it = services.find(name);
+    if (it == services.end()) {
+        ikReplyError(slot, Error::NoSuchService);
+        return;
+    }
+    if (op != kif::ExchangeOp::Obtain) {
+        ikReplyError(slot, Error::NoPerm);
+        return;
+    }
+    uint8_t buf[kif::MAX_SYSC_MSG];
+    Marshaller m(buf, sizeof(buf));
+    m << kif::ServiceOp::Obtain << ident << count << argc;
+    for (uint64_t i = 0; i < argc; ++i)
+        m << args[i];
+    uint64_t id = sendToService(*it->second, buf,
+                                static_cast<uint32_t>(m.size()));
+
+    PendingSrvReq req;
+    req.kind = PendingSrvReq::Kind::RemoteObtain;
+    req.caller = INVALID_VPE;
+    req.slot = slot;
+    req.serv = it->second;
+    req.count = static_cast<uint32_t>(count);
+    pendingSrvReqs[id] = std::move(req);
+}
+
+void
+Kernel::ikDelegateCaps(Unmarshaller &um, uint32_t slot)
+{
+    auto dstVpe = static_cast<vpeid_t>(um.pull<uint64_t>());
+    auto dstStart = um.pull<capsel_t>();
+    auto count = um.pull<uint64_t>();
+
+    Vpe *to = vpeById(dstVpe);
+    if (!to) {
+        ikReplyError(slot, Error::NoSuchVpe);
+        return;
+    }
+    Error e = Error::None;
+    for (uint64_t i = 0; e == Error::None && i < count; ++i)
+        e = installSerializedCap(um, *to, dstStart + i);
+    compute(count * costs.capOp);
+    ikReplyError(slot, e);
+}
+
+Error
+Kernel::serializeCap(Marshaller &m, Capability &cap)
+{
+    switch (cap.obj->type) {
+      case ObjType::SGate: {
+        auto &sg = static_cast<SGateObj &>(*cap.obj);
+        if (!sg.rgate->activated)
+            return Error::InvalidArgs;
+        uint32_t gen = vpeGenOf(sg.rgate->owner);
+        if (gen == 0)
+            gen = sg.rgate->fixedGen;
+        m << static_cast<uint64_t>(ObjType::SGate)
+          << static_cast<uint64_t>(sg.rgate->node)
+          << static_cast<uint64_t>(sg.rgate->ep)
+          << static_cast<uint64_t>(sg.rgate->slotSize)
+          << static_cast<uint64_t>(gen) << sg.label
+          << static_cast<uint64_t>(sg.credits);
+        return Error::None;
+      }
+      case ObjType::Mem: {
+        auto &mem = static_cast<MemObj &>(*cap.obj);
+        m << static_cast<uint64_t>(ObjType::Mem)
+          << static_cast<uint64_t>(mem.node) << mem.off << mem.size
+          << static_cast<uint64_t>(mem.perms);
+        return Error::None;
+      }
+      case ObjType::Sess: {
+        auto &sess = static_cast<SessObj &>(*cap.obj);
+        uint32_t dom = sess.remote() ? sess.remoteDomain : domain.id;
+        std::string nm = sess.remote() ? sess.remoteName
+                                       : sess.serv->name;
+        m << static_cast<uint64_t>(ObjType::Sess) << nm
+          << static_cast<uint64_t>(dom) << sess.ident;
+        return Error::None;
+      }
+      case ObjType::Vpe: {
+        m << static_cast<uint64_t>(ObjType::Vpe)
+          << static_cast<uint64_t>(
+                 static_cast<VpeRefObj &>(*cap.obj).vpe);
+        return Error::None;
+      }
+      default:
+        // Receive gates and services never move across domains.
+        return Error::NoPerm;
+    }
+}
+
+Error
+Kernel::installSerializedCap(Unmarshaller &um, Vpe &target, capsel_t sel)
+{
+    if (target.caps.get(sel))
+        return Error::CapExists;
+    auto type = static_cast<ObjType>(um.pull<uint64_t>());
+    switch (type) {
+      case ObjType::SGate: {
+        auto node = um.pull<uint64_t>();
+        auto ep = um.pull<uint64_t>();
+        auto slotSize = um.pull<uint64_t>();
+        auto gen = um.pull<uint64_t>();
+        auto label = um.pull<label_t>();
+        auto credits = um.pull<uint64_t>();
+        // A shadow receive gate carrying the remote ring's coordinates.
+        // It is parentless here, so local revocation stays domain-local
+        // (no cross-domain revoke propagation).
+        auto rg = std::make_shared<RGateObj>(
+            INVALID_VPE, 1, static_cast<uint32_t>(slotSize));
+        rg->activated = true;
+        rg->node = static_cast<uint32_t>(node);
+        rg->ep = static_cast<epid_t>(ep);
+        rg->fixedGen = static_cast<uint32_t>(gen);
+        target.caps.put(sel, std::make_shared<SGateObj>(
+                                 rg, label,
+                                 static_cast<uint32_t>(credits)));
+        kstats.capsDelegated++;
+        return Error::None;
+      }
+      case ObjType::Mem: {
+        auto node = um.pull<uint64_t>();
+        auto off = um.pull<goff_t>();
+        auto size = um.pull<uint64_t>();
+        auto perms = um.pull<uint64_t>();
+        target.caps.put(sel, std::make_shared<MemObj>(
+                                 static_cast<uint32_t>(node), off, size,
+                                 static_cast<uint8_t>(perms)));
+        kstats.capsDelegated++;
+        return Error::None;
+      }
+      case ObjType::Sess: {
+        auto nm = um.pull<std::string>();
+        auto dom = um.pull<uint64_t>();
+        auto ident = um.pull<uint64_t>();
+        if (dom == domain.id) {
+            // The session's home is this very domain: bind it locally.
+            auto it = services.find(nm);
+            if (it == services.end())
+                return Error::NoSuchService;
+            target.caps.put(sel,
+                            std::make_shared<SessObj>(it->second, ident));
+        } else {
+            target.caps.put(sel, std::make_shared<SessObj>(
+                                     nm, static_cast<uint32_t>(dom),
+                                     ident));
+        }
+        kstats.capsDelegated++;
+        return Error::None;
+      }
+      case ObjType::Vpe: {
+        auto id = um.pull<uint64_t>();
+        target.caps.put(sel, std::make_shared<VpeRefObj>(
+                                 static_cast<vpeid_t>(id)));
+        kstats.capsDelegated++;
+        return Error::None;
+      }
+      default:
+        return Error::InvalidArgs;
+    }
+}
+
+void
+Kernel::handleIkReply(uint32_t slot)
+{
+    MessageHeader hdr = kdtu().msgHeader(KEP_IK_REPLY, slot);
+    auto it = pendingIkReqs.find(hdr.label);
+    if (it == pendingIkReqs.end()) {
+        warn("inter-kernel reply for unknown request %llu",
+             static_cast<unsigned long long>(hdr.label));
+        kdtu().ackMsg(KEP_IK_REPLY, slot);
+        return;
+    }
+    PendingIkReq req = std::move(it->second);
+    pendingIkReqs.erase(it);
+
+    // Refund the peer's credit; dispatch a queued request if waiting.
+    ikCredits.at(req.domain)++;
+    if (!ikSendQueue[req.domain].empty()) {
+        auto [qid, bytes] = std::move(ikSendQueue[req.domain].front());
+        ikSendQueue[req.domain].erase(ikSendQueue[req.domain].begin());
+        ikCredits[req.domain]--;
+        dispatchIk(req.domain, bytes.data(),
+                   static_cast<uint32_t>(bytes.size()), qid);
+    }
+
+    Spm &spm = platform.pe(kernelPe).spm();
+    const uint8_t *payload = spm.ptr(
+        kdtu().msgAddr(KEP_IK_REPLY, slot) + sizeof(MessageHeader),
+        hdr.length);
+    Unmarshaller um(payload, hdr.length);
+    kdtu().ackMsg(KEP_IK_REPLY, slot);
+    compute(costs.fetchMsg + costs.unmarshal);
+
+    auto e = um.pull<Error>();
+
+    switch (req.op) {
+      case kif::IkOp::AnnounceSrv:
+        break;  // fire-and-acknowledge
+      case kif::IkOp::CreateVpe: {
+        if (e != Error::None) {
+            // The peer declined (it filled up since our estimate); walk
+            // the remaining candidates before giving up.
+            freeEst.at(req.domain) = 0;
+            Vpe *caller = vpeById(req.caller);
+            if (!caller)
+                break;  // requester exited; drop
+            if (e == Error::NoFreePe &&
+                tryRemoteCreateVpe(*caller, std::move(req)))
+                break;  // forwarded onwards, reply still deferred
+            deferredReplySent(req.caller);
+            replyOnEpError(req.slot, e);
+            break;
+        }
+        auto childId = static_cast<vpeid_t>(um.pull<uint64_t>());
+        auto childPe = static_cast<peid_t>(um.pull<uint64_t>());
+        auto freeAfter = um.pull<uint64_t>();
+        freeEst.at(req.domain) = static_cast<uint32_t>(freeAfter);
+        Vpe *caller = vpeById(req.caller);
+        if (!caller)
+            break;  // requester exited; the remote child is orphaned
+        caller->caps.put(req.dstSel,
+                         std::make_shared<VpeRefObj>(childId));
+        uint64_t spmSize = platform.pe(childPe).desc().spmDataSize;
+        caller->caps.put(req.mgateSel, std::make_shared<MemObj>(
+                                           platform.nocIdOf(childPe), 0,
+                                           spmSize, MEM_RW));
+        compute(2 * costs.capOp);
+        deferredReplySent(req.caller);
+        uint8_t buf[64];
+        Marshaller m(buf, sizeof(buf));
+        m << Error::None << static_cast<uint64_t>(childId)
+          << static_cast<uint64_t>(childPe);
+        replyOnEp(KEP_SYSC, req.slot, buf,
+                  static_cast<uint32_t>(m.size()));
+        break;
+      }
+      case kif::IkOp::VpeStart:
+      case kif::IkOp::DelegateCaps: {
+        deferredReplySent(req.caller);
+        if (!vpeById(req.caller))
+            break;
+        replyOnEpError(req.slot, e);
+        break;
+      }
+      case kif::IkOp::VpeWait: {
+        deferredReplySent(req.caller);
+        if (!vpeById(req.caller))
+            break;
+        uint8_t buf[64];
+        Marshaller m(buf, sizeof(buf));
+        if (e == Error::None)
+            m << Error::None << um.pull<int64_t>();
+        else
+            m << e;
+        replyOnEp(KEP_SYSC, req.slot, buf,
+                  static_cast<uint32_t>(m.size()));
+        break;
+      }
+      case kif::IkOp::OpenSess: {
+        deferredReplySent(req.caller);
+        Vpe *caller = vpeById(req.caller);
+        if (!caller)
+            break;
+        if (e == Error::None) {
+            auto ident = um.pull<uint64_t>();
+            caller->caps.put(req.dstSel,
+                             std::make_shared<SessObj>(req.servName,
+                                                       req.servDomain,
+                                                       ident));
+            compute(costs.capOp);
+        }
+        replyOnEpError(req.slot, e);
+        break;
+      }
+      case kif::IkOp::SessExchange: {
+        deferredReplySent(req.caller);
+        Vpe *caller = vpeById(req.caller);
+        if (!caller)
+            break;
+        uint8_t buf[kif::MAX_SYSC_MSG];
+        Marshaller m(buf, sizeof(buf));
+        if (e != Error::None) {
+            m << e << uint64_t{0};
+            replyOnEp(KEP_SYSC, req.slot, buf,
+                      static_cast<uint32_t>(m.size()));
+            break;
+        }
+        auto numCaps = um.pull<uint64_t>();
+        Error xe = numCaps > req.count ? Error::InvalidArgs : Error::None;
+        for (uint64_t i = 0; xe == Error::None && i < numCaps; ++i) {
+            xe = installSerializedCap(um, *caller, req.dstStart + i);
+            compute(costs.capOp);
+        }
+        if (xe == Error::None) {
+            auto numArgs = um.pull<uint64_t>();
+            m << Error::None << numArgs;
+            for (uint64_t i = 0; i < numArgs; ++i)
+                m << um.pull<uint64_t>();
+        } else {
+            m << xe << uint64_t{0};
+        }
+        replyOnEp(KEP_SYSC, req.slot, buf,
+                  static_cast<uint32_t>(m.size()));
         break;
       }
     }

@@ -91,7 +91,8 @@ struct Vpe
      */
     uint32_t pendingReplies = 0;
 
-    /** One deferred VpeWait reply. */
+    /** One deferred VpeWait reply. A peer kernel waiting on behalf of a
+     *  remote parent uses ep == KEP_IK and caller == INVALID_VPE. */
     struct Waiter
     {
         epid_t ep;
@@ -113,6 +114,9 @@ struct KernelStats
     uint64_t watchdogReclaims = 0;
     uint64_t ctxSwitches = 0;  //!< VPE suspends (time multiplexing)
     uint64_t yields = 0;       //!< cooperative Yield syscalls
+    uint64_t ikRequestsSent = 0;     //!< inter-kernel requests issued
+    uint64_t ikRequestsHandled = 0;  //!< inter-kernel requests served
+    uint64_t remoteVpesPlaced = 0;   //!< VPEs created for peer kernels
 };
 
 /**
@@ -147,7 +151,34 @@ class Kernel
      * @param dramAllocStart first DRAM byte the kernel may hand out
      *        (below lies e.g. the filesystem image)
      */
-    Kernel(Platform &platform, peid_t kernelPe, goff_t dramAllocStart);
+    /**
+     * @param dramAllocEnd one past the last DRAM byte the kernel may
+     *        hand out (0 = the whole DRAM). Multi-kernel machines split
+     *        the dynamic region so the instances never collide.
+     */
+    Kernel(Platform &platform, peid_t kernelPe, goff_t dramAllocStart,
+           goff_t dramAllocEnd = 0);
+
+    /** Multi-kernel: the static description of one kernel domain. */
+    struct DomainCfg
+    {
+        uint32_t id = 0;            //!< this kernel's domain
+        uint32_t count = 1;         //!< total kernel domains
+        /** Kernel PE of every domain (indexed by domain id). */
+        std::vector<peid_t> kernelPes;
+        /** PEs this kernel owns (administers); others are hands-off. */
+        std::vector<bool> ownedPes;
+        /** Owned non-kernel PEs per domain (remote-placement estimates). */
+        std::vector<uint32_t> ownedCounts;
+    };
+
+    /**
+     * Turn this instance into one domain of a multi-kernel machine
+     * (Sec. 7's "multiple kernel instances"). Call before start(); a
+     * never-configured kernel behaves exactly like the single-kernel
+     * original.
+     */
+    void setDomain(DomainCfg cfg);
 
     /**
      * Opt-in policy (Sec. 3.3's waiting-for-a-reusable-core idea): when
@@ -206,6 +237,9 @@ class Kernel
     static constexpr epid_t KEP_SRV_SEND = 2;  //!< scratch send EP
     static constexpr epid_t KEP_CTX_SPM = 3;   //!< ctx switch: app SPM
     static constexpr epid_t KEP_CTX_CSA = 4;   //!< ctx switch: DRAM CSA
+    static constexpr epid_t KEP_IK = 5;        //!< inter-kernel requests
+    static constexpr epid_t KEP_IK_REPLY = 6;  //!< inter-kernel replies
+    static constexpr epid_t KEP_IK_SEND = 7;   //!< scratch send EP (IK)
 
   private:
     /** The kernel program's main loop. */
@@ -245,6 +279,59 @@ class Kernel
     void dispatchToService(ServObj &serv, const uint8_t *msg,
                            uint32_t size, uint64_t id);
 
+    // --- inter-kernel protocol (multi-kernel machines only) ----------
+    /** Pending request to a peer kernel; continuation state. */
+    struct PendingIkReq
+    {
+        kif::IkOp op;
+        uint32_t domain = 0;        //!< the peer the request went to
+        vpeid_t caller = INVALID_VPE;
+        uint32_t slot = 0;          //!< caller's syscall ring slot
+        // CreateVpe: the original request plus remaining candidates.
+        capsel_t dstSel = 0;
+        capsel_t mgateSel = 0;
+        std::string name;
+        kif::PeTypeReq type = kif::PeTypeReq::General;
+        std::string attr;
+        std::vector<uint32_t> candidates;  //!< remaining domains to try
+        // OpenSess / SessExchange: cap installation at the caller.
+        uint32_t dstStart = 0;
+        uint32_t count = 0;
+        uint64_t arg = 0;
+        std::string servName;
+        uint32_t servDomain = 0;
+    };
+
+    bool multiKernel() const { return domain.count > 1; }
+    /** Send an IK request to @p peer; returns the request id. */
+    uint64_t sendIk(uint32_t peer, const void *msg, uint32_t size,
+                    PendingIkReq req);
+    void dispatchIk(uint32_t peer, const uint8_t *msg, uint32_t size,
+                    uint64_t id);
+    void handleIkRequest(uint32_t slot);
+    void handleIkReply(uint32_t slot);
+    void ikReply(uint32_t slot, const void *msg, uint32_t size);
+    void ikReplyError(uint32_t slot, Error e);
+
+    void ikAnnounceSrv(Unmarshaller &um, uint32_t slot);
+    void ikCreateVpe(Unmarshaller &um, uint32_t slot);
+    void ikVpeStart(Unmarshaller &um, uint32_t slot);
+    void ikVpeWait(Unmarshaller &um, uint32_t slot);
+    void ikOpenSess(Unmarshaller &um, uint32_t slot);
+    void ikSessExchange(Unmarshaller &um, uint32_t slot);
+    void ikDelegateCaps(Unmarshaller &um, uint32_t slot);
+
+    /** Free owned PEs right now (IK CreateVpe replies report this). */
+    uint32_t freeOwnedPes() const;
+    /** Forward a CreateVpe to the best remote domain; false = none left. */
+    bool tryRemoteCreateVpe(Vpe &caller, PendingIkReq req);
+    /** Serialize one capability for cross-domain transport. */
+    Error serializeCap(Marshaller &m, Capability &cap);
+    /** Install a serialized capability into @p target at @p sel. */
+    Error installSerializedCap(Unmarshaller &um, Vpe &target, capsel_t sel);
+    /** Announce a newly registered service to all peer kernels. */
+    void announceService(const std::string &name);
+
     // --- helpers -------------------------------------------------------
     Vpe *vpeById(vpeid_t id);
     Vpe &createVpeObj(const std::string &name, peid_t pe);
@@ -281,6 +368,20 @@ class Kernel
     std::map<vpeid_t, std::unique_ptr<Vpe>> vpes;
     vpeid_t nextVpe = 1;
     std::vector<bool> peBusy;
+
+    // Multi-kernel domain state (count == 1: plain single kernel).
+    DomainCfg domain;
+    /** Estimated free PEs per peer domain (self-correcting via replies). */
+    std::vector<uint32_t> freeEst;
+    /** Per-peer software credits for the IK request channel. */
+    std::vector<uint32_t> ikCredits;
+    /** Requests queued while a peer's credits are exhausted. */
+    std::vector<std::vector<std::pair<uint64_t, std::vector<uint8_t>>>>
+        ikSendQueue;
+    /** Services registered at peer kernels: name -> owning domain. */
+    std::map<std::string, uint32_t> remoteServices;
+    std::unordered_map<uint64_t, PendingIkReq> pendingIkReqs;
+    uint64_t nextIkReqId = 1;
 
     // Service registry.
     std::map<std::string, std::shared_ptr<ServObj>> services;
@@ -365,10 +466,13 @@ class Kernel
 
     struct PendingSrvReq
     {
-        enum class Kind { Open, Obtain, Delegate };
+        /** Remote* variants answer an IK slot for a peer kernel's
+         *  client instead of a local syscall slot. */
+        enum class Kind { Open, Obtain, Delegate, RemoteOpen,
+                          RemoteObtain };
         Kind kind;
         vpeid_t caller;
-        uint32_t slot;        //!< syscall ring slot to reply to
+        uint32_t slot;        //!< syscall (or IK) ring slot to reply to
         capsel_t dstSel = 0;  //!< OpenSess: where the session cap goes
         std::shared_ptr<ServObj> serv;
         std::shared_ptr<SessObj> sess;
@@ -387,6 +491,10 @@ class Kernel
     spmaddr_t srvRing = 0;
     spmaddr_t stage = 0;
     spmaddr_t srvStage = 0;
+    // Inter-kernel rings/staging (multi-kernel machines only).
+    spmaddr_t ikRing = 0;
+    spmaddr_t ikReplyRing = 0;
+    spmaddr_t ikStage = 0;
 
     KernelStats kstats;
 };

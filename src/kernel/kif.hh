@@ -141,6 +141,70 @@ static constexpr uint32_t MAX_EXCHG_CAPS = 8;
 /** Maximum extra argument words in a session exchange. */
 static constexpr uint32_t MAX_EXCHG_ARGS = 8;
 
+// ---------------------------------------------------------------------
+// Multi-kernel protocol: messages between kernel instances when the PE
+// grid is partitioned into kernel domains (Sec. 7's "multiple kernels"
+// future work). Inter-kernel traffic uses ordinary DTU messages, just
+// like syscalls and the kernel<->service channels.
+// ---------------------------------------------------------------------
+
+/**
+ * VPE ids are domain-tagged: kernel k allocates ids in
+ * [k * VPE_DOMAIN_STRIDE + 1, (k+1) * VPE_DOMAIN_STRIDE), so every id is
+ * globally unique and names its owning kernel. A single-kernel machine
+ * allocates from domain 0, which keeps its ids identical to before.
+ */
+static constexpr vpeid_t VPE_DOMAIN_STRIDE = 1u << 20;
+
+/** The kernel domain that owns VPE @p id. */
+inline uint32_t
+domainOfVpe(vpeid_t id)
+{
+    return id / VPE_DOMAIN_STRIDE;
+}
+
+/** Inter-kernel request opcodes. Every request starts with one as u64. */
+enum class IkOp : uint64_t
+{
+    AnnounceSrv, //!< { name, domain } -> { Error }
+    CreateVpe,   //!< { name, peType, attr } ->
+                 //!< { Error, vpeId, pe, freePesAfter }
+    VpeStart,    //!< { vpeId } -> { Error }
+    VpeWait,     //!< { vpeId } -> { Error, exitcode } (deferred)
+    OpenSess,    //!< { name, arg } -> { Error, ident } (deferred)
+    SessExchange,//!< { name, ident, obtain, count, argc, args... } ->
+                 //!< { Error, numCaps, caps..., numArgs, args... }
+    DelegateCaps,//!< { dstVpeId, dstStart, count, caps... } -> { Error }
+};
+
+/** Stable name for an inter-kernel opcode (trace/metric labels). */
+inline const char *
+ikOpName(IkOp op)
+{
+    switch (op) {
+      case IkOp::AnnounceSrv: return "AnnounceSrv";
+      case IkOp::CreateVpe: return "CreateVpe";
+      case IkOp::VpeStart: return "VpeStart";
+      case IkOp::VpeWait: return "VpeWait";
+      case IkOp::OpenSess: return "OpenSess";
+      case IkOp::SessExchange: return "SessExchange";
+      case IkOp::DelegateCaps: return "DelegateCaps";
+      default: return "Unknown";
+    }
+}
+
+/** Slot size of the inter-kernel rings (requests and replies). */
+static constexpr uint32_t IK_MSG_SIZE = 512;
+/**
+ * Slots of each kernel's inter-kernel request ring. Deferred requests
+ * (VpeWait, session calls) hold their slot until answered; the per-peer
+ * software credits below keep the sum of in-flight requests under the
+ * ring capacity (3 peers x 8 credits < 32 slots).
+ */
+static constexpr uint32_t IK_SLOTS = 32;
+/** Software credits per peer kernel (requests in flight to one peer). */
+static constexpr uint32_t IK_CREDITS = 8;
+
 } // namespace kif
 } // namespace m3
 

@@ -23,12 +23,20 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
 {
     if (cfg.withFs && cfg.fsInstances == 0)
         fatal("withFs requires at least one fs instance");
+    if (cfg.numKernels == 0)
+        fatal("numKernels must be at least 1");
 
     PlatformSpec spec;
     spec.costs = cfg.costs;
     spec.dramBytes = cfg.dramBytes;
-    uint32_t generalPes = 1 /*kernel*/ + fsCount() + cfg.appPes;
+    uint32_t generalPes = cfg.numKernels + fsCount() + cfg.appPes;
     spec.pes.assign(generalPes, PeDesc::general());
+    // Multi-kernel machines carry two extra rings (inter-kernel request
+    // and reply) in each kernel's scratchpad; give kernel PEs room for
+    // them. Single-kernel machines keep the classic SPM layout.
+    if (cfg.numKernels > 1)
+        for (uint32_t k = 0; k < cfg.numKernels; ++k)
+            spec.pes[k].spmDataSize = 2 * SPM_DATA_SIZE;
     for (const PeDesc &d : cfg.extraPes)
         spec.pes.push_back(d);
 
@@ -46,12 +54,46 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
         dramAllocStart += images.back()->sizeBytes();
     }
 
-    kern = std::make_unique<kernel::Kernel>(*plat, kernelPe(),
-                                            dramAllocStart);
-    if (cfg.watchdogPeriod)
-        kern->enableWatchdog(cfg.watchdogDeadline, cfg.watchdogPeriod);
-    if (cfg.multiplexSlice)
-        kern->enableMultiplexing(cfg.multiplexSlice);
+    // One kernel per domain. Each gets its own slice of the dynamic DRAM
+    // region; a single kernel keeps the whole region, exactly as before.
+    const uint32_t K = cfg.numKernels;
+    for (uint32_t k = 0; k < K; ++k) {
+        goff_t start = dramAllocStart;
+        goff_t end = 0;
+        if (K > 1) {
+            goff_t usable = plat->dram().size() - dramAllocStart;
+            goff_t share = (usable / K) & ~goff_t{63};
+            start = dramAllocStart + k * share;
+            end = k == K - 1 ? plat->dram().size() : start + share;
+        }
+        kerns.push_back(std::make_unique<kernel::Kernel>(
+            *plat, kernelPe(k), start, end));
+    }
+    if (K > 1) {
+        std::vector<peid_t> kernelPes;
+        for (uint32_t k = 0; k < K; ++k)
+            kernelPes.push_back(kernelPe(k));
+        std::vector<uint32_t> ownedCounts(K, 0);
+        for (peid_t p = K; p < plat->peCount(); ++p)
+            ownedCounts[domainOfPe(p)]++;
+        for (uint32_t k = 0; k < K; ++k) {
+            kernel::Kernel::DomainCfg dc;
+            dc.id = k;
+            dc.count = K;
+            dc.kernelPes = kernelPes;
+            dc.ownedPes.assign(plat->peCount(), false);
+            for (peid_t p = K; p < plat->peCount(); ++p)
+                dc.ownedPes[p] = domainOfPe(p) == k;
+            dc.ownedCounts = ownedCounts;
+            kerns[k]->setDomain(std::move(dc));
+        }
+    }
+    for (auto &k : kerns) {
+        if (cfg.watchdogPeriod)
+            k->enableWatchdog(cfg.watchdogDeadline, cfg.watchdogPeriod);
+        if (cfg.multiplexSlice)
+            k->enableMultiplexing(cfg.multiplexSlice);
+    }
 
     for (uint32_t k = 0; k < fsCount(); ++k) {
         m3fs::ServerConfig srvCfg = cfg.fsCfg;
@@ -72,7 +114,7 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
             int rc = m3fs::serverMain(srvCfg);
             env.vpeExit(rc);
         };
-        kern->addBootProgram(std::move(fsProg));
+        kernelOf(fsPe(k)).addBootProgram(std::move(fsProg));
     }
 
     if (trace::Tracer::on) {
@@ -86,6 +128,14 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
                                      "noc n" + std::to_string(n));
         }
         trace::Tracer::trackName(trace::nocTrack(plat->dramNode()), "dram");
+        // Multi-kernel machines label each kernel's track; single-kernel
+        // machines keep the seed's track names byte-for-byte.
+        if (cfg.numKernels > 1) {
+            for (uint32_t k = 0; k < cfg.numKernels; ++k)
+                trace::Tracer::trackName(
+                    kernelPe(k), "kernel" + std::to_string(k) + " (pe" +
+                                     std::to_string(kernelPe(k)) + ")");
+        }
     }
 }
 
@@ -108,7 +158,24 @@ M3System::exportMetrics()
     Metrics::counter("sim.callback_heap_fallbacks")
         .add(ss.callbackHeapFallbacks);
 
-    const kernel::KernelStats &ks = kern->stats();
+    // Aggregate across all kernel instances so the "kernel.*" schema is
+    // the same regardless of numKernels.
+    kernel::KernelStats ks;
+    for (const auto &k : kerns) {
+        const kernel::KernelStats &s = k->stats();
+        ks.syscalls += s.syscalls;
+        ks.vpesCreated += s.vpesCreated;
+        ks.capsDelegated += s.capsDelegated;
+        ks.capsRevoked += s.capsRevoked;
+        ks.serviceRequests += s.serviceRequests;
+        ks.heartbeats += s.heartbeats;
+        ks.watchdogReclaims += s.watchdogReclaims;
+        ks.ctxSwitches += s.ctxSwitches;
+        ks.yields += s.yields;
+        ks.ikRequestsSent += s.ikRequestsSent;
+        ks.ikRequestsHandled += s.ikRequestsHandled;
+        ks.remoteVpesPlaced += s.remoteVpesPlaced;
+    }
     Metrics::counter("kernel.syscalls").add(ks.syscalls);
     Metrics::counter("kernel.vpes_created").add(ks.vpesCreated);
     Metrics::counter("kernel.caps_delegated").add(ks.capsDelegated);
@@ -118,6 +185,27 @@ M3System::exportMetrics()
     Metrics::counter("kernel.watchdog_reclaims").add(ks.watchdogReclaims);
     Metrics::counter("kernel.ctx_switches").add(ks.ctxSwitches);
     Metrics::counter("kernel.yields").add(ks.yields);
+    if (kerns.size() > 1) {
+        // Per-instance breakdown plus the IK totals, only registered on
+        // multi-kernel machines (a single kernel keeps the seed's exact
+        // metric key set).
+        Metrics::counter("kernel.ik_requests_sent").add(ks.ikRequestsSent);
+        Metrics::counter("kernel.ik_requests_handled")
+            .add(ks.ikRequestsHandled);
+        Metrics::counter("kernel.remote_vpes_placed")
+            .add(ks.remoteVpesPlaced);
+        for (size_t k = 0; k < kerns.size(); ++k) {
+            const kernel::KernelStats &s = kerns[k]->stats();
+            std::string p = "kernel.k" + std::to_string(k) + ".";
+            Metrics::counter(p + "syscalls").add(s.syscalls);
+            Metrics::counter(p + "vpes_created").add(s.vpesCreated);
+            Metrics::counter(p + "ik_requests_sent").add(s.ikRequestsSent);
+            Metrics::counter(p + "ik_requests_handled")
+                .add(s.ikRequestsHandled);
+            Metrics::counter(p + "remote_vpes_placed")
+                .add(s.remoteVpesPlaced);
+        }
+    }
 
     DtuStats agg;
     for (peid_t p = 0; p < plat->peCount(); ++p) {
@@ -191,8 +279,9 @@ M3System::runRoot(const std::string &name, std::function<int()> main)
         self->rootAcct = env.fiber.accounting();
         env.vpeExit(rc);
     };
-    kern->addBootProgram(std::move(rootProg));
-    kern->start();
+    kernelOf(rootPe()).addBootProgram(std::move(rootProg));
+    for (auto &k : kerns)
+        k->start();
 }
 
 Accounting
@@ -200,7 +289,8 @@ M3System::appAccounting() const
 {
     Accounting total;
     std::vector<std::string> systemPrefixes;
-    systemPrefixes.push_back("pe" + std::to_string(kernelPe()) + ":");
+    for (uint32_t k = 0; k < cfg.numKernels; ++k)
+        systemPrefixes.push_back("pe" + std::to_string(kernelPe(k)) + ":");
     for (uint32_t k = 0; k < fsCount(); ++k)
         systemPrefixes.push_back("pe" + std::to_string(fsPe(k)) + ":");
     sim.forEachFiber([&](Fiber &f) {
@@ -218,18 +308,32 @@ M3System::printStats() const
 {
     std::printf("==== M3System stats @ cycle %llu ====\n",
                 static_cast<unsigned long long>(sim.curCycle()));
-    const kernel::KernelStats &ks = kern->stats();
-    std::printf("kernel: %llu syscalls, %llu VPEs, %llu caps delegated, "
-                "%llu revoked, %llu service requests\n",
-                static_cast<unsigned long long>(ks.syscalls),
-                static_cast<unsigned long long>(ks.vpesCreated),
-                static_cast<unsigned long long>(ks.capsDelegated),
-                static_cast<unsigned long long>(ks.capsRevoked),
-                static_cast<unsigned long long>(ks.serviceRequests));
-    if (ks.ctxSwitches || ks.yields)
-        std::printf("kernel: %llu ctx switches, %llu yields\n",
-                    static_cast<unsigned long long>(ks.ctxSwitches),
-                    static_cast<unsigned long long>(ks.yields));
+    for (size_t k = 0; k < kerns.size(); ++k) {
+        const kernel::KernelStats &ks = kerns[k]->stats();
+        std::string label =
+            kerns.size() > 1 ? "kernel" + std::to_string(k) : "kernel";
+        const char *name = label.c_str();
+        std::printf("%s: %llu syscalls, %llu VPEs, %llu caps delegated, "
+                    "%llu revoked, %llu service requests\n",
+                    name, static_cast<unsigned long long>(ks.syscalls),
+                    static_cast<unsigned long long>(ks.vpesCreated),
+                    static_cast<unsigned long long>(ks.capsDelegated),
+                    static_cast<unsigned long long>(ks.capsRevoked),
+                    static_cast<unsigned long long>(ks.serviceRequests));
+        if (ks.ctxSwitches || ks.yields)
+            std::printf("%s: %llu ctx switches, %llu yields\n", name,
+                        static_cast<unsigned long long>(ks.ctxSwitches),
+                        static_cast<unsigned long long>(ks.yields));
+        if (ks.ikRequestsSent || ks.ikRequestsHandled)
+            std::printf("%s: %llu ik requests sent, %llu handled, "
+                        "%llu remote VPEs placed\n",
+                        name,
+                        static_cast<unsigned long long>(ks.ikRequestsSent),
+                        static_cast<unsigned long long>(
+                            ks.ikRequestsHandled),
+                        static_cast<unsigned long long>(
+                            ks.remoteVpesPlaced));
+    }
     const NocStats &ns = plat->noc().stats();
     std::printf("noc: %llu packets, %llu payload bytes, "
                 "%llu contention stall cycles\n",

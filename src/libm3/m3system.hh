@@ -27,6 +27,15 @@ struct M3SystemCfg
 {
     /** General-purpose application PEs (beyond kernel and fs PEs). */
     uint32_t appPes = 4;
+    /**
+     * Kernel instances (Sec. 7: multiple kernels as the control-plane
+     * remedy for Fig. 6's syscall bottleneck). Kernel k runs on PE k and
+     * owns every later PE p with (p - numKernels) % numKernels == k;
+     * the kernels cooperate over an inter-kernel DTU protocol (remote
+     * CreateVpe placement, cross-domain sessions). The default of 1 is
+     * the classic single-kernel machine, bit-identical to before.
+     */
+    uint32_t numKernels = 1;
     /** Additional special PEs (accelerators). */
     std::vector<PeDesc> extraPes;
     /** DRAM capacity. */
@@ -89,7 +98,7 @@ class M3System
 
     Simulator &simulator() { return sim; }
     Platform &platform() { return *plat; }
-    kernel::Kernel &kernelInstance() { return *kern; }
+    kernel::Kernel &kernelInstance(uint32_t k = 0) { return *kerns.at(k); }
 
     /** The active fault plan; nullptr when faults are disabled. */
     FaultPlan *faultPlan() { return faults.get(); }
@@ -101,13 +110,22 @@ class M3System
         return k < images.size() ? images[k].get() : nullptr;
     }
 
-    peid_t kernelPe() const { return 0; }
+    peid_t kernelPe(uint32_t k = 0) const { return k; }
+    uint32_t numKernels() const { return cfg.numKernels; }
     uint32_t fsCount() const { return cfg.withFs ? cfg.fsInstances : 0; }
     peid_t fsPe(uint32_t k = 0) const
     {
-        return cfg.withFs ? 1 + k : INVALID_PE;
+        return cfg.withFs ? cfg.numKernels + k : INVALID_PE;
     }
-    peid_t rootPe() const { return 1 + fsCount(); }
+    peid_t rootPe() const { return cfg.numKernels + fsCount(); }
+    /** The kernel domain owning PE @p p (striped across non-kernel PEs). */
+    uint32_t
+    domainOfPe(peid_t p) const
+    {
+        if (p < cfg.numKernels)
+            return p;
+        return (p - cfg.numKernels) % cfg.numKernels;
+    }
 
     /**
      * Install @p main as the root application (a boot program loaded by
@@ -162,7 +180,10 @@ class M3System
     std::unique_ptr<Platform> plat;
     std::unique_ptr<FaultPlan> faults;
     std::vector<std::unique_ptr<m3fs::FsImage>> images;
-    std::unique_ptr<kernel::Kernel> kern;
+    std::vector<std::unique_ptr<kernel::Kernel>> kerns;
+
+    /** The kernel instance owning PE @p p. */
+    kernel::Kernel &kernelOf(peid_t p) { return *kerns.at(domainOfPe(p)); }
 
     bool rootInstalled = false;
     bool rootDone = false;

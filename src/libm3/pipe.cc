@@ -204,13 +204,34 @@ class PipePeerWriter : public File
         }
     }
 
+    /**
+     * Announce EOF, best effort. Teardown must not hang on a dead
+     * reader: unlike write(), which may block indefinitely for ring
+     * space, the destructor bounds every credit wait and gives up
+     * after a few attempts — the EOF is then simply dropped (the
+     * reader is gone; nobody would see it anyway).
+     */
     void
     sendEof()
     {
         ScopedCategory os(env.acct(), Category::Os);
-        Marshaller m = sgate.ostream();
-        m << PipeMsg::Eof;
-        sendWithCredits(m);
+        constexpr int EOF_ATTEMPTS = 4;
+        constexpr Cycles EOF_WAIT = 20000;
+        for (int attempt = 0; attempt < EOF_ATTEMPTS; ++attempt) {
+            drainAcks();
+            Marshaller m = sgate.ostream();
+            m << PipeMsg::Eof;
+            Error e = sgate.send(m, &replyGate);
+            if (e != Error::NoCredits)
+                return;  // sent, or a hard error teardown ignores
+            // Out of credits: wait a bounded time for an ack.
+            Cycles t0 = env.platform.simulator().curCycle();
+            env.dtu.waitForMsg(replyGate.boundEp(), EOF_WAIT);
+            env.acct().chargeTo(Category::Idle,
+                                env.platform.simulator().curCycle() -
+                                    t0);
+        }
+        drainAcks();
     }
 
     Env &env;

@@ -7,12 +7,18 @@
  * server performs after each request. Write-through would turn every
  * bitmap bit into a DTU round trip and serialise the whole service
  * behind meta-data updates.
+ *
+ * Lookup is O(1): a block-number index plus an intrusive LRU list
+ * replace the former linear scan, with the same allocation and
+ * eviction order (buffers fill in index order, then the least
+ * recently used one is evicted).
  */
 
 #ifndef M3_M3FS_BLOCK_CACHE_HH
 #define M3_M3FS_BLOCK_CACHE_HH
 
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
 #include "libm3/gates.hh"
@@ -30,6 +36,9 @@ struct BlockCacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t writeBacks = 0;
+    /** Misses whose DMA fill was elided: the pending write covered the
+     *  whole block, so fetching the old content would be wasted. */
+    uint64_t fillsSkipped = 0;
 };
 
 /** An LRU block cache implementing BlockAccess over a MemGate. */
@@ -46,6 +55,7 @@ class BlockCache : public BlockAccess
     {
         for (Buf &b : bufs)
             b.data.resize(blockSize);
+        index.reserve(numBufs);
     }
 
     void
@@ -68,9 +78,13 @@ class BlockCache : public BlockAccess
     {
         const uint8_t *in = static_cast<const uint8_t *>(src);
         while (len > 0) {
-            Buf &b = getBlock(static_cast<blockno_t>(off / blockSize));
             size_t boff = off % blockSize;
             size_t chunk = std::min<size_t>(len, blockSize - boff);
+            // A write covering the whole block makes the old content
+            // dead: skip the DMA fill on a miss.
+            bool whole = boff == 0 && chunk == blockSize;
+            Buf &b = getBlock(static_cast<blockno_t>(off / blockSize),
+                              whole);
             std::memcpy(b.data.data() + boff, in, chunk);
             b.dirty = true;
             in += chunk;
@@ -91,11 +105,14 @@ class BlockCache : public BlockAccess
     const BlockCacheStats &stats() const { return cacheStats; }
 
   private:
+    static constexpr uint32_t NIL = ~0u;
+
     struct Buf
     {
         blockno_t no = 0xffffffff;
         std::vector<uint8_t> data;
-        uint64_t lastUse = 0;
+        uint32_t prev = NIL;  //!< towards MRU
+        uint32_t next = NIL;  //!< towards LRU
         bool valid = false;
         bool dirty = false;
     };
@@ -114,23 +131,54 @@ class BlockCache : public BlockAccess
         }
     }
 
-    Buf &
-    getBlock(blockno_t no)
+    void
+    unlink(uint32_t i)
     {
-        Buf *victim = &bufs[0];
-        for (Buf &b : bufs) {
-            if (b.valid && b.no == no) {
-                b.lastUse = ++useCounter;
-                cacheStats.hits++;
-                if (M3_METRICS_ON) {
-                    static trace::Counter &h =
-                        trace::Metrics::counter("m3fs.cache.hits");
-                    h.inc();
-                }
-                return b;
+        Buf &b = bufs[i];
+        if (b.prev != NIL)
+            bufs[b.prev].next = b.next;
+        else
+            lruHead = b.next;
+        if (b.next != NIL)
+            bufs[b.next].prev = b.prev;
+        else
+            lruTail = b.prev;
+        b.prev = b.next = NIL;
+    }
+
+    void
+    pushFront(uint32_t i)
+    {
+        Buf &b = bufs[i];
+        b.prev = NIL;
+        b.next = lruHead;
+        if (lruHead != NIL)
+            bufs[lruHead].prev = i;
+        lruHead = i;
+        if (lruTail == NIL)
+            lruTail = i;
+    }
+
+    /**
+     * Locate (or load) block @p no. With @p fullOverwrite the caller
+     * promises to rewrite the entire block, so a miss skips the DMA
+     * fetch of the stale content.
+     */
+    Buf &
+    getBlock(blockno_t no, bool fullOverwrite = false)
+    {
+        auto it = index.find(no);
+        if (it != index.end()) {
+            uint32_t i = it->second;
+            unlink(i);
+            pushFront(i);
+            cacheStats.hits++;
+            if (M3_METRICS_ON) {
+                static trace::Counter &h =
+                    trace::Metrics::counter("m3fs.cache.hits");
+                h.inc();
             }
-            if (!b.valid || b.lastUse < victim->lastUse)
-                victim = &b;
+            return bufs[i];
         }
         cacheStats.misses++;
         if (M3_METRICS_ON) {
@@ -138,21 +186,44 @@ class BlockCache : public BlockAccess
                 trace::Metrics::counter("m3fs.cache.misses");
             m.inc();
         }
-        if (victim->valid && victim->dirty)
-            flush(*victim);
-        victim->no = no;
-        victim->valid = true;
-        victim->dirty = false;
-        victim->lastUse = ++useCounter;
-        mem.read(victim->data.data(), blockSize,
-                 static_cast<goff_t>(no) * blockSize);
-        return *victim;
+        uint32_t i;
+        if (usedBufs < bufs.size()) {
+            i = usedBufs++;
+        } else {
+            i = lruTail;
+            Buf &victim = bufs[i];
+            if (victim.dirty)
+                flush(victim);
+            index.erase(victim.no);
+            unlink(i);
+        }
+        Buf &b = bufs[i];
+        b.no = no;
+        b.valid = true;
+        b.dirty = false;
+        index.emplace(no, i);
+        pushFront(i);
+        if (fullOverwrite) {
+            cacheStats.fillsSkipped++;
+            if (M3_METRICS_ON) {
+                static trace::Counter &fs =
+                    trace::Metrics::counter("m3fs.cache.fills_skipped");
+                fs.inc();
+            }
+        } else {
+            mem.read(b.data.data(), blockSize,
+                     static_cast<goff_t>(no) * blockSize);
+        }
+        return b;
     }
 
     MemGate &mem;
     uint32_t blockSize;
     std::vector<Buf> bufs;
-    uint64_t useCounter = 0;
+    std::unordered_map<blockno_t, uint32_t> index;
+    uint32_t usedBufs = 0;
+    uint32_t lruHead = NIL;
+    uint32_t lruTail = NIL;
     BlockCacheStats cacheStats;
 };
 

@@ -23,6 +23,7 @@ makeM3Cfg(const FsSetup &setup, const M3RunOpts &opts)
 {
     M3SystemCfg cfg;
     cfg.appPes = opts.appPes;
+    cfg.numKernels = opts.numKernels;
     cfg.costs = opts.costs;
     cfg.fsCfg.appendBlocks = opts.fsAppendBlocks;
     cfg.fsCfg.backgroundZero = opts.fsBackgroundZero;
@@ -222,6 +223,7 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
     cfg.multiplexSlice = opts.multiplexSlice;
     cfg.costs = opts.costs;
     cfg.fsInstances = opts.fsInstances;
+    cfg.numKernels = opts.numKernels;
     cfg.dramBytes = 256 * MiB;  // images + one pipe ring per instance
     // Sec. 5.7: DRAM transfers become spins of equal time.
     cfg.costs.spinDataTransfers = true;
@@ -256,17 +258,21 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
             if (vpe->err() != Error::None)
                 return 101;
             std::string srv = M3SystemCfg::fsName(i % fsN);
+            const bool timeSetup = opts.timeSetup;
             if (isCatTr) {
                 CatTrParams instParams;
                 instParams.root = "/i" + std::to_string(i);
-                vpe->run([i, &durations, &rcs, instParams, srv] {
+                vpe->run([i, &durations, &rcs, instParams, srv,
+                          timeSetup] {
                     Env &ienv = Env::cur();
+                    Cycles t0 = ienv.platform.simulator().curCycle();
                     if (m3fs::M3fsSession::mount(ienv, "/", srv) !=
                         Error::None) {
                         rcs[i] = 200;
                         return 1;
                     }
-                    Cycles t0 = ienv.platform.simulator().curCycle();
+                    if (!timeSetup)
+                        t0 = ienv.platform.simulator().curCycle();
                     rcs[i] = catTrM3(ienv, instParams);
                     durations[i] =
                         ienv.platform.simulator().curCycle() - t0;
@@ -274,14 +280,16 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
                 });
             } else {
                 const Trace *trace = &perInstance[i].trace;
-                vpe->run([i, &durations, &rcs, trace, srv] {
+                vpe->run([i, &durations, &rcs, trace, srv, timeSetup] {
                     Env &ienv = Env::cur();
+                    Cycles t0 = ienv.platform.simulator().curCycle();
                     if (m3fs::M3fsSession::mount(ienv, "/", srv) !=
                         Error::None) {
                         rcs[i] = 200;
                         return 1;
                     }
-                    Cycles t0 = ienv.platform.simulator().curCycle();
+                    if (!timeSetup)
+                        t0 = ienv.platform.simulator().curCycle();
                     rcs[i] = replayTraceM3(ienv, *trace);
                     durations[i] =
                         ienv.platform.simulator().curCycle() - t0;

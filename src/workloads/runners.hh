@@ -44,6 +44,8 @@ struct M3RunOpts
     uint32_t appPes = 4;
     /** m3fs instances (Sec. 7 future work; sharded by client). */
     uint32_t fsInstances = 1;
+    /** Kernel instances (Sec. 7: sharding the control plane). */
+    uint32_t numKernels = 1;
     uint32_t fsAppendBlocks = 256;  //!< m3fs allocation granularity
     bool fsBackgroundZero = true;
     uint32_t fsBlocksPerExtent = 0xffffffff;  //!< image fragmentation
@@ -57,6 +59,14 @@ struct M3RunOpts
     uint32_t maxAppPes = 0;
     /** Kernel scheduling quantum for time multiplexing (0 = off). */
     Cycles multiplexSlice = 0;
+    /**
+     * Scalability runs: start each instance's timer at VPE entry rather
+     * than after its m3fs mount, so session setup — the kernel-mediated
+     * phase (OpenSess, capability exchanges) — counts toward the
+     * per-instance time. The multi-kernel table uses this; the classic
+     * tables keep the paper's steady-state-only window.
+     */
+    bool timeSetup = false;
 };
 
 /** Extra knobs for Linux runs. */

@@ -11,6 +11,7 @@
 #include "base/random.hh"
 #include "libm3/cached_mem.hh"
 #include "libm3/m3system.hh"
+#include "m3fs/block_cache.hh"
 
 namespace m3
 {
@@ -182,6 +183,157 @@ TEST(CachedMem, RevocationStillIsolates)
         env.revoke(gate.capSel(), true);
         Error e = cache.read(128 * 64, &b, 1);  // different line
         return e == Error::InvalidEp ? 0 : 2;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+// ---------------------------------------------------------------------
+// The m3fs server's block cache.
+// ---------------------------------------------------------------------
+
+TEST(BlockCache, FullBlockOverwriteSkipsTheFill)
+{
+    M3System sys(bareCfg());
+    m3fs::BlockCacheStats stats;
+    Cycles fullDur = 0, partialDur = 0;
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        constexpr uint32_t BS = 1024;
+        MemGate gate = MemGate::create(env, 64 * KiB, MEM_RW);
+        m3fs::BlockCache cache(gate, BS, 4);
+        std::vector<uint8_t> block(BS, 0xAB);
+
+        // A miss covered entirely by the write: no DMA fetch.
+        Cycles t0 = env.platform.simulator().curCycle();
+        cache.write(0, block.data(), BS);
+        fullDur = env.platform.simulator().curCycle() - t0;
+
+        // A partial write to an uncached block must fetch it first.
+        t0 = env.platform.simulator().curCycle();
+        cache.write(BS + 16, block.data(), 64);
+        partialDur = env.platform.simulator().curCycle() - t0;
+
+        cache.flushAll();
+        stats = cache.stats();
+        // The skipped fill must not have corrupted the data.
+        std::vector<uint8_t> back(BS);
+        gate.read(back.data(), BS, 0);
+        return back == block ? 0 : 1;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.fillsSkipped, 1u);
+    // The cycle pin on the saved transfer: a full-block overwrite miss
+    // costs strictly less than a partial-write miss, which pays the
+    // DMA fetch of the old content.
+    EXPECT_LT(fullDur, partialDur);
+}
+
+TEST(BlockCache, PartialWritePreservesSurroundingBytes)
+{
+    M3System sys(bareCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        constexpr uint32_t BS = 1024;
+        MemGate gate = MemGate::create(env, 64 * KiB, MEM_RW);
+        // Pre-existing content the cache has never seen.
+        std::vector<uint8_t> old(BS);
+        for (uint32_t i = 0; i < BS; ++i)
+            old[i] = static_cast<uint8_t>(i * 7);
+        gate.write(old.data(), BS, 3 * BS);
+
+        m3fs::BlockCache cache(gate, BS, 4);
+        std::vector<uint8_t> patch(100, 0xEE);
+        cache.write(3 * BS + 50, patch.data(), patch.size());
+        if (cache.stats().fillsSkipped != 0)
+            return 1;
+        cache.flushAll();
+
+        std::vector<uint8_t> back(BS);
+        gate.read(back.data(), BS, 3 * BS);
+        for (uint32_t i = 0; i < BS; ++i) {
+            uint8_t want = (i >= 50 && i < 150) ? 0xEE : old[i];
+            if (back[i] != want)
+                return 2;
+        }
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+}
+
+TEST(BlockCache, IndexedLruMatchesReferenceModel)
+{
+    M3System sys(bareCfg());
+    m3fs::BlockCacheStats stats;
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        constexpr uint32_t BS = 512;
+        constexpr size_t REGION = 32 * KiB;
+        MemGate gate = MemGate::create(env, REGION, MEM_RW);
+        // Small cache over many blocks: plenty of evictions.
+        m3fs::BlockCache cache(gate, BS, 6);
+        std::vector<uint8_t> ref(REGION, 0);
+        Random rng(99);
+        for (int op = 0; op < 1500; ++op) {
+            size_t addr = rng.nextBounded(REGION - 64);
+            size_t len = 1 + rng.nextBounded(64);
+            if (rng.nextBounded(2)) {
+                uint8_t val = static_cast<uint8_t>(rng.next());
+                std::vector<uint8_t> buf(len, val);
+                cache.write(addr, buf.data(), len);
+                std::fill_n(ref.begin() + addr, len, val);
+            } else {
+                std::vector<uint8_t> buf(len);
+                cache.read(addr, buf.data(), len);
+                for (size_t i = 0; i < len; ++i)
+                    if (buf[i] != ref[addr + i])
+                        return 1;
+            }
+        }
+        cache.flushAll();
+        stats = cache.stats();
+        std::vector<uint8_t> all(REGION);
+        gate.read(all.data(), REGION, 0);
+        return all == ref ? 0 : 2;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.misses, 6u);
+    EXPECT_GT(stats.writeBacks, 0u);
+}
+
+TEST(BlockCache, EvictsTheLeastRecentlyUsedBlock)
+{
+    M3System sys(bareCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        constexpr uint32_t BS = 512;
+        MemGate gate = MemGate::create(env, 32 * KiB, MEM_RW);
+        m3fs::BlockCache cache(gate, BS, 4);
+        uint8_t b = 0;
+        // Fill with blocks 0..3, then touch 0 again: 1 is now LRU.
+        for (m3fs::blockno_t no = 0; no < 4; ++no)
+            cache.read(static_cast<goff_t>(no) * BS, &b, 1);
+        cache.read(0, &b, 1);
+        uint64_t misses = cache.stats().misses;
+        // Block 4 evicts block 1.
+        cache.read(goff_t{4} * BS, &b, 1);
+        if (cache.stats().misses != misses + 1)
+            return 1;
+        // 0, 2, 3 and 4 are still resident...
+        cache.read(0, &b, 1);
+        cache.read(goff_t{2} * BS, &b, 1);
+        cache.read(goff_t{3} * BS, &b, 1);
+        cache.read(goff_t{4} * BS, &b, 1);
+        if (cache.stats().misses != misses + 1)
+            return 2;
+        // ...and block 1 is not.
+        cache.read(goff_t{1} * BS, &b, 1);
+        return cache.stats().misses == misses + 2 ? 0 : 3;
     });
     ASSERT_TRUE(sys.simulate());
     EXPECT_EQ(sys.rootExitCode(), 0);

@@ -10,6 +10,8 @@
 
 #include <tuple>
 
+#include "base/random.hh"
+#include "libm3/gates.hh"
 #include "libm3/m3system.hh"
 #include "libm3/vpe.hh"
 #include "m3fs/client.hh"
@@ -159,6 +161,119 @@ TEST(Determinism, MultiplexedTraceIsByteIdentical)
     std::string b = traced();
     ASSERT_FALSE(a.empty());
     EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, SingleKernelMatchesSeedPins)
+{
+    // Multi-kernel support is strictly opt-in: the default machine must
+    // take exactly the classic code paths. These pins were captured by
+    // running this workload on the pre-multi-kernel tree — wall cycles
+    // and the serialized trace (size + djb2 hash) matched bit for bit.
+    trace::Tracer::enable(1 << 16);
+    trace::Tracer::reset();
+    Cycles wall = 0;
+    std::string json;
+    {
+        M3SystemCfg cfg;
+        cfg.appPes = 3;
+        cfg.withFs = false;
+        M3System sys(std::move(cfg));
+        sys.runRoot("root", [&] {
+            Env &env = Env::cur();
+            VPE a(env, "a"), b(env, "b");
+            if (a.err() != Error::None || b.err() != Error::None)
+                return 1;
+            a.run([] { Env::cur().compute(120000); return 0; });
+            b.run([] { Env::cur().compute(90000); return 0; });
+            return a.wait() + b.wait();
+        });
+        ASSERT_TRUE(sys.simulate());
+        ASSERT_EQ(sys.rootExitCode(), 0);
+        wall = sys.now();
+        json = trace::Tracer::toJson();
+    }
+    trace::Tracer::disable();
+    uint64_t h = 5381;
+    for (char c : json)
+        h = h * 33 + static_cast<uint8_t>(c);
+    EXPECT_EQ(wall, 125528u);
+    EXPECT_EQ(json.size(), 22039u);
+    EXPECT_EQ(h, 0x644597d5ae523cf2ull);
+}
+
+TEST(Determinism, MultiKernelScalabilityReproduces)
+{
+    // Sharded control plane: remote placement, cross-domain session
+    // opens and the inter-kernel rings must replay bit-identically.
+    M3RunOpts opts;
+    opts.numKernels = 2;
+    opts.fsInstances = 2;
+    ScalabilityResult a = runM3Scalability("tar", 4, opts);
+    ScalabilityResult b = runM3Scalability("tar", 4, opts);
+    ASSERT_EQ(a.rc, 0);
+    ASSERT_EQ(b.rc, 0);
+    EXPECT_EQ(a.instances, b.instances);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Determinism, MultiKernelRandomWorkloadPins)
+{
+    // Seeded random workloads on a two-kernel machine: cycle count and
+    // the serialized trace must be byte-identical across runs. The
+    // children's compute amounts and message mix come from the seed;
+    // one child is always placed in the peer kernel's domain.
+    auto traced = [](uint64_t seed) {
+        trace::Tracer::enable(1 << 16);
+        trace::Tracer::reset();
+        M3SystemCfg cfg;
+        cfg.numKernels = 2;
+        cfg.appPes = 3;
+        cfg.withFs = false;
+        Cycles wall = 0;
+        std::string json;
+        {
+            M3System sys(cfg);
+            sys.runRoot("root", [&, seed] {
+                Env &env = Env::cur();
+                Random rng(seed * 131 + 7);
+                RecvGate rg(env, 8, 128);
+                VPE a(env, "a"), b(env, "b");
+                if (a.err() != Error::None || b.err() != Error::None)
+                    return 1;
+                for (VPE *v : {&a, &b}) {
+                    SendGate sg = SendGate::create(env, rg, 1, 2);
+                    if (v->delegate(sg.capSel(), 1, 40) != Error::None)
+                        return 2;
+                    Cycles amount = rng.nextRange(20000, 120000);
+                    v->run([amount] {
+                        Env &cenv = Env::cur();
+                        cenv.compute(amount);
+                        SendGate csg(cenv, 40, 128, true);
+                        Marshaller m = csg.ostream();
+                        m << uint64_t{amount};
+                        return csg.send(m) == Error::None ? 0 : 1;
+                    });
+                }
+                for (int i = 0; i < 2; ++i)
+                    rg.receive().ack();
+                return a.wait() + b.wait();
+            });
+            if (!sys.simulate() || sys.rootExitCode() != 0)
+                return std::make_pair(Cycles{0}, std::string());
+            wall = sys.now();
+            json = trace::Tracer::toJson();
+        }
+        trace::Tracer::disable();
+        return std::make_pair(wall, json);
+    };
+    for (uint64_t seed : {3u, 9u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto a = traced(seed);
+        auto b = traced(seed);
+        ASSERT_NE(a.first, 0u);
+        EXPECT_EQ(a.first, b.first);
+        EXPECT_EQ(a.second, b.second);
+    }
 }
 
 } // anonymous namespace

@@ -255,5 +255,43 @@ TEST(Invariants, FaultedWorkloads)
     }
 }
 
+TEST(Invariants, MultiKernelWorkloads)
+{
+    // 16 seeds on a two-kernel machine: the root's domain is too small
+    // for all children, so placement spills across the kernel boundary
+    // and every delegated send gate crosses domains via the
+    // inter-kernel protocol. All conservation laws must still be exact
+    // (IK requests are ordinary DTU messages).
+    for (uint64_t seed = 1; seed <= 16; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Random rng(seed ^ 0x3eu);
+        WorkloadParams p;
+        p.seed = seed;
+        p.spares = static_cast<uint32_t>(rng.nextRange(2, 4));
+        p.vpes = p.spares;  // one VPE per PE, across both domains
+
+        M3SystemCfg cfg;
+        cfg.numKernels = 2;
+        cfg.appPes = 1 + p.spares;
+        cfg.withFs = false;
+        M3System sys(cfg);
+        runRandomWorkload(p, sys);
+
+        checkCommonInvariants(sys);
+        // (c) exact message conservation, inter-kernel traffic included.
+        Totals t = dtuTotals(sys);
+        EXPECT_EQ(t.sent, t.received + t.dropped);
+        // The kernels actually talked to each other: the root's domain
+        // owns fewer free PEs than there are children.
+        uint64_t ik = 0, placed = 0;
+        for (uint32_t k = 0; k < sys.numKernels(); ++k) {
+            ik += sys.kernelInstance(k).stats().ikRequestsHandled;
+            placed += sys.kernelInstance(k).stats().remoteVpesPlaced;
+        }
+        EXPECT_GT(ik, 0u);
+        EXPECT_GT(placed, 0u);
+    }
+}
+
 } // anonymous namespace
 } // namespace m3

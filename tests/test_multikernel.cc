@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Multi-kernel machines (Sec. 7: sharding the control plane): booting
+ * with several kernel instances, remote VPE placement when the local
+ * domain runs out of PEs, cross-domain sessions (a client in one kernel
+ * domain mounting an m3fs served in another) and cross-domain
+ * capability delegation over the inter-kernel protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernel/kif.hh"
+#include "libm3/gates.hh"
+#include "libm3/m3system.hh"
+#include "libm3/vpe.hh"
+#include "m3fs/client.hh"
+
+namespace m3
+{
+namespace
+{
+
+/**
+ * Two kernels, one fs, three app PEs. Layout: PE0/PE1 kernels, PE2 fs
+ * (domain 0), PE3 root (domain 1), PE4 (domain 0), PE5 (domain 1). The
+ * root's domain owns exactly one free PE, so the second child it
+ * creates must be placed remotely in domain 0.
+ */
+M3SystemCfg
+twoKernelCfg()
+{
+    M3SystemCfg cfg;
+    cfg.numKernels = 2;
+    cfg.appPes = 3;
+    cfg.fsSpec.dirs = {"/data"};
+    cfg.fsSpec.totalBlocks = 16384;
+    return cfg;
+}
+
+TEST(MultiKernel, BootsAndCrossDomainMountWorks)
+{
+    // Root lives in domain 1, m3fs in domain 0: mounting "/" already
+    // exercises the cross-domain OpenSess/SessExchange path.
+    M3System sys(twoKernelCfg());
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        if (m3fs::M3fsSession::mount(env, "/") != Error::None)
+            return 1;
+        Error e = Error::None;
+        auto data = m3fs::FsImage::patternData(9000, 7);
+        {
+            auto f = env.vfs().open("/data/f", FILE_W | FILE_CREATE, e);
+            if (!f)
+                return 2;
+            if (f->write(data.data(), data.size()) !=
+                static_cast<ssize_t>(data.size()))
+                return 3;
+        }
+        auto f = env.vfs().open("/data/f", FILE_R, e);
+        if (!f)
+            return 4;
+        std::vector<uint8_t> back(data.size());
+        if (f->read(back.data(), back.size()) !=
+            static_cast<ssize_t>(back.size()))
+            return 5;
+        return back == data ? 0 : 6;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    // The session was obtained across the kernel boundary.
+    EXPECT_GT(sys.kernelInstance(1).stats().ikRequestsSent, 0u);
+    EXPECT_GT(sys.kernelInstance(0).stats().ikRequestsHandled, 0u);
+    std::string report;
+    EXPECT_TRUE(sys.fsImage()->core().check(report)) << report;
+}
+
+TEST(MultiKernel, RemotePlacementAndExitPropagation)
+{
+    M3System sys(twoKernelCfg());
+    uint32_t rootDomain = sys.domainOfPe(sys.rootPe());
+    std::vector<vpeid_t> childIds;
+    std::vector<peid_t> childPes;
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        // Two children on a domain owning one free PE: the second must
+        // land in the peer domain, and both exit codes must come back.
+        VPE a(env, "a"), b(env, "b");
+        if (a.err() != Error::None || b.err() != Error::None)
+            return 1;
+        childIds = {a.id(), b.id()};
+        childPes = {a.peId(), b.peId()};
+        a.run([] { return 41; });
+        b.run([] { return 42; });
+        if (a.wait() != 41)
+            return 2;
+        if (b.wait() != 42)
+            return 3;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    ASSERT_EQ(sys.rootExitCode(), 0);
+    ASSERT_EQ(childIds.size(), 2u);
+    // Exactly one child was placed remotely (domain-tagged VPE ids).
+    uint32_t remote = 0;
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(kif::domainOfVpe(childIds[i]),
+                  sys.domainOfPe(childPes[i]));
+        if (kif::domainOfVpe(childIds[i]) != rootDomain)
+            ++remote;
+    }
+    EXPECT_EQ(remote, 1u);
+    uint32_t peerDomain = 1 - rootDomain;
+    EXPECT_EQ(sys.kernelInstance(peerDomain).stats().remoteVpesPlaced, 1u);
+}
+
+TEST(MultiKernel, CrossDomainDelegatedSendGateWorks)
+{
+    M3SystemCfg cfg = twoKernelCfg();
+    cfg.withFs = false;  // PE1..: root PE2 (d0), then PE3 (d1), PE4 (d0)
+    M3System sys(std::move(cfg));
+    uint32_t rootDomain = sys.domainOfPe(sys.rootPe());
+    uint32_t remoteChildren = 0;
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        RecvGate rg(env, 4, 128);
+        SendGate sg = SendGate::create(env, rg, 0x5151, 2);
+        // Fill the local domain first so the second child goes remote;
+        // delegate the send gate to both and collect both messages.
+        VPE a(env, "a"), b(env, "b");
+        if (a.err() != Error::None || b.err() != Error::None)
+            return 1;
+        if (kif::domainOfVpe(b.id()) == kif::domainOfVpe(a.id()))
+            return 2;  // expected one local + one remote placement
+        for (VPE *v : {&a, &b})
+            if (v->delegate(sg.capSel(), 1, 40) != Error::None)
+                return 3;
+        auto body = [] {
+            Env &cenv = Env::cur();
+            SendGate csg(cenv, 40, 128, true);
+            Marshaller m = csg.ostream();
+            m << uint64_t{cenv.vpeId};
+            return csg.send(m) == Error::None ? 0 : 1;
+        };
+        a.run(body);
+        b.run(body);
+        std::set<uint64_t> got;
+        for (int i = 0; i < 2; ++i) {
+            GateIStream is = rg.receive();
+            if (is.label() != 0x5151)
+                return 4;
+            got.insert(is.pull<uint64_t>());
+        }
+        if (a.wait() != 0 || b.wait() != 0)
+            return 5;
+        return got == std::set<uint64_t>{a.id(), b.id()} ? 0 : 6;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    uint32_t peerDomain = 1 - rootDomain;
+    remoteChildren =
+        sys.kernelInstance(peerDomain).stats().remoteVpesPlaced;
+    EXPECT_EQ(remoteChildren, 1u);
+}
+
+TEST(MultiKernel, FourKernelsManyChildren)
+{
+    // A larger machine: 4 kernels, 8 app PEs, children spread across
+    // every domain with exit codes intact.
+    M3SystemCfg cfg;
+    cfg.numKernels = 4;
+    cfg.appPes = 8;
+    cfg.withFs = false;
+    M3System sys(std::move(cfg));
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        std::vector<std::unique_ptr<VPE>> vpes;
+        // Create every child before starting any, so each holds its PE
+        // and placement is forced to spill into the peer domains.
+        for (int i = 0; i < 7; ++i) {
+            auto v = std::make_unique<VPE>(env,
+                                           "c" + std::to_string(i));
+            if (v->err() != Error::None)
+                return 1 + i;
+            vpes.push_back(std::move(v));
+        }
+        for (int i = 0; i < 7; ++i)
+            vpes[i]->run([i] { return 10 + i; });
+        for (int i = 0; i < 7; ++i)
+            if (vpes[i]->wait() != 10 + i)
+                return 100 + i;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    uint64_t placed = 0;
+    for (uint32_t k = 0; k < sys.numKernels(); ++k)
+        placed += sys.kernelInstance(k).stats().remoteVpesPlaced;
+    // Root's domain has one free PE left (root holds the other); the
+    // remaining 6 children are placed remotely.
+    EXPECT_EQ(placed, 6u);
+}
+
+TEST(MultiKernel, SingleKernelMachineHasNoIkTraffic)
+{
+    // numKernels=1 must take exactly the classic paths: no inter-kernel
+    // requests, no remote placements.
+    M3SystemCfg cfg;
+    cfg.appPes = 3;
+    cfg.withFs = false;
+    M3System sys(std::move(cfg));
+    sys.runRoot("t", [&] {
+        Env &env = Env::cur();
+        VPE child(env, "c");
+        if (child.err() != Error::None)
+            return 1;
+        child.run([] { return 7; });
+        return child.wait() == 7 ? 0 : 2;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_EQ(sys.kernelInstance().stats().ikRequestsSent, 0u);
+    EXPECT_EQ(sys.kernelInstance().stats().ikRequestsHandled, 0u);
+    EXPECT_EQ(sys.kernelInstance().stats().remoteVpesPlaced, 0u);
+}
+
+} // anonymous namespace
+} // namespace m3

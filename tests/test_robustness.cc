@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "libm3/m3system.hh"
+#include "libm3/pipe.hh"
 #include "libm3/vpe.hh"
 #include "m3fs/client.hh"
 #include "sim/fault_plan.hh"
@@ -440,6 +441,77 @@ TEST(Robustness, WatchdogReclaimsKilledVpe)
     EXPECT_EQ(sys.kernelInstance().stats().watchdogReclaims, 1u);
     EXPECT_EQ(sys.faultPlan()->stats().peKills, 1u);
     EXPECT_GT(sys.kernelInstance().stats().heartbeats, 100u);
+}
+
+TEST(Robustness, PipeWriterTeardownSurvivesDeadReader)
+{
+    // The reader of a push pipe dies while the writer still holds a
+    // full ring (all credits spent). The writer's destructor announces
+    // EOF best-effort: it must give up after a bounded wait instead of
+    // spinning forever on acknowledgements that can never arrive.
+    M3SystemCfg cfg;
+    cfg.appPes = 3;
+    cfg.withFs = false;
+    // Kernel=0, root=1, reader=2, writer=3. The reader PE dies after
+    // the pipe is set up and the writer runs.
+    cfg.faults.seed = 12;
+    cfg.faults.killPes = {{2, 1000000}};
+    M3System sys(cfg);
+    bool writerDone = false;
+    Cycles teardown = 0;
+    sys.runRoot("root", [&] {
+        Env &env = Env::cur();
+        VPE reader(env, "reader");
+        if (reader.err() != Error::None)
+            return 1;
+        reader.run([&writerDone, &teardown] {
+            Env &renv = Env::cur();
+            constexpr size_t RING = 2048;
+            constexpr uint32_t CHUNKS = 4;
+            Pipe pipe(renv, /*creatorWrites=*/false, RING, CHUNKS);
+            VPE writer(renv, "writer");
+            if (writer.err() != Error::None)
+                return 1;
+            if (pipe.delegateTo(writer) != Error::None)
+                return 2;
+            writer.run([&writerDone, &teardown] {
+                Env &wenv = Env::cur();
+                // Outlive the reader before writing.
+                while (wenv.platform.simulator().curCycle() < 1100000)
+                    wenv.fiber.sleep(10000);
+                {
+                    auto out = pipePeer(wenv, true, PIPE_PEER_SELS, 2048,
+                                        4);
+                    // Fill the ring: all 4 credits spent, no acks ever.
+                    std::vector<uint8_t> buf(512, 0x3C);
+                    for (int i = 0; i < 4; ++i)
+                        if (out->write(buf.data(), buf.size()) != 512)
+                            return 1;
+                    Cycles t0 = wenv.platform.simulator().curCycle();
+                    out.reset();  // ~PipePeerWriter: best-effort EOF
+                    teardown = wenv.platform.simulator().curCycle() - t0;
+                }
+                writerDone = true;
+                return 0;
+            });
+            // The reader never reads; this fiber dies with its PE.
+            for (;;)
+                renv.fiber.sleep(10000);
+            return 0;
+        });
+        // Poll the writer instead of waiting on the dead reader (a
+        // wait on it would hang: the watchdog is off in this test).
+        for (int i = 0; i < 1000 && !writerDone; ++i)
+            env.fiber.sleep(10000);
+        return writerDone ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_TRUE(writerDone);
+    EXPECT_EQ(sys.faultPlan()->stats().peKills, 1u);
+    // Bounded teardown: 4 attempts of 20k cycles plus overhead, far
+    // below the forever the old unbounded retry would have spun.
+    EXPECT_LT(teardown, 200000u);
 }
 
 // ---------------------------------------------------------------------

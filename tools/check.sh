@@ -50,6 +50,27 @@ trap 'rm -rf "$obs"' EXIT
 # compiled in but disabled here, so this doubles as the zero-overhead
 # gate for the observability layer.
 echo "=== simperf smoke (vs BENCH_simperf.json)"
-./build-release/bench/simperf --quick --check BENCH_simperf.json
+# Best-of-3 measurement (still ~50 ms): a single rep is too noisy on a
+# loaded host to hold the 25% tolerance against the recorded baseline.
+./build-release/bench/simperf --reps 3 --check BENCH_simperf.json
+
+# Multi-kernel gate: the sharded-control-plane table of fig6 must keep
+# both verdicts (two kernels remove most of the syscall bottleneck;
+# four strictly beat one per instance). Runs against the release build;
+# the inter-kernel protocol itself is exercised under ASan+UBSan by the
+# suites above (test_multikernel, and Invariants.MultiKernelWorkloads
+# in the -L slow pass).
+echo "=== fig6 multi-kernel verdict"
+./build-release/bench/fig6_scalability --multikernel-only
+
+# Pipe-teardown gate, named explicitly so a test relabel cannot drop
+# it: the writer destructor's bounded-EOF path must survive a dead
+# reader under ASan+UBSan — destructors are where lifetime bugs hide.
+echo "=== pipe teardown robustness (sanitized)"
+# gtest exits 0 when a filter matches nothing, so assert the test ran.
+./build-asan/tests/test_robustness \
+    --gtest_filter='Robustness.PipeWriterTeardownSurvivesDeadReader' \
+    2>&1 | tee "$obs/pipe_teardown.log"
+grep -q '\[  PASSED  \] 1 test' "$obs/pipe_teardown.log"
 
 echo "=== all checks passed"
