@@ -11,11 +11,15 @@
  */
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "bench/common.hh"
+#include "libm3/gates.hh"
 #include "libm3/m3system.hh"
+#include "libm3/vpe.hh"
 #include "m3fs/client.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
@@ -62,6 +66,160 @@ statLoop(M3SystemCfg cfg, Cycles timeout)
     return {sys.now(), drops, sys.rootExitCode()};
 }
 
+// ---------------------------------------------------------------------
+// Rolling-restart drill: drain + kill every compute PE once, staggered,
+// under a fig6-class request workload. Zero lost work, byte-identical
+// application output.
+// ---------------------------------------------------------------------
+
+constexpr uint32_t RR_WORKERS = 4;
+constexpr uint32_t RR_ROUNDS = 10;
+
+struct RollingRun
+{
+    int rc = -1;
+    Cycles wall = 0;
+    uint64_t msgs = 0;
+    uint64_t migrStarted = 0, migrCompleted = 0, migrAborted = 0;
+    uint64_t drains = 0, peKills = 0;
+    uint64_t retries = 0;
+    /** Per-worker streams of (round, value) words, in receive order. */
+    std::map<uint64_t, std::vector<uint64_t>> streams;
+};
+
+RollingRun
+rollingWorkload(bool restart)
+{
+    M3SystemCfg cfg;
+    // Kernel=0, root=1, workers on 2..5, spares on 6..9 that the
+    // evacuations migrate onto.
+    cfg.appPes = 1 + RR_WORKERS + RR_WORKERS;
+    cfg.withFs = false;
+    if (restart) {
+        cfg.migration = true;
+        // Drain each compute PE, then kill it once it is empty — the
+        // order a rolling kernel/firmware upgrade would use.
+        for (uint32_t i = 0; i < RR_WORKERS; ++i) {
+            Cycles drainAt = 100000 + 80000 * i;
+            cfg.drains.push_back({static_cast<peid_t>(2 + i), drainAt});
+            cfg.faults.killPes.push_back({2 + i, drainAt + 50000});
+        }
+    }
+    RollingRun out;
+    trace::Metrics::reset();
+    M3System sys(cfg);
+    sys.runRoot("root", [&out] {
+        Env &env = Env::cur();
+        RecvGate rg(env, 2 * RR_WORKERS * RR_ROUNDS > 32 ? 64 : 32, 256);
+        std::vector<std::unique_ptr<VPE>> workers;
+        for (uint64_t i = 0; i < RR_WORKERS; ++i) {
+            auto v = std::make_unique<VPE>(env, "w" + std::to_string(i));
+            if (v->err() != Error::None)
+                return 1;
+            SendGate sg =
+                SendGate::create(env, rg, i, CREDITS_UNLIMITED);
+            if (v->delegate(sg.capSel(), 1, 40) != Error::None)
+                return 2;
+            Error e = v->run([i] {
+                Env &cenv = Env::cur();
+                SendGate req(cenv, 40, 256, /*finiteCredits=*/false);
+                uint64_t acc = 0x9e3779b97f4a7c15ull * (i + 1);
+                for (uint64_t r = 0; r < RR_ROUNDS; ++r) {
+                    cenv.compute(30000 + 9000 * ((acc >> 8) & 3));
+                    acc = acc * 6364136223846793005ull +
+                          1442695040888963407ull;
+                    Marshaller m = req.ostream();
+                    m << i << r << acc;
+                    if (req.send(m) != Error::None)
+                        return 10;
+                }
+                return 0;
+            });
+            if (e != Error::None)
+                return 3;
+            workers.push_back(std::move(v));
+        }
+        for (uint32_t n = 0; n < RR_WORKERS * RR_ROUNDS; ++n) {
+            GateIStream is = rg.receive();
+            auto l = is.pull<uint64_t>();
+            auto round = is.pull<uint64_t>();
+            auto val = is.pull<uint64_t>();
+            out.streams[l].push_back(round);
+            out.streams[l].push_back(val);
+            out.msgs++;
+            is.ack();
+        }
+        int rc = 0;
+        for (auto &v : workers)
+            rc += v->wait();
+        return rc;
+    });
+    sys.simulate();
+    out.rc = sys.rootExitCode();
+    out.wall = sys.now();
+    const kernel::KernelStats &ks = sys.kernelInstance().stats();
+    out.migrStarted = ks.migrationsStarted;
+    out.migrCompleted = ks.migrationsCompleted;
+    out.migrAborted = ks.migrationsAborted;
+    out.drains = ks.drains;
+    out.peKills = sys.faultPlan() ? sys.faultPlan()->stats().peKills : 0;
+    out.retries = trace::Metrics::counter("gate.retries").value;
+    return out;
+}
+
+bool
+rollingRestartDrill()
+{
+    // Metrics on for the drill: the retry counter and the drain-latency
+    // histogram below are part of the report.
+    trace::Metrics::enable();
+    RollingRun clean = rollingWorkload(false);
+    RollingRun rolling = rollingWorkload(true);
+
+    bench::header(
+        "rolling restart, " + std::to_string(RR_WORKERS) + " workers x " +
+            std::to_string(RR_ROUNDS) +
+            " requests, every compute PE drained then killed",
+        {"run", "msgs", "wall", "migrations", "aborted", "retries"});
+    for (const auto *r : {&clean, &rolling}) {
+        bench::cell(r == &clean ? "clean" : "rolling");
+        bench::cell(std::to_string(r->msgs));
+        bench::cellCycles(r->wall);
+        bench::cell(std::to_string(r->migrCompleted));
+        bench::cell(std::to_string(r->migrAborted));
+        bench::cell(std::to_string(r->retries));
+        bench::endRow();
+    }
+    const trace::Histogram &dh =
+        trace::Metrics::histogram("kernel.drain.cycles");
+    if (dh.count) {
+        std::printf("  drain latency: %llu drains, avg %llu cycles "
+                    "(min %llu, max %llu)\n",
+                    static_cast<unsigned long long>(dh.count),
+                    static_cast<unsigned long long>(dh.sum / dh.count),
+                    static_cast<unsigned long long>(dh.minVal),
+                    static_cast<unsigned long long>(dh.maxVal));
+    }
+
+    bool ok = true;
+    ok &= bench::verdict("both runs complete",
+                         clean.rc == 0 && rolling.rc == 0);
+    ok &= bench::verdict("every compute PE was drained and killed once",
+                         rolling.drains == RR_WORKERS &&
+                             rolling.peKills == RR_WORKERS);
+    ok &= bench::verdict("every evacuation migrated, none aborted",
+                         rolling.migrStarted == RR_WORKERS &&
+                             rolling.migrCompleted == RR_WORKERS &&
+                             rolling.migrAborted == 0);
+    ok &= bench::verdict(
+        "zero in-flight requests lost",
+        clean.msgs == RR_WORKERS * RR_ROUNDS &&
+            rolling.msgs == RR_WORKERS * RR_ROUNDS);
+    ok &= bench::verdict("application output is byte-identical",
+                         clean.streams == rolling.streams);
+    return ok;
+}
+
 } // anonymous namespace
 
 int
@@ -69,15 +227,18 @@ main(int argc, char **argv)
 {
     std::string traceFile;
     std::string metricsFile;
+    bool rollingRestart = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--trace=", 0) == 0) {
             traceFile = arg.substr(8);
         } else if (arg.rfind("--metrics=", 0) == 0) {
             metricsFile = arg.substr(10);
+        } else if (arg == "--rolling-restart") {
+            rollingRestart = true;
         } else {
             std::fprintf(stderr, "usage: robustness [--trace=FILE] "
-                                 "[--metrics=FILE]\n");
+                                 "[--metrics=FILE] [--rolling-restart]\n");
             return 2;
         }
     }
@@ -85,6 +246,15 @@ main(int argc, char **argv)
         trace::Tracer::enable();
     if (!metricsFile.empty())
         trace::Metrics::enable();
+
+    if (rollingRestart) {
+        bool rrOk = rollingRestartDrill();
+        if (!traceFile.empty() && !trace::Tracer::writeJson(traceFile))
+            return 1;
+        if (!metricsFile.empty() && !trace::Metrics::writeJson(metricsFile))
+            return 1;
+        return rrOk ? 0 : 1;
+    }
 
     bool ok = true;
 

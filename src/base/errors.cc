@@ -36,6 +36,8 @@ errorName(Error e)
       case Error::PipeClosed: return "PipeClosed";
       case Error::Timeout: return "Timeout";
       case Error::NocFault: return "NocFault";
+      case Error::PeerGone: return "PeerGone";
+      case Error::VpeMoved: return "VpeMoved";
       case Error::_COUNT: break;
     }
     return "Unknown";

@@ -48,6 +48,8 @@ enum class Error : uint32_t
     // Robustness layer
     Timeout,        //!< a deadline elapsed before the operation completed
     NocFault,       //!< message lost/corrupted on the NoC (injected fault)
+    PeerGone,       //!< retry budget exhausted: the peer is presumed dead
+    VpeMoved,       //!< wait interrupted: the VPE migrated to another PE
 
     _COUNT,         //!< number of error codes (not an error itself)
 };

@@ -408,7 +408,11 @@ Dtu::applyReset()
         recvState[i] = RecvState{};
     }
     // Parked contexts belong to VPEs the kernel has already discarded or
-    // migrated by the time it resets the PE for a new owner.
+    // migrated by the time it resets the PE for a new owner. Anything
+    // still buffered in them was addressed to a gone VPE: account it as
+    // dropped so message conservation stays exact.
+    for (auto &[gen, msgs] : parkedMsgs)
+        dtuStats.msgsDropped += msgs.size();
     parkedMsgs.clear();
     if (busy)
         abortCommand();
@@ -497,10 +501,18 @@ Dtu::waitUntilIdle(Cycles timeout)
     Fiber *self = Fiber::current();
     if (!self)
         panic("waitUntilIdle outside a fiber");
+    // A migration invalidates this wait: the fiber now lives on another
+    // PE and this DTU's completion belongs to whoever owns it next.
+    const uint32_t moved = self->moveEpoch();
     if (timeout == 0) {
         while (busy) {
             cmdWaiter = self;
             self->block();
+            if (self->moveEpoch() != moved) {
+                if (cmdWaiter == self)
+                    cmdWaiter = nullptr;
+                return Error::VpeMoved;
+            }
         }
         return cmdError;
     }
@@ -517,6 +529,12 @@ Dtu::waitUntilIdle(Cycles timeout)
     while (busy && !*expired) {
         cmdWaiter = self;
         self->block();
+        if (self->moveEpoch() != moved) {
+            *armed = false;
+            if (cmdWaiter == self)
+                cmdWaiter = nullptr;
+            return Error::VpeMoved;
+        }
     }
     *armed = false;
     if (busy) {
@@ -975,6 +993,29 @@ Dtu::msgHeader(epid_t id, uint32_t slot) const
 }
 
 Error
+Dtu::retargetReplies(epid_t id, label_t label, uint32_t newNode)
+{
+    if (!privileged)
+        return Error::NotPrivileged;
+    const EpRegs &r = ep(id);
+    if (r.type != EpType::Receive)
+        return Error::InvalidEp;
+    const RecvState &st = recvState[id];
+    for (uint32_t slot = 0; slot < r.recv.slotCount; ++slot) {
+        if (st.slots[slot].s == RecvSlotState::S::Free)
+            continue;
+        spmaddr_t addr = r.recv.bufAddr + slot * r.recv.slotSize;
+        MessageHeader hdr;
+        spm.read(addr, &hdr, sizeof(hdr));
+        if (hdr.label != label || hdr.senderNode == newNode)
+            continue;
+        hdr.senderNode = newNode;
+        spm.write(addr, &hdr, sizeof(hdr));
+    }
+    return Error::None;
+}
+
+Error
 Dtu::ackMsg(epid_t id, uint32_t slot)
 {
     EpRegs &r = epRef(id);
@@ -993,10 +1034,16 @@ Dtu::waitForMsg(epid_t id, Cycles timeout)
     Fiber *self = Fiber::current();
     if (!self)
         panic("waitForMsg outside a fiber");
+    const uint32_t moved = self->moveEpoch();
     if (timeout == 0) {
         while (!hasMsg(id)) {
             msgWaiters[id] = self;
             self->block();
+            if (self->moveEpoch() != moved) {
+                if (msgWaiters[id] == self)
+                    msgWaiters[id] = nullptr;
+                return Error::VpeMoved;
+            }
         }
         return Error::None;
     }
@@ -1011,6 +1058,12 @@ Dtu::waitForMsg(epid_t id, Cycles timeout)
     while (!hasMsg(id) && !*expired) {
         msgWaiters[id] = self;
         self->block();
+        if (self->moveEpoch() != moved) {
+            *armed = false;
+            if (msgWaiters[id] == self)
+                msgWaiters[id] = nullptr;
+            return Error::VpeMoved;
+        }
     }
     *armed = false;
     if (msgWaiters[id] == self)
@@ -1024,6 +1077,7 @@ Dtu::waitForMsgs(const std::vector<epid_t> &ids, Cycles timeout)
     Fiber *self = Fiber::current();
     if (!self)
         panic("waitForMsgs outside a fiber");
+    const uint32_t moved = self->moveEpoch();
     auto anyReady = [&] {
         for (epid_t id : ids)
             if (hasMsg(id))
@@ -1038,6 +1092,8 @@ Dtu::waitForMsgs(const std::vector<epid_t> &ids, Cycles timeout)
             for (epid_t id : ids)
                 if (msgWaiters[id] == self)
                     msgWaiters[id] = nullptr;
+            if (self->moveEpoch() != moved)
+                return Error::VpeMoved;
         }
         return Error::None;
     }
@@ -1056,6 +1112,10 @@ Dtu::waitForMsgs(const std::vector<epid_t> &ids, Cycles timeout)
         for (epid_t id : ids)
             if (msgWaiters[id] == self)
                 msgWaiters[id] = nullptr;
+        if (self->moveEpoch() != moved) {
+            *armed = false;
+            return Error::VpeMoved;
+        }
     }
     *armed = false;
     for (epid_t id : ids)

@@ -257,6 +257,16 @@ class Dtu
      */
     void removeWaiter(Fiber *f);
 
+    /**
+     * Rewrite the stored sender node of buffered messages: every occupied
+     * slot of receive EP @p ep whose header label equals @p label gets
+     * hdr.senderNode = @p newNode. Used by the kernel when a VPE migrates
+     * while a request of it still sits (or is being worked on) in the
+     * kernel's syscall ring — the deferred reply must travel to the VPE's
+     * new home. Privileged-only, local (the kernel patches its own ring).
+     */
+    Error retargetReplies(epid_t ep, label_t label, uint32_t newNode);
+
     // -------------------------------------------------------------------
     // Commands, issued by the local core via the command registers.
     // All return immediately with a validation result; completion is

@@ -143,9 +143,10 @@ Kernel::bootSetup()
     srvRing = spm.alloc(16 * 512);
     stage = spm.alloc(kif::MAX_SYSC_MSG);
     srvStage = spm.alloc(kif::MAX_SYSC_MSG);
-    // The SPM spill/fill staging buffer exists only when multiplexing is
-    // enabled, so default setups keep their exact SPM layout.
-    if (timeSlice)
+    // The SPM spill/fill staging buffer exists only when multiplexing
+    // (or migration, which reuses the spill machinery) is enabled, so
+    // default setups keep their exact SPM layout.
+    if (timeSlice || migration)
         ctxStage = spm.alloc(CTX_CHUNK);
 
     RecvEpCfg sysc;
@@ -274,6 +275,10 @@ Kernel::run()
             tmo = watchdogPeriod;
         if (timeSlice && schedulePending())
             tmo = tmo ? std::min(tmo, timeSlice) : timeSlice;
+        if (!pendingDrains.empty()) {
+            Cycles d = nextDrainDelay(platform.simulator().curCycle());
+            tmo = tmo ? std::min(tmo, d) : d;
+        }
         std::vector<epid_t> waitEps{KEP_SYSC, KEP_SRV_REPLY};
         if (multiKernel()) {
             waitEps.push_back(KEP_IK);
@@ -296,6 +301,8 @@ Kernel::run()
         }
         while ((slot = kdtu().fetchMsg(KEP_SYSC)) >= 0)
             handleSyscall(static_cast<uint32_t>(slot));
+        if (!pendingDrains.empty())
+            checkDrains();
         if (watchdogPeriod)
             checkWatchdog();
         if (timeSlice)
@@ -354,13 +361,27 @@ Kernel::checkWatchdog()
     }
     for (vpeid_t id : expired) {
         Vpe *v = vpeById(id);
-        if (v && v->state == Vpe::State::Running)
-            reclaimVpe(*v);
+        if (!v || v->state != Vpe::State::Running)
+            continue;
+        // The DTU stays reachable even when the core died (Sec. 3), so
+        // the kernel can tell "the hardware failed" from "the program
+        // misbehaved" and react differently: a dead PE's VPE can be
+        // restarted elsewhere, a misbehaving VPE is reclaimed.
+        if (platform.pe(v->pe).coreKilled()) {
+            if (failover && v->dtuGen != 0 &&
+                platform.pe(v->pe).hasRetained(v->id)) {
+                failoverVpe(*v);
+            } else {
+                reclaimVpe(*v, kif::EXIT_PE_DEAD);
+            }
+        } else {
+            reclaimVpe(*v, kif::EXIT_RECLAIMED);
+        }
     }
 }
 
 void
-Kernel::reclaimVpe(Vpe &v)
+Kernel::reclaimVpe(Vpe &v, int exitCode)
 {
     logtrace("kernel: watchdog: vpe%u (pe%u) unresponsive, reclaiming",
              v.id, v.pe);
@@ -368,7 +389,9 @@ Kernel::reclaimVpe(Vpe &v)
 
     // Stop the core first: an unresponsive program must not resume
     // after its DTU is reset. On the real platform this is the
-    // NoC-level reset; the core model makes it a separate step.
+    // NoC-level reset; the core model makes it a separate step. (A
+    // PE-death reclaim finds the core already dead; killing again is a
+    // no-op.)
     platform.pe(v.pe).killCore();
 
     // Revoke everything the VPE held; children owned by other VPEs die
@@ -379,9 +402,9 @@ Kernel::reclaimVpe(Vpe &v)
             revokeRec(cap);
     }
 
-    // Reset the DTU, free the PE and answer waiters (exit code -2
-    // signals an involuntary exit).
-    finishVpe(v, -2);
+    // Reset the DTU, free the PE and answer waiters; the exit code
+    // tells VpeWait callers whether the program or the PE failed.
+    finishVpe(v, exitCode);
 }
 
 void
@@ -426,6 +449,14 @@ Kernel::handleSyscall(uint32_t slot)
 
     // Any syscall proves the VPE's core is alive (watchdog liveness).
     caller->lastActivity = platform.simulator().curCycle();
+
+    // A request sent just before a migration can arrive *after* the
+    // migration patched the ring: its stored sender node is the old
+    // home, and a reply would go to a PE the VPE no longer occupies.
+    // The kernel is the only replier on this ring, so patching at
+    // dispatch closes the race deterministically.
+    if (nodeOf(*caller) != hdr.senderNode)
+        kdtu().retargetReplies(KEP_SYSC, caller->id, nodeOf(*caller));
 
     Spm &spm = platform.pe(kernelPe).spm();
     const uint8_t *payload =
@@ -583,10 +614,11 @@ Kernel::tryCreateVpe(Vpe &caller, const PendingVpeReq &req)
                         ? PeType::Accelerator
                         : PeType::General;
 
-    // Select a suitable and unused PE (Sec. 4.5.5).
+    // Select a suitable and unused PE (Sec. 4.5.5). Drained PEs are
+    // about to disappear and accept no new tenants.
     peid_t chosen = INVALID_PE;
     for (peid_t p = 0; p < platform.peCount(); ++p) {
-        if (!peBusy[p] &&
+        if (!peBusy[p] && !drained(p) &&
             platform.pe(p).desc().matches(wanted, req.attr)) {
             chosen = p;
             break;
@@ -598,7 +630,8 @@ Kernel::tryCreateVpe(Vpe &caller, const PendingVpeReq &req)
         // fewest VPEs (lowest PE id breaks ties — deterministic).
         uint32_t best = ~0u;
         for (const auto &[p, s] : scheds) {
-            if (platform.pe(p).desc().matches(wanted, req.attr) &&
+            if (!drained(p) &&
+                platform.pe(p).desc().matches(wanted, req.attr) &&
                 s.assigned < best) {
                 best = s.assigned;
                 chosen = p;
@@ -633,12 +666,13 @@ Kernel::tryCreateVpe(Vpe &caller, const PendingVpeReq &req)
                                                  MEM_RW));
     }
 
-    if (!timeSlice) {
+    if (!timeSlice && !migration) {
         configureVpeEps(child);
     } else {
-        // Multiplexed VPEs get a kernel-assigned generation and their
-        // syscall EPs via a context restore, so suspend/resume and the
-        // initial setup share one mechanism.
+        // Multiplexed (or migratable) VPEs get a kernel-assigned
+        // generation and their syscall EPs via a context restore, so
+        // suspend/resume, migration and the initial setup share one
+        // mechanism.
         child.dtuGen = nextDtuGen++;
         buildInitialCtx(child);
         PeSched &s = scheds[chosen];
@@ -785,12 +819,17 @@ Kernel::finishVpe(Vpe &v, int exitCode)
     v.exitCode = exitCode;
     logtrace("kernel: vpe%u exited, freeing pe%u", v.id, v.pe);
 
+    // The VPE is gone for good: its retained failover program with it.
+    platform.pe(v.pe).dropRetained(v.id);
+
     auto sIt = scheds.find(v.pe);
     if (sIt == scheds.end()) {
         // Reclaim the PE: reset its DTU and mark it available again.
         kdtu().extReset(nodeOf(v));
-        platform.pe(v.pe).release();
-        peBusy[v.pe] = false;
+        if (!drained(v.pe)) {
+            platform.pe(v.pe).release();
+            peBusy[v.pe] = false;
+        }
     } else {
         // A multiplexed PE is shared: drop only this VPE's share of it.
         // Messages buffered for its generation are stale now, and future
@@ -810,8 +849,23 @@ Kernel::finishVpe(Vpe &v, int exitCode)
             // Last VPE gone: now the PE really is free again.
             scheds.erase(sIt);
             kdtu().extReset(nodeOf(v));
-            platform.pe(v.pe).release();
-            peBusy[v.pe] = false;
+            auto bIt = borrowedPes.find(v.pe);
+            if (bIt != borrowedPes.end()) {
+                // The PE was leased from a peer kernel: hand it back
+                // instead of feeding it into the local allocator.
+                uint8_t buf[64];
+                Marshaller m(buf, sizeof(buf));
+                m << kif::IkOp::PeRelease
+                  << static_cast<uint64_t>(v.pe);
+                PendingIkReq ik;
+                ik.op = kif::IkOp::PeRelease;
+                sendIk(bIt->second, buf,
+                       static_cast<uint32_t>(m.size()), std::move(ik));
+                borrowedPes.erase(bIt);
+            } else if (!drained(v.pe)) {
+                platform.pe(v.pe).release();
+                peBusy[v.pe] = false;
+            }
         }
     }
 
@@ -1744,6 +1798,15 @@ Kernel::handleIkRequest(uint32_t slot)
       case kif::IkOp::DelegateCaps:
         ikDelegateCaps(um, slot);
         break;
+      case kif::IkOp::PeLease:
+        ikPeLease(um, slot);
+        break;
+      case kif::IkOp::PeRelease:
+        ikPeRelease(um, slot);
+        break;
+      case kif::IkOp::CapsRehome:
+        ikCapsRehome(um, slot);
+        break;
       default:
         ikReplyError(slot, Error::InvalidArgs);
         break;
@@ -1779,7 +1842,8 @@ Kernel::ikCreateVpe(Unmarshaller &um, uint32_t slot)
                         : PeType::General;
     peid_t chosen = INVALID_PE;
     for (peid_t p = 0; p < platform.peCount(); ++p) {
-        if (!peBusy[p] && platform.pe(p).desc().matches(wanted, attr)) {
+        if (!peBusy[p] && !drained(p) &&
+            platform.pe(p).desc().matches(wanted, attr)) {
             chosen = p;
             break;
         }
@@ -1934,6 +1998,92 @@ Kernel::ikDelegateCaps(Unmarshaller &um, uint32_t slot)
         e = installSerializedCap(um, *to, dstStart + i);
     compute(count * costs.capOp);
     ikReplyError(slot, e);
+}
+
+void
+Kernel::ikPeLease(Unmarshaller &um, uint32_t slot)
+{
+    auto type = um.pull<kif::PeTypeReq>();
+    auto attr = um.pull<std::string>();
+
+    PeType wanted = type == kif::PeTypeReq::Accelerator
+                        ? PeType::Accelerator
+                        : PeType::General;
+    peid_t chosen = INVALID_PE;
+    for (peid_t p = 0; p < platform.peCount(); ++p) {
+        if (!peBusy[p] && !drained(p) &&
+            platform.pe(p).desc().matches(wanted, attr)) {
+            chosen = p;
+            break;
+        }
+    }
+    if (chosen == INVALID_PE) {
+        ikReplyError(slot, Error::NoFreePe);
+        return;
+    }
+    // The borrower keeps VPE ownership and drives the PE's DTU via ext
+    // commands (downgraded PEs accept them from any kernel PE); this
+    // kernel only takes the PE out of its own allocator until the
+    // matching PeRelease hands it back.
+    peBusy[chosen] = true;
+    kstats.pesLeased++;
+    logtrace("kernel%u: leasing pe%u to a peer kernel", domain.id,
+             chosen);
+    uint8_t buf[64];
+    Marshaller m(buf, sizeof(buf));
+    m << Error::None << static_cast<uint64_t>(chosen);
+    ikReply(slot, buf, static_cast<uint32_t>(m.size()));
+}
+
+void
+Kernel::ikPeRelease(Unmarshaller &um, uint32_t slot)
+{
+    auto pe = static_cast<peid_t>(um.pull<uint64_t>());
+    if (pe >= platform.peCount() || pe >= domain.ownedPes.size() ||
+        !domain.ownedPes[pe]) {
+        ikReplyError(slot, Error::InvalidArgs);
+        return;
+    }
+    logtrace("kernel%u: pe%u returned by a peer kernel", domain.id, pe);
+    platform.pe(pe).release();
+    peBusy[pe] = false;
+    ikReplyError(slot, Error::None);
+    if (queueVpes)
+        flushPendingVpes();
+}
+
+void
+Kernel::ikCapsRehome(Unmarshaller &um, uint32_t slot)
+{
+    auto oldNode = static_cast<uint32_t>(um.pull<uint64_t>());
+    auto gen = static_cast<uint32_t>(um.pull<uint64_t>());
+    auto newNode = static_cast<uint32_t>(um.pull<uint64_t>());
+    if (gen == 0) {
+        ikReplyError(slot, Error::InvalidArgs);
+        return;
+    }
+
+    // A VPE of another domain moved. Shadow receive gates of that VPE
+    // live inside send-gate caps installed by cross-domain exchanges;
+    // they are identified by the serialized generation plus the old
+    // home node. Generation filtering keeps racing messages safe:
+    // anything already on the wire to the old node is discarded there
+    // and the sender retries against the repointed gate.
+    uint64_t patched = 0;
+    for (auto &[id, v] : vpes) {
+        for (capsel_t sel : v->caps.sels()) {
+            Capability *cap = v->caps.get(sel);
+            if (!cap || cap->obj->type != ObjType::SGate)
+                continue;
+            auto &sg = static_cast<SGateObj &>(*cap->obj);
+            if (sg.rgate->fixedGen == gen && sg.rgate->node == oldNode) {
+                sg.rgate->node = newNode;
+                patched++;
+            }
+        }
+    }
+    compute(patched * costs.capOp);
+    ikReplyError(slot, Error::None);
 }
 
 Error
@@ -2196,6 +2346,42 @@ Kernel::handleIkReply(uint32_t slot)
         }
         replyOnEp(KEP_SYSC, req.slot, buf,
                   static_cast<uint32_t>(m.size()));
+        break;
+      }
+      case kif::IkOp::PeRelease:
+      case kif::IkOp::CapsRehome:
+        break;  // fire-and-acknowledge
+      case kif::IkOp::PeLease: {
+        auto drainSrc = static_cast<peid_t>(req.arg);
+        Vpe *v = vpeById(req.migrVpe);
+        if (e != Error::None) {
+            // This peer had nothing free; walk remaining candidates.
+            if (v && v->state == Vpe::State::Running &&
+                requestPeLease(*v, std::move(req)))
+                break;
+            kstats.migrationsAborted++;
+            warn("kernel%u: no peer can host vpe%u, evacuation aborted",
+                 domain.id, static_cast<unsigned>(req.migrVpe));
+            finishDrainStep(drainSrc);
+            break;
+        }
+        auto pe = static_cast<peid_t>(um.pull<uint64_t>());
+        if (!v || v->state != Vpe::State::Running) {
+            // The VPE exited while the lease was in flight: hand the
+            // PE straight back unused.
+            uint8_t buf[64];
+            Marshaller m(buf, sizeof(buf));
+            m << kif::IkOp::PeRelease << static_cast<uint64_t>(pe);
+            PendingIkReq rel;
+            rel.op = kif::IkOp::PeRelease;
+            sendIk(req.domain, buf, static_cast<uint32_t>(m.size()),
+                   std::move(rel));
+            finishDrainStep(drainSrc);
+            break;
+        }
+        borrowedPes[pe] = req.domain;
+        migrateVpe(*v, pe);
+        finishDrainStep(drainSrc);
         break;
       }
     }
@@ -2564,6 +2750,408 @@ Kernel::sysYield(Vpe &caller, Unmarshaller &, uint32_t slot)
         return;
     suspendVpe(caller);
     scheduleNext(caller.pe, it->second);
+}
+
+// ---------------------------------------------------------------------
+// Live migration, drain and failover (Sec. 3's "the OS can remotely
+// control every PE through the NoC", taken to its conclusion: the
+// kernel can also *move* a VPE through the NoC). Migration composes
+// the context-switch machinery (drain + fetch + SPM spill) with the
+// capability serialization of the multi-kernel protocol; generation
+// filtering at the DTUs makes racing messages fail cleanly, and the
+// libm3 retry path re-resolves the moved gate and resends.
+// ---------------------------------------------------------------------
+
+Error
+Kernel::migrateVpe(Vpe &v, peid_t dst)
+{
+    auto sIt = scheds.find(v.pe);
+    if (sIt == scheds.end() || v.dtuGen == 0 ||
+        v.state != Vpe::State::Running || dst == v.pe)
+        return Error::InvalidArgs;
+
+    const peid_t src = v.pe;
+    const uint32_t oldNode = nodeOf(v);
+    kstats.migrationsStarted++;
+    logtrace("kernel: migrating vpe%u pe%u -> pe%u", v.id, src, dst);
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(kernelPe, "migration:start");
+    compute(costs.ctxswSave);
+
+    PeSched &s = sIt->second;
+    if (s.resident == v.id) {
+        // Pull the running program off the core and its state out of
+        // the DTU, exactly like a multiplexing suspend (minus the
+        // runQueue re-insert — the VPE leaves this PE for good).
+        Pe &srcPe = platform.pe(src);
+        if (v.started) {
+            Fiber *f = srcPe.programFiber();
+            if (f && !f->finished()) {
+                srcPe.dtu().removeWaiter(f);
+                srcPe.parkResident(v.id);
+            }
+        }
+        {
+            ExtWaiter w;
+            kdtu().extDrain(oldNode, w.cb());
+            w.wait();
+        }
+        if (!v.ctx)
+            v.ctx = std::make_unique<Dtu::CtxState>();
+        {
+            ExtWaiter w;
+            kdtu().extFetchCtx(oldNode, v.ctx.get(), w.cb());
+            w.wait();
+        }
+        spillSpm(v);
+        s.resident = INVALID_VPE;
+    } else {
+        // Already descheduled: context and SPM image are in the CSA.
+        s.runQueue.erase(
+            std::remove(s.runQueue.begin(), s.runQueue.end(), v.id),
+            s.runQueue.end());
+    }
+
+    // Move the software over before touching the source PE's bookkeeping
+    // (release() would drop the parked fiber we are about to adopt). The
+    // moved hook repoints the program's environment to the new PE.
+    Pe &srcPe = platform.pe(src);
+    Pe &dstPe = platform.pe(dst);
+    if (srcPe.hasParked(v.id))
+        dstPe.adoptParkedFrom(srcPe, v.id);
+    else
+        dstPe.adoptInstalledFrom(srcPe, v.id);
+
+    // Drop the source PE's share.
+    if (s.assigned)
+        s.assigned--;
+    srcPe.dtu().setSharedPe(s.assigned > 1);
+    if (s.assigned == 0) {
+        scheds.erase(sIt);
+        kdtu().extReset(platform.nocIdOf(src));
+        auto bIt = borrowedPes.find(src);
+        if (bIt != borrowedPes.end()) {
+            uint8_t buf[64];
+            Marshaller m(buf, sizeof(buf));
+            m << kif::IkOp::PeRelease << static_cast<uint64_t>(src);
+            PendingIkReq ik;
+            ik.op = kif::IkOp::PeRelease;
+            sendIk(bIt->second, buf, static_cast<uint32_t>(m.size()),
+                   std::move(ik));
+            borrowedPes.erase(bIt);
+        } else if (!drained(src)) {
+            srcPe.release();
+            peBusy[src] = false;
+        }
+    }
+
+    // Claim the destination.
+    v.pe = dst;
+    peBusy[dst] = true;
+    PeSched &d = scheds[dst];
+    d.assigned++;
+    dstPe.dtu().setSharedPe(d.assigned > 1);
+
+    // Re-home the VPE's gates: its own receive gates now live at the
+    // new node, locally and (via CapsRehome) in every peer domain that
+    // holds a shadow of them. Senders that already configured EPs for
+    // the old home re-resolve on their retry path.
+    const uint32_t newNode = platform.nocIdOf(dst);
+    rehomeVpeGates(v, newNode);
+    if (multiKernel())
+        broadcastCapsRehome(oldNode, v.dtuGen, newNode);
+
+    // Syscalls of the moved VPE still buffered in the kernel ring carry
+    // its old home as reply target; repoint their stored headers.
+    kdtu().retargetReplies(KEP_SYSC, v.id, newNode);
+
+    v.lastActivity = platform.simulator().curCycle();
+    if (d.resident == INVALID_VPE)
+        resumeVpe(v);
+    else
+        d.runQueue.push_back(v.id);
+
+    // Discard last: anything parked for the old incarnation between the
+    // context fetch and now was sent to the old home and is stale — the
+    // sender times out, re-resolves the gate and resends.
+    kdtu().extDiscardCtx(oldNode, v.dtuGen);
+
+    kstats.migrationsCompleted++;
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(kernelPe, "migration:done");
+    return Error::None;
+}
+
+peid_t
+Kernel::pickMigrationTarget(const Vpe &v) const
+{
+    const PeDesc &want = platform.pe(v.pe).desc();
+    for (peid_t p = 0; p < platform.peCount(); ++p) {
+        if (!peBusy[p] && !drained(p) &&
+            platform.pe(p).desc().matches(want.type, want.attr))
+            return p;
+    }
+    if (timeSlice) {
+        // Fall back to co-scheduling onto the least-loaded multiplexed
+        // PE (lowest id breaks ties, deterministically).
+        peid_t best = INVALID_PE;
+        uint32_t load = ~0u;
+        for (const auto &[p, s] : scheds) {
+            if (p == v.pe || drained(p))
+                continue;
+            if (platform.pe(p).desc().matches(want.type, want.attr) &&
+                s.assigned < load) {
+                load = s.assigned;
+                best = p;
+            }
+        }
+        return best;
+    }
+    return INVALID_PE;
+}
+
+void
+Kernel::rehomeVpeGates(Vpe &v, uint32_t newNode)
+{
+    // Every activated receive gate the VPE owns moves with it; the
+    // kernel's own records are the single source of truth, so later
+    // Activates of send gates towards them configure the new home.
+    uint64_t patched = 0;
+    for (capsel_t sel : v.caps.sels()) {
+        Capability *cap = v.caps.get(sel);
+        if (!cap || cap->obj->type != ObjType::RGate)
+            continue;
+        auto &rg = static_cast<RGateObj &>(*cap->obj);
+        if (rg.owner == v.id && rg.activated) {
+            rg.node = newNode;
+            patched++;
+        }
+    }
+    compute(patched * costs.capOp);
+}
+
+void
+Kernel::broadcastCapsRehome(uint32_t oldNode, uint32_t gen,
+                            uint32_t newNode)
+{
+    uint8_t buf[64];
+    Marshaller m(buf, sizeof(buf));
+    m << kif::IkOp::CapsRehome << static_cast<uint64_t>(oldNode)
+      << static_cast<uint64_t>(gen) << static_cast<uint64_t>(newNode);
+    for (uint32_t d = 0; d < domain.count; ++d) {
+        if (d == domain.id)
+            continue;
+        PendingIkReq ik;
+        ik.op = kif::IkOp::CapsRehome;
+        sendIk(d, buf, static_cast<uint32_t>(m.size()), std::move(ik));
+    }
+}
+
+bool
+Kernel::requestPeLease(Vpe &v, PendingIkReq req)
+{
+    if (req.candidates.empty())
+        return false;
+    uint32_t peer = req.candidates.front();
+    req.candidates.erase(req.candidates.begin());
+    const PeDesc &want = platform.pe(v.pe).desc();
+    kif::PeTypeReq t = want.type == PeType::Accelerator
+                           ? kif::PeTypeReq::Accelerator
+                           : kif::PeTypeReq::General;
+    uint8_t buf[kif::IK_MSG_SIZE];
+    Marshaller m(buf, sizeof(buf));
+    m << kif::IkOp::PeLease << t << want.attr;
+    sendIk(peer, buf, static_cast<uint32_t>(m.size()), std::move(req));
+    return true;
+}
+
+void
+Kernel::drainPe(peid_t pe)
+{
+    if (drained(pe))
+        return;
+    if (drainedPes.size() < platform.peCount())
+        drainedPes.resize(platform.peCount(), false);
+    drainedPes[pe] = true;
+    kstats.drains++;
+    logtrace("kernel: draining pe%u", pe);
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(kernelPe, "drain:start");
+
+    DrainRun &run = activeDrains[pe];
+    run.started = platform.simulator().curCycle();
+    run.outstanding = 1;  // the drain itself; dropped at the end
+
+    std::vector<vpeid_t> evacuees;
+    for (const auto &[id, vp] : vpes)
+        if (vp->pe == pe && vp->state == Vpe::State::Running &&
+            vp->dtuGen != 0)
+            evacuees.push_back(id);
+
+    for (vpeid_t id : evacuees) {
+        Vpe *v = vpeById(id);
+        if (!v || v->state != Vpe::State::Running || v->pe != pe)
+            continue;  // exited (or already moved) meanwhile
+        peid_t dst = pickMigrationTarget(*v);
+        if (dst != INVALID_PE) {
+            migrateVpe(*v, dst);
+            continue;
+        }
+        if (multiKernel()) {
+            // No room in this domain: borrow a free PE from a peer
+            // kernel. The evacuation completes when the lease reply
+            // arrives; the drain stays open until then.
+            PendingIkReq ik;
+            ik.op = kif::IkOp::PeLease;
+            ik.migrVpe = v->id;
+            ik.arg = pe;  // the draining PE, for finishDrainStep
+            for (uint32_t d = 0; d < domain.count; ++d)
+                if (d != domain.id)
+                    ik.candidates.push_back(d);
+            if (requestPeLease(*v, std::move(ik))) {
+                run.outstanding++;
+                continue;
+            }
+        }
+        kstats.migrationsAborted++;
+        warn("kernel: drain of pe%u: no target for vpe%u", pe, v->id);
+    }
+    finishDrainStep(pe);  // drop the drain's own hold
+}
+
+void
+Kernel::finishDrainStep(peid_t pe)
+{
+    auto it = activeDrains.find(pe);
+    if (it == activeDrains.end())
+        return;
+    if (it->second.outstanding)
+        it->second.outstanding--;
+    if (it->second.outstanding)
+        return;
+    Cycles dur = platform.simulator().curCycle() - it->second.started;
+    activeDrains.erase(it);
+    logtrace("kernel: drain of pe%u complete after %llu cycles", pe,
+             static_cast<unsigned long long>(dur));
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(kernelPe, "drain:done");
+    if (M3_METRICS_ON)
+        trace::Metrics::histogram("kernel.drain.cycles").observe(dur);
+}
+
+Cycles
+Kernel::nextDrainDelay(Cycles now) const
+{
+    Cycles best = 0;
+    for (const PendingDrain &d : pendingDrains) {
+        Cycles delay = d.at > now ? d.at - now : 1;
+        if (!best || delay < best)
+            best = delay;
+    }
+    return best;
+}
+
+void
+Kernel::checkDrains()
+{
+    Cycles now = platform.simulator().curCycle();
+    for (auto it = pendingDrains.begin(); it != pendingDrains.end();) {
+        if (it->at <= now) {
+            peid_t pe = it->pe;
+            it = pendingDrains.erase(it);
+            drainPe(pe);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Kernel::failoverVpe(Vpe &v)
+{
+    const peid_t deadPe = v.pe;
+    const uint32_t oldNode = nodeOf(v);
+    const uint32_t oldGen = v.dtuGen;
+
+    // The PE is dead hardware: quarantine it for the rest of the run
+    // (it stays busy and never re-enters the allocator).
+    if (drainedPes.size() < platform.peCount())
+        drainedPes.resize(platform.peCount(), false);
+    drainedPes[deadPe] = true;
+
+    peid_t dst = pickMigrationTarget(v);
+    if (dst == INVALID_PE) {
+        // Nowhere to restart: reclaim with the PE-death exit code.
+        reclaimVpe(v, kif::EXIT_PE_DEAD);
+        return;
+    }
+
+    kstats.failovers++;
+    logtrace("kernel: failover: restarting vpe%u (pe%u died) on pe%u",
+             v.id, deadPe, dst);
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(kernelPe, "migration:failover");
+
+    // Everything the VPE created itself refers to state that died with
+    // the core (rings mid-protocol, sessions half-open); revoke it so
+    // the restarted program rebuilds from scratch. Caps delegated BY
+    // others survive: the parent's setup is the contract the program
+    // restarts against — only their endpoint activations died.
+    for (capsel_t sel : v.caps.sels()) {
+        Capability *cap = v.caps.get(sel);
+        if (!cap)
+            continue;
+        if (!cap->parent)
+            revokeRec(cap);
+        else
+            cap->activatedEp = INVALID_EP;
+    }
+
+    // Detach from the dead PE without releasing it, and drop whatever
+    // the old incarnation had parked at its DTU.
+    unscheduleVpe(v);
+    kdtu().extDiscardCtx(oldNode, oldGen);
+
+    // Move the retained entry functor over and wire a fresh context: a
+    // new generation (in-flight messages for the dead incarnation can
+    // never reach the new one), an empty CSA, not yet started.
+    platform.pe(dst).adoptRetained(platform.pe(deadPe), v.id);
+    v.pe = dst;
+    v.dtuGen = nextDtuGen++;
+    v.csa = 0;
+    v.ctxBytes = 0;
+    v.started = false;
+    buildInitialCtx(v);
+
+    peBusy[dst] = true;
+    PeSched &d = scheds[dst];
+    d.assigned++;
+    platform.pe(dst).dtu().setSharedPe(d.assigned > 1);
+    v.lastActivity = platform.simulator().curCycle();
+    if (d.resident == INVALID_VPE)
+        resumeVpe(v);
+    else
+        d.runQueue.push_back(v.id);
+}
+
+void
+Kernel::unscheduleVpe(Vpe &v)
+{
+    auto sIt = scheds.find(v.pe);
+    if (sIt == scheds.end())
+        return;
+    PeSched &s = sIt->second;
+    if (s.resident == v.id)
+        s.resident = INVALID_VPE;
+    s.runQueue.erase(
+        std::remove(s.runQueue.begin(), s.runQueue.end(), v.id),
+        s.runQueue.end());
+    platform.pe(v.pe).dropParked(v.id);
+    if (s.assigned)
+        s.assigned--;
+    platform.pe(v.pe).dtu().setSharedPe(s.assigned > 1);
+    if (s.assigned == 0)
+        scheds.erase(sIt);
 }
 
 } // namespace kernel

@@ -117,6 +117,12 @@ struct KernelStats
     uint64_t ikRequestsSent = 0;     //!< inter-kernel requests issued
     uint64_t ikRequestsHandled = 0;  //!< inter-kernel requests served
     uint64_t remoteVpesPlaced = 0;   //!< VPEs created for peer kernels
+    uint64_t migrationsStarted = 0;   //!< live migrations begun
+    uint64_t migrationsCompleted = 0; //!< live migrations finished
+    uint64_t migrationsAborted = 0;   //!< evacuations with no target PE
+    uint64_t failovers = 0;           //!< VPEs restarted after PE death
+    uint64_t drains = 0;              //!< PEs drained
+    uint64_t pesLeased = 0;           //!< PEs lent to peer kernels
 };
 
 /**
@@ -217,6 +223,50 @@ class Kernel
     /** Whether enableMultiplexing() was called. */
     bool multiplexing() const { return timeSlice != 0; }
 
+    /**
+     * Enable live migration: VPEs created via CreateVpe get the full
+     * context-switch machinery (a DTU generation, a context-save area)
+     * even at single occupancy, so the kernel can move a running VPE to
+     * another PE at any time: drain + fetch the source DTU, ship the SPM
+     * via real DTU transfers, re-home capabilities, restore on the
+     * destination. Call before start(); disabled by default (the
+     * default configuration stays cycle-identical to a machine without
+     * this feature).
+     */
+    void enableMigration() { migration = true; }
+
+    /** Whether enableMigration() was called. */
+    bool migrationEnabled() const { return migration; }
+
+    /**
+     * Enable fault-driven failover (requires migration): when the
+     * watchdog finds an expired VPE whose *core* is dead (vs. a live
+     * core that merely stopped heartbeating), the kernel restarts the
+     * VPE from its retained entry program on a replacement PE instead
+     * of reclaiming it with kif::EXIT_PE_DEAD.
+     */
+    void enableFailover() { failover = true; }
+
+    /**
+     * Schedule a drain of @p pe at cycle @p at: the kernel evacuates
+     * every running VPE off the PE by live migration and refuses new
+     * placements on it from the moment the drain starts. The intended
+     * use is a rolling restart: drain shortly before a planned (or
+     * injected) PE kill so no work is lost. Call before start().
+     */
+    void
+    scheduleDrain(peid_t pe, Cycles at)
+    {
+        pendingDrains.push_back({pe, at});
+    }
+
+    /** True once @p pe was drained (no new placements allowed). */
+    bool
+    drained(peid_t p) const
+    {
+        return p < drainedPes.size() && drainedPes[p];
+    }
+
     Kernel(const Kernel &) = delete;
     Kernel &operator=(const Kernel &) = delete;
 
@@ -300,6 +350,8 @@ class Kernel
         uint64_t arg = 0;
         std::string servName;
         uint32_t servDomain = 0;
+        // PeLease: the VPE waiting to migrate onto the leased PE.
+        vpeid_t migrVpe = INVALID_VPE;
     };
 
     bool multiKernel() const { return domain.count > 1; }
@@ -320,6 +372,9 @@ class Kernel
     void ikOpenSess(Unmarshaller &um, uint32_t slot);
     void ikSessExchange(Unmarshaller &um, uint32_t slot);
     void ikDelegateCaps(Unmarshaller &um, uint32_t slot);
+    void ikPeLease(Unmarshaller &um, uint32_t slot);
+    void ikPeRelease(Unmarshaller &um, uint32_t slot);
+    void ikCapsRehome(Unmarshaller &um, uint32_t slot);
 
     /** Free owned PEs right now (IK CreateVpe replies report this). */
     uint32_t freeOwnedPes() const;
@@ -341,7 +396,7 @@ class Kernel
     void finishVpe(Vpe &vpe, int exitCode);
     void revokeRec(Capability *cap);
     void checkWatchdog();
-    void reclaimVpe(Vpe &vpe);
+    void reclaimVpe(Vpe &vpe, int exitCode);
     /** Any Running VPE the watchdog would observe (non-service)? */
     bool anyWatchedVpe() const;
     /** Did @p id register a service? Service owners are not watched. */
@@ -463,6 +518,58 @@ class Kernel
     /** Try to satisfy @p req now. @return false if no PE is free. */
     bool tryCreateVpe(Vpe &caller, const PendingVpeReq &req);
     void flushPendingVpes();
+
+    // --- live migration, drain and failover ----------------------------
+    /**
+     * Move the running VPE @p v to PE @p dst: park its software, drain
+     * and fetch the source DTU, spill the SPM, re-home its gates and
+     * buffered syscall replies, restore everything on @p dst. Messages
+     * that raced the move are discarded at the old DTU; senders recover
+     * through the generation filter and the gate retry path.
+     */
+    Error migrateVpe(Vpe &v, peid_t dst);
+    /** Send a PeLease to the next candidate peer (false: none left). */
+    bool requestPeLease(Vpe &v, PendingIkReq req);
+    /** Evacuate every running VPE off @p pe; refuse new placements. */
+    void drainPe(peid_t pe);
+    /** Fire due drains (run loop). */
+    void checkDrains();
+    /** Cycles until the next scheduled drain (0 = none pending). */
+    Cycles nextDrainDelay(Cycles now) const;
+    /** One evacuation of the drain of @p pe finished (or was aborted). */
+    void finishDrainStep(peid_t pe);
+    /** Restart @p v from its retained program on a replacement PE. */
+    void failoverVpe(Vpe &v);
+    /** A free, matching, non-drained PE for @p v (INVALID_PE if none). */
+    peid_t pickMigrationTarget(const Vpe &v) const;
+    /** Point @p v's own activated receive gates at @p newNode. */
+    void rehomeVpeGates(Vpe &v, uint32_t newNode);
+    /** Tell peer kernels that the gates of generation @p gen moved. */
+    void broadcastCapsRehome(uint32_t oldNode, uint32_t gen,
+                             uint32_t newNode);
+    /** Remove @p v from its PE's schedule without releasing the PE. */
+    void unscheduleVpe(Vpe &v);
+
+    bool migration = false;
+    bool failover = false;
+    /** Drained (or dead) PEs: never considered for placement again. */
+    std::vector<bool> drainedPes;
+    /** A drain request armed before start(). */
+    struct PendingDrain
+    {
+        peid_t pe;
+        Cycles at;
+    };
+    std::vector<PendingDrain> pendingDrains;
+    /** A drain in progress: start cycle + evacuations still in flight. */
+    struct DrainRun
+    {
+        Cycles started = 0;
+        uint32_t outstanding = 0;
+    };
+    std::map<peid_t, DrainRun> activeDrains;
+    /** PEs borrowed from peer kernels (pe -> lender domain). */
+    std::map<peid_t, uint32_t> borrowedPes;
 
     struct PendingSrvReq
     {

@@ -42,6 +42,16 @@ static constexpr size_t RESERVED_SPM = 4 * KiB;
 
 /** Maximum size of a syscall message (kernel ring slot size). */
 static constexpr uint32_t MAX_SYSC_MSG = 512;
+
+/**
+ * Exit codes the kernel reports for VPEs it had to terminate itself.
+ * EXIT_RECLAIMED means the VPE misbehaved (stopped heartbeating on a
+ * live core) and was reclaimed; EXIT_PE_DEAD means its PE died and no
+ * failover was possible. VpeWait callers use the distinction to tell
+ * "the program failed" from "the hardware failed".
+ */
+static constexpr int EXIT_RECLAIMED = -2;
+static constexpr int EXIT_PE_DEAD = -3;
 /**
  * Slots of the kernel's syscall ring. Every VPE gets one credit, so up
  * to KSYSC_SLOTS VPEs can have a syscall in flight (including deferred
@@ -175,6 +185,13 @@ enum class IkOp : uint64_t
     SessExchange,//!< { name, ident, obtain, count, argc, args... } ->
                  //!< { Error, numCaps, caps..., numArgs, args... }
     DelegateCaps,//!< { dstVpeId, dstStart, count, caps... } -> { Error }
+    PeLease,     //!< { peType, attr } -> { Error, pe } (cross-domain
+                 //!< migration: borrow a free PE from a peer kernel; the
+                 //!< borrower keeps VPE ownership and manages the PE via
+                 //!< ext commands)
+    PeRelease,   //!< { pe } -> { Error } (return a leased PE)
+    CapsRehome,  //!< { oldNode, gen, newNode } -> { Error } (a VPE moved:
+                 //!< repoint shadow rgates that matched its old home)
 };
 
 /** Stable name for an inter-kernel opcode (trace/metric labels). */
@@ -189,6 +206,9 @@ ikOpName(IkOp op)
       case IkOp::OpenSess: return "OpenSess";
       case IkOp::SessExchange: return "SessExchange";
       case IkOp::DelegateCaps: return "DelegateCaps";
+      case IkOp::PeLease: return "PeLease";
+      case IkOp::PeRelease: return "PeRelease";
+      case IkOp::CapsRehome: return "CapsRehome";
       default: return "Unknown";
     }
 }

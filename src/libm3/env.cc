@@ -22,22 +22,72 @@ envRegistry()
     return reg;
 }
 
+/** Pending PE re-homes for VPEs restarting after a failover. */
+std::unordered_map<vpeid_t, peid_t> &
+pendingHomes()
+{
+    static std::unordered_map<vpeid_t, peid_t> homes;
+    return homes;
+}
+
 } // anonymous namespace
 
 Env::Env(Platform &platform, peid_t peId, vpeid_t vpeId)
-    : platform(platform), peId(peId), vpeId(vpeId), pe(platform.pe(peId)),
-      spm(pe.spm()), dtu(pe.dtu()), cm(platform.costs()),
-      fiber(*Fiber::current())
+    : platform(platform), peId(peId), vpeId(vpeId), cm(platform.costs()),
+      fiber(*Fiber::current()), homePe(&platform.pe(peId)),
+      homeSpm(&homePe->spm()), homeDtu(&homePe->dtu())
 {
     // Claim the SPM: the reserved system area (syscall-reply ring at its
     // fixed address), the syscall staging buffer and the transfer buffer.
-    spm.resetAlloc();
-    spm.alloc(kif::RESERVED_SPM);
-    syscStage = spm.alloc(kif::MAX_SYSC_MSG);
-    xferBufAddr = spm.alloc(XFER_BUF_SIZE);
-    seenCtxEpoch = dtu.ctxEpoch();
+    spm().resetAlloc();
+    spm().alloc(kif::RESERVED_SPM);
+    syscStage = spm().alloc(kif::MAX_SYSC_MSG);
+    xferBufAddr = spm().alloc(XFER_BUF_SIZE);
+    seenCtxEpoch = dtu().ctxEpoch();
 
     envRegistry()[&fiber] = this;
+}
+
+void
+Env::noteMoved(Fiber *f, peid_t newPe)
+{
+    auto it = envRegistry().find(f);
+    if (it != envRegistry().end()) {
+        Env *env = it->second;
+        env->peId = newPe;
+        env->homePe = &env->platform.pe(newPe);
+        env->homeSpm = &env->homePe->spm();
+        env->homeDtu = &env->homePe->dtu();
+        env->forceEpDrop = true;
+        if (M3_TRACE_ON)
+            env->fiber.accounting().traceTrack = newPe;
+    }
+    // Bump last: a wait that wakes up re-resolves its DTU via the Env.
+    f->noteMoved();
+}
+
+void
+Env::setHome(vpeid_t vpe, peid_t newPe)
+{
+    pendingHomes()[vpe] = newPe;
+}
+
+peid_t
+Env::homeOf(vpeid_t vpe, peid_t fallback)
+{
+    auto it = pendingHomes().find(vpe);
+    if (it == pendingHomes().end())
+        return fallback;
+    peid_t pe = it->second;
+    pendingHomes().erase(it);
+    return pe;
+}
+
+void
+Env::resetRegistry()
+{
+    envRegistry().clear();
+    pendingHomes().clear();
 }
 
 Env::~Env()
@@ -81,8 +131,11 @@ Env::attach(Gate &gate)
     // landed in the saved context — drop the non-pinned cache so such
     // gates lazily re-activate. Pinned gates keep their slot: the kernel
     // never moves them and their restored registers are authoritative.
-    if (dtu.ctxEpoch() != seenCtxEpoch) {
-        seenCtxEpoch = dtu.ctxEpoch();
+    // A migration forces the drop: the new home has its own epoch
+    // counter, so a plain compare could miss the switch.
+    if (forceEpDrop || dtu().ctxEpoch() != seenCtxEpoch) {
+        forceEpDrop = false;
+        seenCtxEpoch = dtu().ctxEpoch();
         for (epid_t e = kif::FIRST_FREE_EP; e < EP_COUNT; ++e) {
             Gate *g = epSlots[e].gate;
             if (g && !g->pinned) {
@@ -152,8 +205,20 @@ Env::detach(Gate &gate)
 Marshaller
 Env::beginSyscall()
 {
-    return Marshaller(spm.ptr(syscStage, kif::MAX_SYSC_MSG),
+    return Marshaller(spm().ptr(syscStage, kif::MAX_SYSC_MSG),
                       kif::MAX_SYSC_MSG);
+}
+
+Error
+Env::waitMsgRetrying(epid_t ep)
+{
+    for (;;) {
+        Error e = dtu().waitForMsg(ep);
+        if (e != Error::VpeMoved)
+            return e;
+        // Migrated mid-wait: the message follows us (ring contents travel
+        // with the SPM; deferred replies are retargeted by the kernel).
+    }
 }
 
 Error
@@ -167,18 +232,21 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
     const bool traced = M3_TRACE_ON;
     if (traced) {
         auto op = *reinterpret_cast<const kif::Syscall *>(
-            spm.ptr(syscStage, sizeof(uint64_t)));
+            spm().ptr(syscStage, sizeof(uint64_t)));
         trace::Tracer::spanBegin(peId, kif::syscallName(op));
     }
 
     compute(cm.m3.marshal + cm.m3.dtuCommand);
 
     for (;;) {
-        Error e = dtu.startSend(kif::SYSC_SEP, syscStage,
-                                static_cast<uint32_t>(m.size()),
-                                kif::SYSC_REP, 0);
+        Error e = dtu().startSend(kif::SYSC_SEP, syscStage,
+                                  static_cast<uint32_t>(m.size()),
+                                  kif::SYSC_REP, 0);
         if (e == Error::DtuBusy) {
-            dtu.waitUntilIdle();
+            // A VpeMoved bail-out here means the busy command was aborted
+            // by the context fetch; just retry the send at the new home
+            // (this request was never issued).
+            dtu().waitUntilIdle();
             continue;
         }
         if (e != Error::None)
@@ -189,9 +257,11 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
     // A plain blocking wait, deliberately not waitMsgYielding: yielding
     // is itself a syscall, and the single SYSC_SEP credit is still out
     // until this reply arrives. A shared PE is reclaimed by slice
-    // preemption instead while this VPE sits blocked here.
+    // preemption instead while this VPE sits blocked here. The request
+    // is out, so a migration mid-wait must re-wait, never re-send: the
+    // kernel redirects the (deferred) reply to the new home.
     Cycles t0 = platform.simulator().curCycle();
-    dtu.waitForMsg(kif::SYSC_REP);
+    waitMsgRetrying(kif::SYSC_REP);
     Cycles elapsed = platform.simulator().curCycle() - t0;
 
     if (M3_METRICS_ON) {
@@ -203,9 +273,9 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
     // Attribute the round trip: the wire time of request and reply goes
     // to Xfers, the remainder (kernel software, queueing) to OS. This is
     // the 30 / 170 cycle split of Sec. 5.3.
-    uint32_t myNode = dtu.nodeId();
+    uint32_t myNode = dtu().nodeId();
     uint32_t kNode = 0;  // resolved below from the send EP target
-    kNode = dtu.ep(kif::SYSC_SEP).send.targetNode;
+    kNode = dtu().ep(kif::SYSC_SEP).send.targetNode;
     Cycles xfer = platform.noc().idleLatency(
                       myNode, kNode, static_cast<uint32_t>(m.size())) +
                   platform.noc().idleLatency(kNode, myNode, 16);
@@ -214,20 +284,21 @@ Env::sysCall(Marshaller &m, const std::function<void(Unmarshaller &)> &onReply)
     acct().chargeTo(Category::Xfer, xfer);
     acct().chargeTo(Category::Os, elapsed - xfer);
 
-    int slot = dtu.fetchMsg(kif::SYSC_REP);
+    int slot = dtu().fetchMsg(kif::SYSC_REP);
     if (slot < 0)
         panic("VPE%u: syscall reply ring empty after wakeup", vpeId);
     compute(cm.m3.fetchMsg + cm.m3.unmarshal);
 
-    MessageHeader hdr = dtu.msgHeader(kif::SYSC_REP, slot);
+    MessageHeader hdr = dtu().msgHeader(kif::SYSC_REP, slot);
     const uint8_t *payload =
-        spm.ptr(dtu.msgAddr(kif::SYSC_REP, slot) + sizeof(MessageHeader),
-                hdr.length);
+        spm().ptr(dtu().msgAddr(kif::SYSC_REP, slot) +
+                      sizeof(MessageHeader),
+                  hdr.length);
     Unmarshaller um(payload, hdr.length);
     auto err = um.pull<Error>();
     if (err == Error::None && onReply)
         onReply(um);
-    dtu.ackMsg(kif::SYSC_REP, slot);
+    dtu().ackMsg(kif::SYSC_REP, slot);
     if (traced)
         trace::Tracer::spanEnd(peId);
     return err;
@@ -263,17 +334,18 @@ Env::yield()
 Error
 Env::waitMsgYielding(epid_t ep)
 {
-    while (!dtu.hasMsg(ep)) {
-        if (!dtu.sharedPe() || inYield)
-            return dtu.waitForMsg(ep);
+    while (!dtu().hasMsg(ep)) {
+        if (!dtu().sharedPe() || inYield)
+            return waitMsgRetrying(ep);
         // Spin-then-yield: a prompt reply beats a context switch, so
         // give it a short grace window before handing the PE over.
-        if (dtu.waitForMsg(ep, cm.m3.yieldSpin) == Error::None)
+        // (A VpeMoved bail-out falls through to the outer re-check.)
+        if (dtu().waitForMsg(ep, cm.m3.yieldSpin) == Error::None)
             return Error::None;
         if (yield() != Error::None) {
             // Nobody else to run: parking the fiber is free, and the
             // kernel can still preempt us when that changes.
-            return dtu.waitForMsg(ep);
+            return waitMsgRetrying(ep);
         }
         // We were descheduled and are resident again; anything that
         // arrived meanwhile was parked and has been re-injected.
@@ -320,9 +392,9 @@ Env::vpeExit(int exitCode)
     Marshaller m = beginSyscall();
     m << kif::Syscall::VpeExit << static_cast<int64_t>(exitCode);
     compute(cm.m3.marshal + cm.m3.dtuCommand);
-    dtu.startSend(kif::SYSC_SEP, syscStage,
-                  static_cast<uint32_t>(m.size()));
-    dtu.waitUntilIdle();
+    dtu().startSend(kif::SYSC_SEP, syscStage,
+                    static_cast<uint32_t>(m.size()));
+    dtu().waitUntilIdle();
 }
 
 Error

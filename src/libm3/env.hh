@@ -51,14 +51,41 @@ class Env
     /** The environment of the currently executing fiber. */
     static Env &cur();
 
+    /**
+     * Migration plumbing: the software on @p f now lives on @p newPe.
+     * Re-points the fiber's environment (if it has one) and bumps the
+     * fiber's move epoch so blocked DTU waits bail out with VpeMoved.
+     * Wired into Pe's moved hook by M3System.
+     */
+    static void noteMoved(Fiber *f, peid_t newPe);
+
+    /**
+     * Failover plumbing: VPE @p vpe will restart on @p newPe. The entry
+     * functor captured its original PE by value; it resolves its actual
+     * home through homeOf() at (re)start.
+     */
+    static void setHome(vpeid_t vpe, peid_t newPe);
+
+    /** Consume a pending home override for @p vpe, or @p fallback. */
+    static peid_t homeOf(vpeid_t vpe, peid_t fallback);
+
+    /** Clear cross-system static state (called per M3System). */
+    static void resetRegistry();
+
     Platform &platform;
     peid_t peId;
     vpeid_t vpeId;
-    Pe &pe;
-    Spm &spm;
-    Dtu &dtu;
     const CostModel &cm;
     Fiber &fiber;
+
+    /**
+     * The PE this VPE currently runs on. The pointers are cached (these
+     * sit on every message fast path); a migration re-points them in
+     * noteMoved(), the only place peId ever changes.
+     */
+    Pe &pe() { return *homePe; }
+    Spm &spm() { return *homeSpm; }
+    Dtu &dtu() { return *homeDtu; }
 
     /** Charge @p c cycles of software time to the current category. */
     void compute(Cycles c) { fiber.compute(c); }
@@ -173,6 +200,20 @@ class Env
     /** Begin a syscall message in the staging buffer. */
     Marshaller beginSyscall();
 
+    /**
+     * Blocking message wait that survives a migration: a wait that bailed
+     * out with VpeMoved is re-issued against the new home's DTU. The
+     * message (or the deferred reply) is redirected by the kernel, so
+     * re-waiting — never re-sending — is the correct recovery.
+     */
+    Error waitMsgRetrying(epid_t ep);
+
+    /** Fast-path caches for pe()/spm()/dtu(); kept in sync with peId by
+     *  the constructor and Env::noteMoved(). */
+    Pe *homePe = nullptr;
+    Spm *homeSpm = nullptr;
+    Dtu *homeDtu = nullptr;
+
     spmaddr_t syscStage = 0;
     spmaddr_t xferBufAddr = 0;
     capsel_t nextSel = 64;
@@ -187,6 +228,9 @@ class Env
     uint64_t useCounter = 0;
     /** DTU context epoch this Env last synced its EP cache against. */
     uint32_t seenCtxEpoch = 0;
+    /** Set on migration: the next attach() must drop the EP cache even
+     *  if the new home's epoch counter happens to match seenCtxEpoch. */
+    bool forceEpDrop = false;
     /** True while the Yield syscall itself runs (its reply wait must
      *  block plainly instead of yielding again). */
     bool inYield = false;

@@ -29,8 +29,8 @@ Gate::Gate(Gate &&other) noexcept
 
 RecvGate::RecvGate(Env &env, uint32_t slots, uint32_t slotSize)
     : Gate(env, env.allocSels()), slots(slots), slotSz(slotSize),
-      bufAddr(env.spm.alloc(slots * slotSize)),
-      replyStage(env.spm.alloc(slotSize))
+      bufAddr(env.spm().alloc(slots * slotSize)),
+      replyStage(env.spm().alloc(slotSize))
 {
     Error e = env.createRgate(sel, slots, slotSize);
     if (e != Error::None)
@@ -44,20 +44,20 @@ RecvGate::RecvGate(Env &env, uint32_t slots, uint32_t slotSize)
 bool
 RecvGate::hasMsg()
 {
-    return env.dtu.hasMsg(ep);
+    return env.dtu().hasMsg(ep);
 }
 
 GateIStream
 RecvGate::receive()
 {
     env.waitMsgYielding(ep);
-    return GateIStream(*this, env.dtu.fetchMsg(ep));
+    return GateIStream(*this, env.dtu().fetchMsg(ep));
 }
 
 GateIStream
 RecvGate::tryReceive()
 {
-    return GateIStream(*this, env.dtu.fetchMsg(ep));
+    return GateIStream(*this, env.dtu().fetchMsg(ep));
 }
 
 // ---------------------------------------------------------------------
@@ -69,9 +69,9 @@ GateIStream::GateIStream(RecvGate &rgate, int slot)
 {
     if (slot >= 0) {
         Env &env = rg->environment();
-        hdr = env.dtu.msgHeader(rg->boundEp(), slot);
-        const uint8_t *payload = env.spm.ptr(
-            env.dtu.msgAddr(rg->boundEp(), slot) + sizeof(MessageHeader),
+        hdr = env.dtu().msgHeader(rg->boundEp(), slot);
+        const uint8_t *payload = env.spm().ptr(
+            env.dtu().msgAddr(rg->boundEp(), slot) + sizeof(MessageHeader),
             hdr.length);
         um = Unmarshaller(payload, hdr.length);
     }
@@ -93,7 +93,7 @@ void
 GateIStream::ack()
 {
     if (slot >= 0) {
-        rg->environment().dtu.ackMsg(rg->boundEp(), slot);
+        rg->environment().dtu().ackMsg(rg->boundEp(), slot);
         slot = -1;
     }
 }
@@ -105,12 +105,12 @@ GateIStream::reply(const void *msg, uint32_t size)
         return Error::InvalidArgs;
     Env &env = rg->environment();
     trace::ScopedSpan span(env.peId, "gate:reply");
-    env.spm.write(rg->replyStage, msg, size);
+    env.spm().write(rg->replyStage, msg, size);
     env.compute(env.cm.m3.marshal + env.cm.m3.dtuCommand);
-    Error e = env.dtu.startReply(rg->boundEp(), slot, rg->replyStage,
+    Error e = env.dtu().startReply(rg->boundEp(), slot, rg->replyStage,
                                  size);
     if (e == Error::None) {
-        env.dtu.waitUntilIdle();
+        env.dtu().waitUntilIdle();
         slot = -1;  // replying freed the ring slot
     }
     return e;
@@ -129,7 +129,7 @@ Marshaller
 GateIStream::replyStream()
 {
     Env &env = rg->environment();
-    return Marshaller(env.spm.ptr(rg->replyStage, rg->slotSize()),
+    return Marshaller(env.spm().ptr(rg->replyStage, rg->slotSize()),
                       rg->slotSize() - sizeof(MessageHeader));
 }
 
@@ -140,10 +140,10 @@ GateIStream::replyStreamSend(Marshaller &m)
         return Error::InvalidArgs;
     Env &env = rg->environment();
     env.compute(env.cm.m3.marshal + env.cm.m3.dtuCommand);
-    Error e = env.dtu.startReply(rg->boundEp(), slot, rg->replyStage,
+    Error e = env.dtu().startReply(rg->boundEp(), slot, rg->replyStage,
                                  static_cast<uint32_t>(m.size()));
     if (e == Error::None) {
-        env.dtu.waitUntilIdle();
+        env.dtu().waitUntilIdle();
         slot = -1;
     }
     return e;
@@ -168,7 +168,7 @@ SendGate::create(Env &env, RecvGate &target, label_t label,
 SendGate::SendGate(Env &env, capsel_t sel, uint32_t maxMsgSize,
                    bool finiteCredits)
     : Gate(env, sel), maxMsgSize(maxMsgSize),
-      stage(env.spm.alloc(maxMsgSize))
+      stage(env.spm().alloc(maxMsgSize))
 {
     // Gates whose remaining credits live in the endpoint registers must
     // not be evicted (rebinding would reset the budget); pin them.
@@ -178,7 +178,7 @@ SendGate::SendGate(Env &env, capsel_t sel, uint32_t maxMsgSize,
 uint8_t *
 SendGate::stagePtr()
 {
-    return env.spm.ptr(stage, maxMsgSize);
+    return env.spm().ptr(stage, maxMsgSize);
 }
 
 Marshaller
@@ -205,9 +205,9 @@ SendGate::sendRaw(uint32_t size, RecvGate *replyGate, label_t replyLabel)
                       : replyGate->acquire();
     env.compute(env.cm.m3.dtuCommand);
     for (;;) {
-        Error err = env.dtu.startSend(e, stage, size, replyEp, replyLabel);
+        Error err = env.dtu().startSend(e, stage, size, replyEp, replyLabel);
         if (err == Error::DtuBusy) {
-            env.dtu.waitUntilIdle();
+            env.dtu().waitUntilIdle();
             continue;
         }
         return err;
@@ -234,6 +234,30 @@ SendGate::call(Marshaller &m, RecvGate &replyGate)
     return replyGate.tryReceive();
 }
 
+namespace
+{
+
+/**
+ * Deterministic per-VPE backoff jitter (splitmix-style bit mix): many
+ * VPEs retrying after the same fault or migration event must not resend
+ * in lockstep, but runs have to stay reproducible — so the jitter is a
+ * pure function of (VPE id, attempt), not of a random source.
+ */
+Cycles
+retryJitter(vpeid_t vpe, uint32_t attempt, Cycles backoff)
+{
+    uint64_t h = (uint64_t{vpe} << 32) | attempt;
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    // Up to half the nominal backoff, so the exponential envelope keeps
+    // its shape while colliding retriers spread out.
+    return h % (backoff / 2 + 1);
+}
+
+} // anonymous namespace
+
 GateIStream
 SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
 {
@@ -246,8 +270,22 @@ SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
     env.compute(env.cm.m3.marshal);
     const uint32_t size = static_cast<uint32_t>(m.size());
     const uint32_t attempts = policy.maxAttempts ? policy.maxAttempts : 1;
+    const Cycles start = env.platform.simulator().curCycle();
     Cycles backoff = policy.backoffBase ? policy.backoffBase : 1;
+    uint32_t paces = 0;
+    auto pace = [&] {
+        env.fiber.sleep(backoff +
+                        retryJitter(env.vpeId, paces++, backoff));
+        backoff = std::min(policy.backoffMax, backoff * 2);
+    };
     for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0 && policy.retryBudget != 0 &&
+            env.platform.simulator().curCycle() - start >=
+                policy.retryBudget) {
+            // Enough: this peer has eaten the whole retry budget.
+            err = Error::PeerGone;
+            return GateIStream(replyGate, -1);
+        }
         Error se = sendRaw(size, &replyGate, 0);
         if (se == Error::NoCredits) {
             // Out of budget: an earlier reply may still be in flight or
@@ -257,8 +295,7 @@ SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
                     trace::Metrics::counter("dtu.credit_stall_cycles");
                 cs.add(backoff);
             }
-            env.fiber.sleep(backoff);
-            backoff = std::min(policy.backoffMax, backoff * 2);
+            pace();
             continue;
         }
         if (se != Error::None) {
@@ -266,8 +303,16 @@ SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
             return GateIStream(replyGate, -1);
         }
         Cycles t0 = env.platform.simulator().curCycle();
-        Error we = env.dtu.waitForMsg(replyGate.boundEp(),
+        Error we;
+        for (;;) {
+            we = env.dtu().waitForMsg(replyGate.boundEp(),
                                       policy.replyTimeout);
+            // Migrated mid-wait: the ring travels with this VPE and the
+            // peer replies towards wherever the kernel says it lives —
+            // keep waiting at the new home.
+            if (we != Error::VpeMoved)
+                break;
+        }
         env.acct().charge(env.platform.simulator().curCycle() - t0);
         if (we == Error::None) {
             env.compute(env.cm.m3.fetchMsg + env.cm.m3.unmarshal);
@@ -280,9 +325,18 @@ SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
         // backing off. (A straggler arriving later still refunds its
         // credit, which can over-provision the gate; that only loosens
         // the send bound and is harmless.)
-        env.dtu.refundCredit(acquire());
-        env.fiber.sleep(backoff);
-        backoff = std::min(policy.backoffMax, backoff * 2);
+        env.dtu().refundCredit(acquire());
+        if (M3_METRICS_ON) {
+            static trace::Counter &rt =
+                trace::Metrics::counter("gate.retries");
+            rt.inc();
+        }
+        // A timeout may also mean the peer migrated: re-run Activate so
+        // the kernel reconfigures this EP from its current view of the
+        // target (node, generation). The refreshed credits are covered
+        // by the over-provisioning argument above.
+        env.activate(sel, acquire(), activateBuf());
+        pace();
         while (replyGate.tryReceive().valid()) {
         }
     }
@@ -341,7 +395,7 @@ Cycles
 spinDuration(Env &env, const MemEpCfg &cfg, size_t len)
 {
     Noc &noc = env.platform.noc();
-    uint32_t self = env.dtu.nodeId();
+    uint32_t self = env.dtu().nodeId();
     MemTarget *mem = targetOf(env, cfg);
     return noc.idleLatency(self, cfg.targetNode, 0) +
            mem->accessLatency() +
@@ -362,7 +416,7 @@ MemGate::read(void *dst, size_t len, goff_t off)
         size_t chunk = std::min(len - done, XFER_BUF_SIZE);
         env.compute(env.cm.m3.dtuCommand);
         if (env.cm.spinDataTransfers) {
-            const MemEpCfg &cfg = env.dtu.ep(e).mem;
+            const MemEpCfg &cfg = env.dtu().ep(e).mem;
             if (!(cfg.perms & MEM_R))
                 return Error::NoPerm;
             if (off + done > cfg.size || chunk > cfg.size - (off + done))
@@ -375,17 +429,23 @@ MemGate::read(void *dst, size_t len, goff_t off)
             done += chunk;
             continue;
         }
-        Error err = env.dtu.startRead(e, env.xferBuf(), off + done,
-                                      chunk);
+        Error err = env.dtu().startRead(e, env.xferBuf(), off + done,
+                                        chunk);
         if (err != Error::None)
             return err;
         Cycles t0 = env.platform.simulator().curCycle();
-        env.dtu.waitUntilIdle();
+        Error w = env.dtu().waitUntilIdle();
         env.acct().chargeTo(Category::Xfer,
                             env.platform.simulator().curCycle() - t0);
+        if (w == Error::VpeMoved) {
+            // Migrated mid-transfer: the context fetch aborted the read
+            // before it touched the SPM, so re-issue this chunk against
+            // the new home's DTU.
+            continue;
+        }
         // The app buffer conceptually lives in the SPM; the copy is an
         // alias, not a modelled transfer.
-        std::memcpy(out + done, env.spm.ptr(env.xferBuf(), chunk), chunk);
+        std::memcpy(out + done, env.spm().ptr(env.xferBuf(), chunk), chunk);
         done += chunk;
     }
     return Error::None;
@@ -402,7 +462,7 @@ MemGate::write(const void *src, size_t len, goff_t off)
         size_t chunk = std::min(len - done, XFER_BUF_SIZE);
         env.compute(env.cm.m3.dtuCommand);
         if (env.cm.spinDataTransfers) {
-            const MemEpCfg &cfg = env.dtu.ep(e).mem;
+            const MemEpCfg &cfg = env.dtu().ep(e).mem;
             if (!(cfg.perms & MEM_W))
                 return Error::NoPerm;
             if (off + done > cfg.size || chunk > cfg.size - (off + done))
@@ -415,15 +475,21 @@ MemGate::write(const void *src, size_t len, goff_t off)
             done += chunk;
             continue;
         }
-        std::memcpy(env.spm.ptr(env.xferBuf(), chunk), in + done, chunk);
-        Error err = env.dtu.startWrite(e, env.xferBuf(), off + done,
-                                       chunk);
+        std::memcpy(env.spm().ptr(env.xferBuf(), chunk), in + done, chunk);
+        Error err = env.dtu().startWrite(e, env.xferBuf(), off + done,
+                                         chunk);
         if (err != Error::None)
             return err;
         Cycles t0 = env.platform.simulator().curCycle();
-        env.dtu.waitUntilIdle();
+        Error w = env.dtu().waitUntilIdle();
         env.acct().chargeTo(Category::Xfer,
                             env.platform.simulator().curCycle() - t0);
+        if (w == Error::VpeMoved) {
+            // Migrated mid-transfer: an aborted write may or may not
+            // have reached the memory; re-issuing it is idempotent
+            // (same bytes, same offset).
+            continue;
+        }
         done += chunk;
     }
     return Error::None;
@@ -434,7 +500,7 @@ MemGate::zero(size_t len, goff_t off)
 {
     epid_t e = acquire();
     env.compute(env.cm.m3.dtuCommand);
-    return env.dtu.startZero(e, off, len);
+    return env.dtu().startZero(e, off, len);
 }
 
 } // namespace m3

@@ -166,6 +166,14 @@ class SendGate : public Gate
         Cycles replyTimeout = 0;   //!< per-attempt deadline (0 = forever)
         Cycles backoffBase = 128;  //!< pause before the second attempt
         Cycles backoffMax = 16384; //!< backoff cap (doubles per attempt)
+        /**
+         * Total retry budget in cycles (0 = unlimited): once this much
+         * time was spent on failed attempts, callTimed() gives up with
+         * Error::PeerGone — the distinct "stop retrying, the peer is
+         * dead" signal, as opposed to Error::Timeout ("all attempts
+         * expired, maybe try a bigger policy").
+         */
+        Cycles retryBudget = 0;
     };
 
     /**

@@ -42,6 +42,26 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
 
     plat = std::make_unique<Platform>(sim, spec);
 
+    // Fresh machine: clear the cross-system environment registry
+    // (fiber homes recorded by a previous M3System in this process).
+    Env::resetRegistry();
+    if (cfg.migration || cfg.failover) {
+        for (peid_t p = 0; p < plat->peCount(); ++p) {
+            // When a VPE's software lands on another PE, repoint its
+            // environment: a live fiber learns its new home on wakeup,
+            // a failover restart resolves it at functor entry.
+            plat->pe(p).setVpeMovedHook(
+                [](Fiber *f, uint64_t id, peid_t newPe) {
+                    if (f)
+                        Env::noteMoved(f, newPe);
+                    else
+                        Env::setHome(static_cast<vpeid_t>(id), newPe);
+                });
+            if (cfg.failover)
+                plat->pe(p).setRetainPrograms(true);
+        }
+    }
+
     if (cfg.faults.active()) {
         faults = std::make_unique<FaultPlan>(cfg.faults);
         plat->setFaultPlan(*faults);
@@ -93,7 +113,15 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
             k->enableWatchdog(cfg.watchdogDeadline, cfg.watchdogPeriod);
         if (cfg.multiplexSlice)
             k->enableMultiplexing(cfg.multiplexSlice);
+        // Failover needs the same per-VPE context machinery (scheds
+        // entries, generations) migration builds on, so it implies it.
+        if (cfg.migration || cfg.failover)
+            k->enableMigration();
+        if (cfg.failover)
+            k->enableFailover();
     }
+    for (auto &[drainPe, drainAt] : cfg.drains)
+        kernelOf(drainPe).scheduleDrain(drainPe, drainAt);
 
     for (uint32_t k = 0; k < fsCount(); ++k) {
         m3fs::ServerConfig srvCfg = cfg.fsCfg;
@@ -175,6 +203,12 @@ M3System::exportMetrics()
         ks.ikRequestsSent += s.ikRequestsSent;
         ks.ikRequestsHandled += s.ikRequestsHandled;
         ks.remoteVpesPlaced += s.remoteVpesPlaced;
+        ks.migrationsStarted += s.migrationsStarted;
+        ks.migrationsCompleted += s.migrationsCompleted;
+        ks.migrationsAborted += s.migrationsAborted;
+        ks.failovers += s.failovers;
+        ks.drains += s.drains;
+        ks.pesLeased += s.pesLeased;
     }
     Metrics::counter("kernel.syscalls").add(ks.syscalls);
     Metrics::counter("kernel.vpes_created").add(ks.vpesCreated);
@@ -185,6 +219,21 @@ M3System::exportMetrics()
     Metrics::counter("kernel.watchdog_reclaims").add(ks.watchdogReclaims);
     Metrics::counter("kernel.ctx_switches").add(ks.ctxSwitches);
     Metrics::counter("kernel.yields").add(ks.yields);
+    if (cfg.migration || cfg.failover) {
+        // Migration keys exist only on machines that enable the
+        // feature, keeping the seed's metric key set untouched. The
+        // drain-duration histogram (kernel.drain.cycles) is observed
+        // directly by the kernel as drains complete.
+        Metrics::counter("kernel.migrations_started")
+            .add(ks.migrationsStarted);
+        Metrics::counter("kernel.migrations_completed")
+            .add(ks.migrationsCompleted);
+        Metrics::counter("kernel.migrations_aborted")
+            .add(ks.migrationsAborted);
+        Metrics::counter("kernel.failovers").add(ks.failovers);
+        Metrics::counter("kernel.drains").add(ks.drains);
+        Metrics::counter("kernel.pes_leased").add(ks.pesLeased);
+    }
     if (kerns.size() > 1) {
         // Per-instance breakdown plus the IK totals, only registered on
         // multi-kernel machines (a single kernel keeps the seed's exact
@@ -324,6 +373,18 @@ M3System::printStats() const
             std::printf("%s: %llu ctx switches, %llu yields\n", name,
                         static_cast<unsigned long long>(ks.ctxSwitches),
                         static_cast<unsigned long long>(ks.yields));
+        if (ks.migrationsStarted || ks.failovers)
+            std::printf("%s: %llu migrations (%llu completed, "
+                        "%llu aborted), %llu failovers, %llu drains\n",
+                        name,
+                        static_cast<unsigned long long>(
+                            ks.migrationsStarted),
+                        static_cast<unsigned long long>(
+                            ks.migrationsCompleted),
+                        static_cast<unsigned long long>(
+                            ks.migrationsAborted),
+                        static_cast<unsigned long long>(ks.failovers),
+                        static_cast<unsigned long long>(ks.drains));
         if (ks.ikRequestsSent || ks.ikRequestsHandled)
             std::printf("%s: %llu ik requests sent, %llu handled, "
                         "%llu remote VPEs placed\n",

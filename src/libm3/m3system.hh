@@ -75,6 +75,24 @@ struct M3SystemCfg
      */
     Cycles multiplexSlice = 0;
 
+    /**
+     * VPE live migration: lets the kernel move a running VPE to another
+     * PE (PE drains, rolling restarts), locally or — via PE leases —
+     * across kernel domains. Off by default; a machine without
+     * migration is cycle- and trace-byte-identical to before.
+     */
+    bool migration = false;
+    /**
+     * Fault-driven failover: when the watchdog finds a VPE silent on a
+     * dead core, restart it from its retained entry program on a
+     * replacement PE instead of reclaiming it (exit EXIT_PE_DEAD only
+     * when no replacement exists). Implies the migration machinery and
+     * retains entry functors on every PE.
+     */
+    bool failover = false;
+    /** PE drains to arm at boot: evacuate .first at cycle .second. */
+    std::vector<std::pair<peid_t, Cycles>> drains;
+
     /** Service name of instance @p k. */
     static std::string
     fsName(uint32_t k)

@@ -158,12 +158,12 @@ class PipePeerWriter : public File
     waitForCredit()
     {
         epid_t e = sgate.acquire();
-        while (env.dtu.credits(e) == 0) {
+        while (env.dtu().credits(e) == 0) {
             drainAcks();
-            if (env.dtu.credits(e) > 0)
+            if (env.dtu().credits(e) > 0)
                 break;
             Cycles t0 = env.platform.simulator().curCycle();
-            env.dtu.waitForMsg(replyGate.boundEp());
+            env.dtu().waitForMsg(replyGate.boundEp());
             env.acct().chargeTo(Category::Idle,
                                 env.platform.simulator().curCycle() -
                                     t0);
@@ -186,7 +186,7 @@ class PipePeerWriter : public File
             // chunk (the reply also refunds the credit). The wait is
             // idle time: the writer is throttled by the reader.
             Cycles t0 = env.platform.simulator().curCycle();
-            env.dtu.waitForMsg(replyGate.boundEp());
+            env.dtu().waitForMsg(replyGate.boundEp());
             env.acct().chargeTo(Category::Idle,
                                 env.platform.simulator().curCycle() - t0);
             drainAcks();
@@ -226,7 +226,7 @@ class PipePeerWriter : public File
                 return;  // sent, or a hard error teardown ignores
             // Out of credits: wait a bounded time for an ack.
             Cycles t0 = env.platform.simulator().curCycle();
-            env.dtu.waitForMsg(replyGate.boundEp(), EOF_WAIT);
+            env.dtu().waitForMsg(replyGate.boundEp(), EOF_WAIT);
             env.acct().chargeTo(Category::Idle,
                                 env.platform.simulator().curCycle() -
                                     t0);

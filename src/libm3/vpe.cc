@@ -34,7 +34,10 @@ VPE::startWith(const std::string &progName, std::function<int()> fn)
     // command picks this one.
     platform.pe(pe).installProgramFor(
         id, progName, [&platform, pe, id, fn = std::move(fn)] {
-            Env childEnv(platform, pe, id);
+            // The captured pe is where the VPE was first placed; after a
+            // failover restart the functor runs on a replacement PE,
+            // resolved through the pending-home table.
+            Env childEnv(platform, Env::homeOf(id, pe), id);
             int rc = fn();
             childEnv.vpeExit(rc);
         });

@@ -111,6 +111,13 @@ class Pe
         if (fiber && !fiber->finished())
             panic("PE%u: VPE start while another program is resident",
                   peId);
+        if (retainPrograms) {
+            // Failover support: keep a copy of the entry functor so the
+            // kernel can restart this VPE from scratch on another PE if
+            // this one dies (the "binary" survives in DRAM; here the
+            // functor stands in for it).
+            retainedPrograms[vpeId] = it->second;
+        }
         std::string name = std::move(it->second.first);
         Program body = std::move(it->second.second);
         pendingPrograms.erase(it);
@@ -191,6 +198,90 @@ class Pe
     /** Number of parked VPEs on this PE. */
     size_t parkedCount() const { return parkedFibers.size(); }
 
+    // -------------------------------------------------------------------
+    // Migration and failover: a VPE's software moves to another PE. The
+    // fiber (the running stack) migrates with it — in reality the
+    // instructions live in the spilled SPM image; here the fiber stands
+    // in for them.
+    // -------------------------------------------------------------------
+
+    /**
+     * Hook fired whenever a VPE's software is adopted by this PE from
+     * another one: (fiber, vpeId, newPe). fiber is the migrated parked
+     * fiber, or nullptr when only the retained entry functor moved
+     * (failover restart — the old fiber died with its core).
+     */
+    void
+    setVpeMovedHook(std::function<void(Fiber *, uint64_t, peid_t)> hook)
+    {
+        movedHook = std::move(hook);
+    }
+
+    /**
+     * Live migration: take over @p vpeId's parked fiber (and any
+     * installed-but-unstarted or retained program) from @p src. The SPM
+     * allocation cursor travels with it; the kernel separately ships the
+     * SPM contents and the DTU context.
+     */
+    void
+    adoptParkedFrom(Pe &src, uint64_t vpeId)
+    {
+        auto it = src.parkedFibers.find(vpeId);
+        if (it == src.parkedFibers.end())
+            panic("PE%u: adopt of VPE %llu which is not parked on PE%u",
+                  peId, (unsigned long long)vpeId, src.peId);
+        parkedFibers[vpeId] = it->second;
+        src.parkedFibers.erase(it);
+        moveAuxState(src, vpeId);
+        if (movedHook)
+            movedHook(parkedFibers[vpeId].fiber, vpeId, peId);
+    }
+
+    /**
+     * Migration of a VPE that was placed but never started (no parked
+     * fiber yet): move its installed program over so the VPE-qualified
+     * start command finds it here.
+     */
+    void
+    adoptInstalledFrom(Pe &src, uint64_t vpeId)
+    {
+        moveAuxState(src, vpeId);
+        if (movedHook)
+            movedHook(nullptr, vpeId, peId);
+    }
+
+    /**
+     * Failover: take over @p vpeId's retained entry functor from @p src
+     * (whose core died, killing the fiber). The functor is re-installed
+     * here as a pending program; the kernel restarts it with a fresh
+     * context via the VPE-qualified start command.
+     */
+    void
+    adoptRetained(Pe &src, uint64_t vpeId)
+    {
+        auto it = src.retainedPrograms.find(vpeId);
+        if (it == src.retainedPrograms.end())
+            panic("PE%u: failover of VPE %llu with no retained program "
+                  "on PE%u", peId, (unsigned long long)vpeId, src.peId);
+        pendingPrograms[vpeId] = it->second;
+        src.retainedPrograms.erase(it);
+        if (movedHook)
+            movedHook(nullptr, vpeId, peId);
+    }
+
+    /** True if @p vpeId's entry functor was retained for failover. */
+    bool
+    hasRetained(uint64_t vpeId) const
+    {
+        return retainedPrograms.count(vpeId) != 0;
+    }
+
+    /** Forget @p vpeId's retained functor (the VPE exited for good). */
+    void dropRetained(uint64_t vpeId) { retainedPrograms.erase(vpeId); }
+
+    /** Retain entry functors of started VPEs (failover mode). */
+    void setRetainPrograms(bool on) { retainPrograms = on; }
+
     /**
      * Fault injection: the core dies mid-run. Only the core stops; the
      * DTU keeps operating, so the kernel can still reset and reclaim
@@ -199,12 +290,20 @@ class Pe
     void
     killCore()
     {
+        coreDead = true;
         if (fiber && !fiber->finished())
             fiber->kill();
         // A dead core takes every VPE living on it down, parked or not.
         for (auto &[vpe, parked] : parkedFibers)
             parked.fiber->kill();
     }
+
+    /**
+     * True while the core is dead. The DTU keeps operating either way —
+     * that is what lets the kernel distinguish "PE died" (failover) from
+     * "VPE misbehaved" (reclaim) and still clean up through the NoC.
+     */
+    bool coreKilled() const { return coreDead; }
 
     /** True if a program is installed or still running. */
     bool
@@ -220,13 +319,34 @@ class Pe
     {
         fiber = nullptr;
         pendingBody = nullptr;
+        // A reclaimed-and-released PE counts as repaired: the kernel only
+        // reuses it deliberately, and the watchdog's dead-vs-misbehaved
+        // classification must start fresh for the next tenant.
+        coreDead = false;
         if (parkedFibers.empty()) {
             pendingPrograms.clear();
+            retainedPrograms.clear();
             spmMem->resetAlloc();
         }
     }
 
   private:
+    /** Shared part of adoption: move per-VPE program state from @p src. */
+    void
+    moveAuxState(Pe &src, uint64_t vpeId)
+    {
+        auto pp = src.pendingPrograms.find(vpeId);
+        if (pp != src.pendingPrograms.end()) {
+            pendingPrograms[vpeId] = std::move(pp->second);
+            src.pendingPrograms.erase(pp);
+        }
+        auto rp = src.retainedPrograms.find(vpeId);
+        if (rp != src.retainedPrograms.end()) {
+            retainedPrograms[vpeId] = std::move(rp->second);
+            src.retainedPrograms.erase(rp);
+        }
+    }
+
     Simulator &sim;
     PeDesc peDesc;
     peid_t peId;
@@ -247,6 +367,11 @@ class Pe
     };
     /** Descheduled VPEs, keyed by VPE id. */
     std::map<uint64_t, Parked> parkedFibers;
+    /** Entry functors of started VPEs, kept for failover restarts. */
+    std::map<uint64_t, std::pair<std::string, Program>> retainedPrograms;
+    bool retainPrograms = false;
+    bool coreDead = false;
+    std::function<void(Fiber *, uint64_t, peid_t)> movedHook;
 };
 
 } // namespace m3

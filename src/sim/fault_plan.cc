@@ -83,6 +83,7 @@ FaultPlan::onPacket(Cycles now, uint32_t src, uint32_t dst)
     }
 
     if (armed && cfg.delayRate > 0.0 &&
+        pairMatch(cfg.delayPairs, src, dst) &&
         roll(SALT_DELAY, d.seq) < cfg.delayRate) {
         Cycles span = cfg.delayMax >= cfg.delayMin
                           ? cfg.delayMax - cfg.delayMin + 1

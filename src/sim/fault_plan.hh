@@ -64,6 +64,11 @@ struct FaultPlanCfg
     /** Injected delay is uniform in [delayMin, delayMax]. */
     Cycles delayMin = 64;
     Cycles delayMax = 512;
+    /** Restrict delays to these src->dst pairs (empty = all traffic).
+     *  Delays may reorder packets on a route, so scoping them keeps
+     *  control traffic (which relies on per-route FIFO order) exact
+     *  while data routes get jittered. */
+    std::vector<NodePair> delayPairs;
 
     /** Probability [0,1] of flipping one payload byte of a message. */
     double corruptRate = 0.0;

@@ -128,6 +128,18 @@ class Fiber
 
     bool isKilled() const { return killed; }
 
+    /**
+     * Record that the software running on this fiber was moved to a
+     * different PE (VPE migration). Blocking waits that captured state
+     * of the old PE's DTU compare epochs after every wakeup and bail
+     * out with Error::VpeMoved so the caller can re-issue the wait
+     * against the new home.
+     */
+    void noteMoved() { movedEpoch++; }
+
+    /** Monotonic count of migrations this fiber went through. */
+    uint32_t moveEpoch() const { return movedEpoch; }
+
     bool finished() const { return state == State::Finished; }
     State currentState() const { return state; }
     const std::string &fiberName() const { return name; }
@@ -157,6 +169,7 @@ class Fiber
     bool wakeupPending = false;
     bool parked = false;
     bool dispatchPending = false;
+    uint32_t movedEpoch = 0;
     std::vector<Fiber *> joiners;
     Accounting acct;
 

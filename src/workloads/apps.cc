@@ -198,8 +198,8 @@ fftChildMain(const FftParams p)
     auto in = pipePeer(env, /*peerWrites=*/false);
 
     const bool onAccel =
-        env.pe.desc().type == PeType::Accelerator &&
-        env.pe.desc().attr == accel::FFT_ATTR;
+        env.pe().desc().type == PeType::Accelerator &&
+        env.pe().desc().attr == accel::FFT_ATTR;
     const size_t points = p.chunkBytes / sizeof(std::complex<float>);
     std::vector<std::complex<float>> chunk(points);
 

@@ -201,6 +201,46 @@ TEST(Determinism, SingleKernelMatchesSeedPins)
     EXPECT_EQ(h, 0x644597d5ae523cf2ull);
 }
 
+TEST(Determinism, MigrationOffMatchesSeedPins)
+{
+    // Live migration / drain / failover are strictly opt-in: with the
+    // flags at their defaults the machine must take exactly the classic
+    // code paths and replay the SingleKernelMatchesSeedPins pins bit
+    // for bit — same wall cycles, same serialized trace.
+    trace::Tracer::enable(1 << 16);
+    trace::Tracer::reset();
+    Cycles wall = 0;
+    std::string json;
+    {
+        M3SystemCfg cfg;
+        cfg.appPes = 3;
+        cfg.withFs = false;
+        cfg.migration = false;
+        cfg.failover = false;
+        M3System sys(std::move(cfg));
+        sys.runRoot("root", [&] {
+            Env &env = Env::cur();
+            VPE a(env, "a"), b(env, "b");
+            if (a.err() != Error::None || b.err() != Error::None)
+                return 1;
+            a.run([] { Env::cur().compute(120000); return 0; });
+            b.run([] { Env::cur().compute(90000); return 0; });
+            return a.wait() + b.wait();
+        });
+        ASSERT_TRUE(sys.simulate());
+        ASSERT_EQ(sys.rootExitCode(), 0);
+        wall = sys.now();
+        json = trace::Tracer::toJson();
+    }
+    trace::Tracer::disable();
+    uint64_t h = 5381;
+    for (char c : json)
+        h = h * 33 + static_cast<uint8_t>(c);
+    EXPECT_EQ(wall, 125528u);
+    EXPECT_EQ(json.size(), 22039u);
+    EXPECT_EQ(h, 0x644597d5ae523cf2ull);
+}
+
 TEST(Determinism, MultiKernelScalabilityReproduces)
 {
     // Sharded control plane: remote placement, cross-domain session

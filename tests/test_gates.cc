@@ -173,17 +173,17 @@ TEST(Gates, SendGateCreditsVisibleThroughRegisters)
         RecvGate rg(env, 4, 128);
         SendGate sg = SendGate::create(env, rg, 9, 3);
         epid_t ep = sg.acquire();
-        if (env.dtu.credits(ep) != 3)
+        if (env.dtu().credits(ep) != 3)
             return 1;
         Marshaller m = sg.ostream();
         m << uint64_t{0};
         sg.send(m);
-        if (env.dtu.credits(ep) != 2)
+        if (env.dtu().credits(ep) != 2)
             return 2;
         // Consuming + acking without replying does not refund.
         GateIStream is = rg.receive();
         is.ack();
-        return env.dtu.credits(ep) == 2 ? 0 : 3;
+        return env.dtu().credits(ep) == 2 ? 0 : 3;
     });
     ASSERT_TRUE(sys.simulate());
     EXPECT_EQ(sys.rootExitCode(), 0);

@@ -289,15 +289,15 @@ TEST(KernelIsolation, AppPesAreDowngradedAtBoot)
         Env &env = Env::cur();
         // The application's DTU must be unprivileged: local endpoint
         // configuration and external requests are refused in hardware.
-        if (env.dtu.isPrivileged())
+        if (env.dtu().isPrivileged())
             return 1;
         RecvEpCfg cfg;
         cfg.bufAddr = 0;
         cfg.slotCount = 2;
         cfg.slotSize = 128;
-        if (env.dtu.configRecv(5, cfg) != Error::NotPrivileged)
+        if (env.dtu().configRecv(5, cfg) != Error::NotPrivileged)
             return 2;
-        if (env.dtu.extDowngrade(0) != Error::NotPrivileged)
+        if (env.dtu().extDowngrade(0) != Error::NotPrivileged)
             return 3;
         return 0;
     });

@@ -298,17 +298,17 @@ TEST(Multiplex, ScratchpadBytesSurviveContextSwitches)
         auto body = [](uint8_t pattern) {
             Env &e = Env::cur();
             const size_t n = 8 * KiB;
-            spmaddr_t buf = e.spm.alloc(n);
+            spmaddr_t buf = e.spm().alloc(n);
             std::vector<uint8_t> data(n);
             for (size_t i = 0; i < n; ++i)
                 data[i] = static_cast<uint8_t>(pattern ^ (i & 0xff));
-            e.spm.write(buf, data.data(), n);
+            e.spm().write(buf, data.data(), n);
             // Long enough to guarantee several slice expirations while
             // the co-resident runs.
             for (int r = 0; r < 4; ++r) {
                 e.compute(120000);
                 std::vector<uint8_t> got(n);
-                e.spm.read(buf, got.data(), n);
+                e.spm().read(buf, got.data(), n);
                 if (std::memcmp(got.data(), data.data(), n) != 0)
                     return 100 + r;
             }

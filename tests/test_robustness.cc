@@ -434,13 +434,50 @@ TEST(Robustness, WatchdogReclaimsKilledVpe)
             return 3;
         // The kernel must detect the dead child and answer our wait
         // with the involuntary exit code instead of hanging forever.
-        return child.wait() == -2 ? 0 : 4;
+        // The core was killed, so the classification is "PE died"
+        // (EXIT_PE_DEAD), not "program misbehaved" (EXIT_RECLAIMED).
+        return child.wait() == kif::EXIT_PE_DEAD ? 0 : 4;
     });
     ASSERT_TRUE(sys.simulate());
     EXPECT_EQ(sys.rootExitCode(), 0);
     EXPECT_EQ(sys.kernelInstance().stats().watchdogReclaims, 1u);
     EXPECT_EQ(sys.faultPlan()->stats().peKills, 1u);
     EXPECT_GT(sys.kernelInstance().stats().heartbeats, 100u);
+}
+
+TEST(Robustness, WatchdogDistinguishesMisbehavedVpeFromDeadPe)
+{
+    // A VPE that simply stops heartbeating on a perfectly healthy core
+    // gets reclaimed with EXIT_RECLAIMED: the watchdog consults the
+    // core's state (reachable through the DTU either way) to tell a
+    // program failure from a hardware failure.
+    M3SystemCfg cfg;
+    cfg.appPes = 3;
+    cfg.withFs = false;
+    cfg.watchdogDeadline = 50000;
+    cfg.watchdogPeriod = 10000;
+    M3System sys(cfg);
+    sys.runRoot("root", [&] {
+        Env &env = Env::cur();
+        VPE child(env, "hog");
+        if (child.err() != Error::None)
+            return 1;
+        Error e = child.run([] {
+            Env &cenv = Env::cur();
+            // One heartbeat, then silence: an infinite loop that never
+            // services the watchdog again.
+            cenv.heartbeat();
+            for (;;)
+                cenv.fiber.sleep(1000000);
+            return 0;
+        });
+        if (e != Error::None)
+            return 2;
+        return child.wait() == kif::EXIT_RECLAIMED ? 0 : 3;
+    });
+    ASSERT_TRUE(sys.simulate());
+    EXPECT_EQ(sys.rootExitCode(), 0);
+    EXPECT_EQ(sys.kernelInstance().stats().watchdogReclaims, 1u);
 }
 
 TEST(Robustness, PipeWriterTeardownSurvivesDeadReader)

@@ -157,7 +157,7 @@ TEST(System, RevokedGateStopsWorking)
         if (env.revoke(mg.capSel(), true) != Error::None)
             return 2;
         // The kernel invalidated the endpoint; the DTU now refuses.
-        Error e = env.dtu.startWrite(mg.boundEp(), 0, 0, 1);
+        Error e = env.dtu().startWrite(mg.boundEp(), 0, 0, 1);
         return e == Error::InvalidEp ? 0 : 3;
     });
     ASSERT_TRUE(sys.simulate());

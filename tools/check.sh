@@ -73,4 +73,11 @@ echo "=== pipe teardown robustness (sanitized)"
     2>&1 | tee "$obs/pipe_teardown.log"
 grep -q '\[  PASSED  \] 1 test' "$obs/pipe_teardown.log"
 
+# Rolling-restart gate: drain + kill every compute PE once under a
+# fig6-class request workload; the run must finish with byte-identical
+# application output, zero lost in-flight work and no aborted
+# migration. The bench prints the table and enforces the verdicts.
+echo "=== rolling restart drill (live migration)"
+./build-release/bench/robustness --rolling-restart
+
 echo "=== all checks passed"
