@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench/common.hh"
+#include "workloads/engine_opts.hh"
 #include "workloads/runners.hh"
 
 using namespace m3;
@@ -20,11 +21,23 @@ int
 main(int argc, char **argv)
 {
     // --multikernel-only: skip straight to the multi-kernel table (the
-    // CI hook runs just that stage).
+    // CI hook runs just that stage). --threads=N/--shards=K (or
+    // M3_THREADS/M3_SHARDS) engage the parallel engine on rows whose
+    // kernel count matches the requested shard count.
     bool mkOnly = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::string(argv[i]) == "--multikernel-only")
+    workloads::EngineArgs eng;
+    eng.loadEnv();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--multikernel-only")
             mkOnly = true;
+        else if (!eng.parse(arg)) {
+            std::fprintf(stderr, "usage: fig6_scalability "
+                                 "[--multikernel-only] [--threads=N] "
+                                 "[--shards=K]\n");
+            return 2;
+        }
+    }
 
     bool ok = true;
     if (!mkOnly) {
@@ -47,7 +60,9 @@ main(int argc, char **argv)
         bench::cell(b, 12);
         double base = 0;
         for (uint32_t n : counts) {
-            ScalabilityResult r = runM3Scalability(b, n);
+            workloads::M3RunOpts opts;
+            eng.apply(opts);
+            ScalabilityResult r = runM3Scalability(b, n, opts);
             if (r.rc != 0) {
                 std::printf(" run failed (%d)\n", r.rc);
                 allOk = false;
@@ -103,11 +118,13 @@ main(int argc, char **argv)
                   cols2, 14);
     bench::cell("norm. time", 14);
     workloads::M3RunOpts one;
+    eng.apply(one);
     ScalabilityResult base1 = runM3Scalability("find", 1, one);
     std::vector<double> shard;
     for (uint32_t s : services) {
         workloads::M3RunOpts opts;
         opts.fsInstances = s;
+        eng.apply(opts);
         ScalabilityResult r = runM3Scalability("find", 16, opts);
         if (r.rc != 0 || base1.rc != 0) {
             std::printf(" run failed\n");
@@ -203,6 +220,7 @@ main(int argc, char **argv)
         opts.fsInstances = 4;
         opts.fsAppendBlocks = 8;
         opts.timeSetup = true;
+        eng.apply(opts);
         ScalabilityResult base = runM3Scalability("tar", 1, opts);
         ScalabilityResult r = runM3Scalability("tar", 16, opts);
         if (base.rc != 0 || r.rc != 0) {

@@ -23,6 +23,7 @@
 #include "m3fs/client.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
+#include "workloads/engine_opts.hh"
 
 using namespace m3;
 
@@ -228,6 +229,8 @@ main(int argc, char **argv)
     std::string traceFile;
     std::string metricsFile;
     bool rollingRestart = false;
+    workloads::EngineArgs eng;
+    eng.loadEnv();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--trace=", 0) == 0) {
@@ -236,12 +239,22 @@ main(int argc, char **argv)
             metricsFile = arg.substr(10);
         } else if (arg == "--rolling-restart") {
             rollingRestart = true;
+        } else if (eng.parse(arg)) {
+            // Accepted for harness uniformity, but every robustness
+            // scenario injects faults or migrates VPEs — both are
+            // incompatible with the sharded engine, so these runs always
+            // use the serial engine (S=1, where threads cannot bite).
         } else {
             std::fprintf(stderr, "usage: robustness [--trace=FILE] "
-                                 "[--metrics=FILE] [--rolling-restart]\n");
+                                 "[--metrics=FILE] [--rolling-restart]\n"
+                                 "  [--threads=N] [--shards=K] (accepted; "
+                                 "fault/migration runs stay serial)\n");
             return 2;
         }
     }
+    if (eng.shards > 1)
+        std::fprintf(stderr, "robustness: note: --shards ignored — fault "
+                             "injection requires the serial engine\n");
     if (!traceFile.empty())
         trace::Tracer::enable();
     if (!metricsFile.empty())

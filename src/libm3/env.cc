@@ -14,15 +14,14 @@ namespace m3
 namespace
 {
 
-/** Current environment per fiber (fibers interleave on one host thread). */
-std::unordered_map<Fiber *, Env *> &
-envRegistry()
-{
-    static std::unordered_map<Fiber *, Env *> reg;
-    return reg;
-}
-
-/** Pending PE re-homes for VPEs restarting after a failover. */
+/**
+ * Pending PE re-homes for VPEs restarting after a failover. The
+ * fiber -> Env mapping itself lives on the Fiber (Fiber::setUserEnv):
+ * a per-fiber slot needs no synchronization when fibers execute on
+ * different engine shards, where a shared map would (writes to this map
+ * only happen via migration/failover hooks, which the sharded engine
+ * rejects at configuration time).
+ */
 std::unordered_map<vpeid_t, peid_t> &
 pendingHomes()
 {
@@ -45,15 +44,13 @@ Env::Env(Platform &platform, peid_t peId, vpeid_t vpeId)
     xferBufAddr = spm().alloc(XFER_BUF_SIZE);
     seenCtxEpoch = dtu().ctxEpoch();
 
-    envRegistry()[&fiber] = this;
+    fiber.setUserEnv(this);
 }
 
 void
 Env::noteMoved(Fiber *f, peid_t newPe)
 {
-    auto it = envRegistry().find(f);
-    if (it != envRegistry().end()) {
-        Env *env = it->second;
+    if (Env *env = static_cast<Env *>(f->getUserEnv())) {
         env->peId = newPe;
         env->homePe = &env->platform.pe(newPe);
         env->homeSpm = &env->homePe->spm();
@@ -86,13 +83,12 @@ Env::homeOf(vpeid_t vpe, peid_t fallback)
 void
 Env::resetRegistry()
 {
-    envRegistry().clear();
     pendingHomes().clear();
 }
 
 Env::~Env()
 {
-    envRegistry().erase(&fiber);
+    fiber.setUserEnv(nullptr);
 }
 
 Vfs &
@@ -109,10 +105,10 @@ Env::cur()
     Fiber *f = Fiber::current();
     if (!f)
         panic("Env::cur() outside a fiber");
-    auto it = envRegistry().find(f);
-    if (it == envRegistry().end())
+    Env *env = static_cast<Env *>(f->getUserEnv());
+    if (!env)
         panic("fiber '%s' has no environment", f->fiberName().c_str());
-    return *it->second;
+    return *env;
 }
 
 // ---------------------------------------------------------------------

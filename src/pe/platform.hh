@@ -58,6 +58,10 @@ class Platform
           dramMem(std::make_unique<Dram>(spec.dramBytes,
                                          spec.costs.hw.dramLatency))
     {
+        // On a sharded engine the mesh must know the shard map before
+        // any PE (and thus any DTU) can inject packets.
+        if (sim.shardCount() > 1)
+            mesh->attachShards(sim.shards());
         for (peid_t i = 0; i < spec.pes.size(); ++i) {
             peList.push_back(std::make_unique<Pe>(sim, spec.pes[i], *mesh,
                                                   i, i, spec.costs.hw));

@@ -150,6 +150,15 @@ class Fiber
     /** The event queue this fiber runs on. */
     EventQueue &queue() { return eq; }
 
+    /**
+     * Opaque per-fiber slot for the environment object bound to this
+     * fiber (libm3's Env). Lives here instead of in a global map so the
+     * lookup is race-free when fibers run on different engine shards;
+     * sim/ stays below libm3, hence the type erasure.
+     */
+    void setUserEnv(void *env) { userEnv = env; }
+    void *getUserEnv() const { return userEnv; }
+
   private:
     static void trampoline();
 
@@ -172,6 +181,7 @@ class Fiber
     uint32_t movedEpoch = 0;
     std::vector<Fiber *> joiners;
     Accounting acct;
+    void *userEnv = nullptr;
 
     std::unique_ptr<char[]> stack;
     bool contextInitialized = false;

@@ -1,0 +1,231 @@
+#include "sim/shards.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+namespace m3
+{
+
+namespace
+{
+
+/** Saturating add that keeps NEVER an absorbing upper bound. */
+constexpr Cycles
+satAdd(Cycles a, Cycles b)
+{
+    return a > EventQueue::NEVER - b ? EventQueue::NEVER : a + b;
+}
+
+/** std::push_heap/pop_heap comparator for a min-heap of transfers. */
+bool
+heapAfter(const ShardTransfer &a, const ShardTransfer &b)
+{
+    return b.before(a);
+}
+
+} // anonymous namespace
+
+ShardSet::ShardSet(EventQueue &shard0, uint32_t count, Cycles la)
+    : lookahead(la)
+{
+    if (count == 0)
+        panic("ShardSet needs at least one shard");
+    if (la == 0)
+        panic("ShardSet needs a positive lookahead");
+    shards.reserve(count);
+    for (uint32_t s = 0; s < count; ++s) {
+        auto sh = std::make_unique<Shard>();
+        if (s == 0) {
+            sh->eq = &shard0;
+        } else {
+            sh->owned = std::make_unique<EventQueue>();
+            sh->eq = sh->owned.get();
+        }
+        sh->sendSeq.assign(count, 0);
+        shards.push_back(std::move(sh));
+    }
+}
+
+void
+ShardSet::post(uint32_t src, uint32_t dst, Cycles activation,
+               EventQueue::Callback fn)
+{
+    ShardTransfer tr;
+    tr.activation = activation;
+    tr.srcShard = src;
+    tr.seq = shards[src]->sendSeq[dst]++;
+    tr.run = std::move(fn);
+
+    Shard &to = *shards[dst];
+    std::lock_guard<std::mutex> lk(to.inboxMu);
+    to.inbox.push_back(std::move(tr));
+}
+
+void
+ShardSet::drainInbox(Shard &sh)
+{
+    std::vector<ShardTransfer> landed;
+    {
+        std::lock_guard<std::mutex> lk(sh.inboxMu);
+        landed.swap(sh.inbox);
+    }
+    for (ShardTransfer &tr : landed) {
+        sh.staged.push_back(std::move(tr));
+        std::push_heap(sh.staged.begin(), sh.staged.end(), heapAfter);
+    }
+}
+
+Cycles
+ShardSet::nextActivityOf(const Shard &sh)
+{
+    Cycles next = sh.eq->nextCycle();
+    if (!sh.staged.empty() && sh.staged.front().activation < next)
+        next = sh.staged.front().activation;
+    return next;
+}
+
+void
+ShardSet::runShard(Shard &sh, Cycles bound)
+{
+    EventQueue &q = *sh.eq;
+    EventQueue::setActive(&q);
+    for (;;) {
+        const Cycles tq = q.nextCycle();
+        const Cycles tt = sh.staged.empty() ? EventQueue::NEVER
+                                            : sh.staged.front().activation;
+        const Cycles t = tq < tt ? tq : tt;
+        if (t >= bound)
+            break;
+        if (tq <= tt) {
+            // Local events run first at equal cycles: a transfer posted
+            // at cycle t activates at t + L, so anything already queued
+            // locally for that cycle logically precedes it.
+            q.runOne();
+            sh.executed++;
+        } else {
+            std::pop_heap(sh.staged.begin(), sh.staged.end(), heapAfter);
+            ShardTransfer tr = std::move(sh.staged.back());
+            sh.staged.pop_back();
+            q.advanceTo(tr.activation);
+            tr.run();
+            sh.executed++;
+            sh.transfersRun++;
+        }
+    }
+    EventQueue::setActive(nullptr);
+}
+
+uint64_t
+ShardSet::run(Cycles limit, uint32_t threads)
+{
+    const uint32_t S = count();
+    const uint32_t N = std::min(std::max(threads, 1u), S);
+
+    // One round of the barrier-window loop, from worker @p w's point of
+    // view; sync() separates the three stages. Returns false when the
+    // whole machine is done (drained, or the window passed the limit) —
+    // every worker computes the same verdict from the same published
+    // values, so they all leave together and the barrier stays balanced.
+    auto round = [&](uint32_t w, auto &&sync) -> bool {
+        // Phase 1: land cross-shard transfers, publish earliest activity.
+        // Nobody posts during this phase (posting happens only inside
+        // phase 2), so the published values stay stable until every
+        // worker has passed the next sync point and read them.
+        for (uint32_t s = w; s < S; s += N) {
+            Shard &sh = *shards[s];
+            drainInbox(sh);
+            sh.nextActivity.store(nextActivityOf(sh),
+                                  std::memory_order_relaxed);
+        }
+        sync();
+        Cycles m = EventQueue::NEVER;
+        for (const auto &sh : shards) {
+            Cycles a = sh->nextActivity.load(std::memory_order_relaxed);
+            if (a < m)
+                m = a;
+        }
+        if (m == EventQueue::NEVER || m > limit)
+            return false;
+        // Phase 2: execute the window [m, m + L). Any transfer posted
+        // now activates at or after m + L, i.e. outside this window; it
+        // lands next round, after the trailing sync has made it visible.
+        const Cycles bound = std::min(satAdd(m, lookahead), satAdd(limit, 1));
+        for (uint32_t s = w; s < S; s += N)
+            runShard(*shards[s], bound);
+        sync();
+        return true;
+    };
+
+    if (N == 1) {
+        auto noSync = [] {};
+        while (round(0, noSync)) {
+        }
+    } else {
+        std::barrier<> gate(N);
+        auto sync = [&gate] { gate.arrive_and_wait(); };
+        auto work = [&](uint32_t w) {
+            while (round(w, sync)) {
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(N - 1);
+        for (uint32_t w = 1; w < N; ++w)
+            pool.emplace_back(work, w);
+        work(0);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    uint64_t executed = 0;
+    for (const auto &sh : shards) {
+        executed += sh->executed;
+        sh->executed = 0;
+    }
+    return executed;
+}
+
+bool
+ShardSet::anyPending() const
+{
+    for (const auto &sh : shards) {
+        if (!sh->eq->empty() || !sh->staged.empty())
+            return true;
+        std::lock_guard<std::mutex> lk(sh->inboxMu);
+        if (!sh->inbox.empty())
+            return true;
+    }
+    return false;
+}
+
+Cycles
+ShardSet::maxCycle() const
+{
+    Cycles c = 0;
+    for (const auto &sh : shards)
+        if (sh->eq->curCycle() > c)
+            c = sh->eq->curCycle();
+    return c;
+}
+
+SimStats
+ShardSet::foldedStats() const
+{
+    SimStats out;
+    for (const auto &sh : shards) {
+        const SimStats &s = sh->eq->stats();
+        out.eventsScheduled += s.eventsScheduled;
+        out.eventsExecuted += s.eventsExecuted;
+        out.callbackHeapFallbacks += s.callbackHeapFallbacks;
+        if (s.peakPending > out.peakPending)
+            out.peakPending = s.peakPending;
+        // Cross-shard transfers execute outside any queue; fold them in
+        // so the engine totals cover every piece of simulated work.
+        out.eventsExecuted += sh->transfersRun;
+        for (uint64_t posted : sh->sendSeq)
+            out.eventsScheduled += posted;
+    }
+    return out;
+}
+
+} // namespace m3

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The parallel discrete-event engine: a set of event-queue shards driven
+ * by host worker threads under conservative (barrier-window) synchrony.
+ *
+ * Each shard owns one EventQueue plus an inbox of timestamped transfers
+ * posted by other shards (cross-cluster NoC packets). Workers advance in
+ * global rounds: every round first computes the earliest activity M over
+ * all shards, then executes every event with cycle < M + L, where L is
+ * the lookahead — the minimum simulated latency of any cross-shard
+ * interaction (two mesh hops for adjacent clusters). A transfer posted
+ * while executing round [M, M+L) activates at or after M + L, so it can
+ * never land inside the window being executed; draining inboxes strictly
+ * between rounds therefore preserves global timestamp order.
+ *
+ * Determinism does not depend on the host thread count: the window bound
+ * M is a pure function of simulated state (all shards' next-event cycles,
+ * stabilized by a barrier), each shard merges its local events with its
+ * staged transfers in a fixed order (locals first at equal cycle, then
+ * transfers by (activation, source shard, sequence)), and per-(src,dst)
+ * sequence numbers are assigned on the sending shard in its deterministic
+ * execution order. The same machine therefore produces bit-identical
+ * simulated state at any thread count; threads only change which host
+ * core runs which shard.
+ */
+
+#ifndef M3_SIM_SHARDS_HH
+#define M3_SIM_SHARDS_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace m3
+{
+
+/** A timestamped cross-shard handoff, executed on the destination. */
+struct ShardTransfer
+{
+    Cycles activation; //!< earliest cycle the destination may run this
+    uint32_t srcShard; //!< posting shard (tie-break after activation)
+    uint64_t seq;      //!< per-(src,dst) sequence (final tie-break)
+    EventQueue::Callback run;
+
+    bool
+    before(const ShardTransfer &o) const
+    {
+        if (activation != o.activation)
+            return activation < o.activation;
+        if (srcShard != o.srcShard)
+            return srcShard < o.srcShard;
+        return seq < o.seq;
+    }
+};
+
+/**
+ * Owns the per-shard queues and inboxes and runs the barrier-window
+ * loop. Shard 0 aliases the simulator's legacy queue so components that
+ * captured it before sharding was configured keep working unchanged.
+ */
+class ShardSet
+{
+  public:
+    /**
+     * @param shard0    the simulator's own queue, adopted as shard 0
+     * @param count     number of shards (>= 1)
+     * @param lookahead minimum cross-shard latency L in cycles (> 0)
+     */
+    ShardSet(EventQueue &shard0, uint32_t count, Cycles lookahead);
+
+    ShardSet(const ShardSet &) = delete;
+    ShardSet &operator=(const ShardSet &) = delete;
+
+    uint32_t count() const { return static_cast<uint32_t>(shards.size()); }
+    Cycles lookaheadCycles() const { return lookahead; }
+
+    EventQueue &queue(uint32_t s) { return *shards[s]->eq; }
+    const EventQueue &queue(uint32_t s) const { return *shards[s]->eq; }
+
+    /**
+     * Post a transfer from shard @p src to shard @p dst, runnable at
+     * @p activation or later. Must be called from @p src's execution
+     * context (the sequence number is taken from the sender's counter).
+     */
+    void post(uint32_t src, uint32_t dst, Cycles activation,
+              EventQueue::Callback fn);
+
+    /**
+     * Run all shards until every queue and inbox drains or the global
+     * window passes @p limit, using up to @p threads host threads (the
+     * calling thread counts as one). @return events executed in total.
+     */
+    uint64_t run(Cycles limit, uint32_t threads);
+
+    /** True if any shard still has queued events or undrained transfers. */
+    bool anyPending() const;
+
+    /** The maximum clock over all shards. */
+    Cycles maxCycle() const;
+
+    /** Engine counters summed over all shards (deterministic fold). */
+    SimStats foldedStats() const;
+
+  private:
+    struct Shard
+    {
+        EventQueue *eq = nullptr;          //!< points at owned or shard0
+        std::unique_ptr<EventQueue> owned; //!< shards 1..S-1 own theirs
+
+        mutable std::mutex inboxMu;
+        std::vector<ShardTransfer> inbox;  //!< landing zone (locked)
+        std::vector<ShardTransfer> staged; //!< min-heap, owner-private
+
+        /** Earliest local activity, republished each round (phase 1). */
+        std::atomic<Cycles> nextActivity{0};
+
+        /** Per-destination sequence counters (written by owner only). */
+        std::vector<uint64_t> sendSeq;
+
+        uint64_t executed = 0;     //!< events this run() call (reset after)
+        uint64_t transfersRun = 0; //!< monotonic, folded into stats
+    };
+
+    /** Drain the locked inbox into the owner-private staged heap. */
+    void drainInbox(Shard &sh);
+
+    /**
+     * Execute shard events with cycle < @p bound, merging local queue
+     * events and staged transfers (locals first at equal cycle).
+     */
+    void runShard(Shard &sh, Cycles bound);
+
+    /** Earliest cycle shard @p sh could next act at. */
+    static Cycles nextActivityOf(const Shard &sh);
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    Cycles lookahead;
+};
+
+} // namespace m3
+
+#endif // M3_SIM_SHARDS_HH

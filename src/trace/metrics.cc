@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <map>
+#include <mutex>
 
 namespace m3
 {
@@ -24,6 +25,10 @@ struct Registry
     std::map<std::string, Counter> counters;
     std::map<std::string, Gauge> gauges;
     std::map<std::string, Histogram> histograms;
+    /** Guards map *insertion* (shards may first-touch a metric
+     *  concurrently); the cells themselves are atomics, and map nodes
+     *  are stable, so cached references never need the lock. */
+    std::mutex mu;
 };
 
 Registry &
@@ -38,30 +43,44 @@ reg()
 void
 Metrics::reset()
 {
-    for (auto &[name, c] : reg().counters)
-        c = Counter{};
-    for (auto &[name, g] : reg().gauges)
-        g = Gauge{};
-    for (auto &[name, h] : reg().histograms)
-        h = Histogram{};
+    Registry &r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (auto &[name, c] : r.counters)
+        c.value.store(0, std::memory_order_relaxed);
+    for (auto &[name, g] : r.gauges)
+        g.value.store(0, std::memory_order_relaxed);
+    for (auto &[name, h] : r.histograms) {
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+        h.minVal.store(~uint64_t(0), std::memory_order_relaxed);
+        h.maxVal.store(0, std::memory_order_relaxed);
+        for (auto &b : h.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
 }
 
 Counter &
 Metrics::counter(const std::string &name)
 {
-    return reg().counters[name];
+    Registry &r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    return r.counters[name];
 }
 
 Gauge &
 Metrics::gauge(const std::string &name)
 {
-    return reg().gauges[name];
+    Registry &r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    return r.gauges[name];
 }
 
 Histogram &
 Metrics::histogram(const std::string &name)
 {
-    return reg().histograms[name];
+    Registry &r = reg();
+    std::lock_guard<std::mutex> lk(r.mu);
+    return r.histograms[name];
 }
 
 std::string
@@ -102,7 +121,7 @@ Metrics::toJson()
             first ? "" : ",", name.c_str(),
             static_cast<unsigned long long>(h.count),
             static_cast<unsigned long long>(h.sum),
-            static_cast<unsigned long long>(h.count ? h.minVal : 0),
+            static_cast<unsigned long long>(h.count ? h.minVal.load() : 0),
             static_cast<unsigned long long>(h.maxVal));
         out += buf;
         // Sparse dump: [bit-width, count] pairs for non-empty buckets.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace m3
@@ -72,6 +73,9 @@ struct Sink
     uint64_t nextFlow = 1;
     Tracer::ClockFn clockFn = nullptr;
     const void *clockCtx = nullptr;
+    /** Parallel-engine mode: guard sink mutation with `mu`. */
+    bool parallel = false;
+    std::mutex mu;
 };
 
 Sink &
@@ -81,10 +85,29 @@ sink()
     return s;
 }
 
+/** Lock the sink only in parallel mode (serial tracing stays lock-free). */
+struct SinkGuard
+{
+    explicit SinkGuard(Sink &s)
+    {
+        if (s.parallel) {
+            s.mu.lock();
+            locked = &s.mu;
+        }
+    }
+    ~SinkGuard()
+    {
+        if (locked)
+            locked->unlock();
+    }
+    std::mutex *locked = nullptr;
+};
+
 void
 record(TrackId t, char phase, uint64_t ts, uint64_t arg, const char *name)
 {
     Sink &s = sink();
+    SinkGuard g(s);
     s.tracks[t].push(Event{ts, arg, name, phase}, s.ringCapacity);
 }
 
@@ -119,8 +142,15 @@ void
 Tracer::reset()
 {
     Sink &s = sink();
+    SinkGuard g(s);
     s.tracks.clear();
     s.nextFlow = 1;
+}
+
+void
+Tracer::setParallel(bool enabled)
+{
+    sink().parallel = enabled;
 }
 
 void
@@ -150,7 +180,9 @@ Tracer::nowCycle()
 void
 Tracer::trackName(TrackId t, const std::string &name)
 {
-    sink().tracks[t].name = name;
+    Sink &s = sink();
+    SinkGuard g(s);
+    s.tracks[t].name = name;
 }
 
 void
@@ -198,7 +230,11 @@ Tracer::flowEnd(TrackId t, uint64_t ts, uint64_t id, const char *name)
 uint64_t
 Tracer::nextFlowId()
 {
-    return sink().nextFlow++;
+    // Only the serial engine draws from this global sequence; a sharded
+    // NoC derives flow ids from per-shard counters instead (noc.cc).
+    Sink &s = sink();
+    SinkGuard g(s);
+    return s.nextFlow++;
 }
 
 uint64_t

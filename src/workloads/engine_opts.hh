@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Host-engine knobs shared by every bench front end: `--threads=N` and
+ * `--shards=K` flags with `M3_THREADS` / `M3_SHARDS` environment
+ * fallbacks (flag wins over env, env over the default).
+ *
+ * `threads` is pure host parallelism — it never changes the simulated
+ * machine. `shards` partitions the engine along kernel domains and the
+ * engine requires shards == numKernels, so apply() engages sharding only
+ * on runs whose kernel count matches the requested partition; all other
+ * runs stay on the serial (S=1) engine. Fault-injection and
+ * migration/multiplex configurations are incompatible with sharding and
+ * keep S=1 regardless.
+ */
+
+#ifndef M3_WORKLOADS_ENGINE_OPTS_HH
+#define M3_WORKLOADS_ENGINE_OPTS_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "workloads/runners.hh"
+
+namespace m3
+{
+namespace workloads
+{
+
+struct EngineArgs
+{
+    uint32_t threads = 1;
+    uint32_t shards = 0;  //!< 0 = never shard
+
+    /** Read M3_THREADS / M3_SHARDS (call before parsing flags). */
+    void
+    loadEnv()
+    {
+        if (const char *e = std::getenv("M3_THREADS"))
+            threads = parseCount(e, threads);
+        if (const char *e = std::getenv("M3_SHARDS"))
+            shards = parseCount(e, shards);
+    }
+
+    /** Consume `--threads=N` / `--shards=K`. @return true if @p arg was ours. */
+    bool
+    parse(const std::string &arg)
+    {
+        if (arg.rfind("--threads=", 0) == 0) {
+            threads = parseCount(arg.c_str() + 10, 1);
+            return true;
+        }
+        if (arg.rfind("--shards=", 0) == 0) {
+            shards = parseCount(arg.c_str() + 9, 0);
+            return true;
+        }
+        return false;
+    }
+
+    /** Apply to one M3 run (see the file comment for the shard rule). */
+    void
+    apply(M3RunOpts &opts) const
+    {
+        opts.threads = threads ? threads : 1;
+        if (shards > 1 && shards == opts.numKernels)
+            opts.shards = shards;
+    }
+
+  private:
+    static uint32_t
+    parseCount(const char *s, uint32_t fallback)
+    {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(s, &end, 10);
+        return (end != s && *end == '\0') ? static_cast<uint32_t>(v)
+                                          : fallback;
+    }
+};
+
+} // namespace workloads
+} // namespace m3
+
+#endif // M3_WORKLOADS_ENGINE_OPTS_HH

@@ -1,5 +1,6 @@
 #include "workloads/runners.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "base/logging.hh"
@@ -24,6 +25,8 @@ makeM3Cfg(const FsSetup &setup, const M3RunOpts &opts)
     M3SystemCfg cfg;
     cfg.appPes = opts.appPes;
     cfg.numKernels = opts.numKernels;
+    cfg.shards = opts.shards;
+    cfg.threads = opts.threads;
     cfg.costs = opts.costs;
     cfg.fsCfg.appendBlocks = opts.fsAppendBlocks;
     cfg.fsCfg.backgroundZero = opts.fsBackgroundZero;
@@ -224,12 +227,19 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
     cfg.costs = opts.costs;
     cfg.fsInstances = opts.fsInstances;
     cfg.numKernels = opts.numKernels;
-    cfg.dramBytes = 256 * MiB;  // images + one pipe ring per instance
+    cfg.shards = opts.shards;
+    cfg.threads = opts.threads;
+    // Images + one pipe ring per instance. The classic runs (<= 16
+    // instances) keep their exact historical sizes; larger machines
+    // (the 256-PE engine-scaling workloads) grow proportionally.
+    cfg.dramBytes = std::max<size_t>(256 * MiB,
+                                     size_t(instances) * 16 * MiB);
     // Sec. 5.7: DRAM transfers become spins of equal time.
     cfg.costs.spinDataTransfers = true;
     cfg.fsCfg.appendBlocks = opts.fsAppendBlocks;
-    cfg.fsSpec.totalBlocks = 65536;  // room for every instance
-    cfg.fsSpec.totalInodes = 2048;
+    cfg.fsSpec.totalBlocks =
+        std::max<uint32_t>(65536, instances * 4096);  // room for every inst
+    cfg.fsSpec.totalInodes = std::max<uint32_t>(2048, instances * 128);
     const uint32_t fsN = opts.fsInstances;
     for (uint32_t i = 0; i < instances; ++i) {
         FsSetup setup;

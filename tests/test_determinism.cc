@@ -316,6 +316,36 @@ TEST(Determinism, MultiKernelRandomWorkloadPins)
     }
 }
 
+TEST(Determinism, ThreadCountInvariant)
+{
+    // The parallel engine's core promise: the simulated machine is a
+    // pure function of the configuration — the host thread count only
+    // changes which core drives which shard. A fig6-class multi-kernel
+    // machine with the engine sharded along its 4 domains must produce
+    // identical per-instance cycles, event counts and trace bytes at
+    // every thread count.
+    auto run = [](uint32_t threads) {
+        trace::Tracer::enable(1 << 16);
+        trace::Tracer::reset();
+        M3RunOpts opts;
+        opts.numKernels = 4;
+        opts.fsInstances = 4;
+        opts.shards = 4;
+        opts.threads = threads;
+        ScalabilityResult r = runM3Scalability("tar", 8, opts);
+        std::string json = trace::Tracer::toJson();
+        trace::Tracer::disable();
+        return std::make_tuple(r.rc, r.instances, r.events, json);
+    };
+    auto base = run(1);
+    ASSERT_EQ(std::get<0>(base), 0);
+    ASSERT_GT(std::get<3>(base).size(), 0u);
+    for (uint32_t threads : {2u, 4u, 8u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        EXPECT_EQ(run(threads), base);
+    }
+}
+
 } // anonymous namespace
 } // namespace workloads
 } // namespace m3

@@ -16,6 +16,10 @@
  *   --accel            fft: use the FFT accelerator PE
  *   --instances N      scalability mode: N parallel instances (M3)
  *   --fs-instances K   shard the clients over K m3fs instances
+ *   --kernels K        shard the control plane over K kernels
+ *   --shards=K         shard the engine (requires K == --kernels)
+ *   --threads=N        host threads driving the engine shards
+ *                      (M3_SHARDS / M3_THREADS env set the defaults)
  *   --bytes N          transfer size for read/write/pipe (default 2 MiB)
  *   --buf N            buffer size (default 4096)
  *   --append-blocks N  m3fs allocation granularity (default 256)
@@ -34,6 +38,7 @@
 
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
+#include "workloads/engine_opts.hh"
 #include "workloads/generators.hh"
 #include "workloads/micro.hh"
 #include "workloads/runners.hh"
@@ -52,6 +57,7 @@ usage()
         "usage: m3bench <cat+tr|tar|untar|find|sqlite|fft|read|write|"
         "pipe|syscall> [options]\n"
         "  --lx --lx-hit --arm --accel --instances N --fs-instances K\n"
+        "  --kernels K --shards=K --threads=N\n"
         "  --bytes N --buf N --append-blocks N --frag N --json\n"
         "  --workload NAME --trace=FILE --metrics=FILE\n");
     std::exit(2);
@@ -122,6 +128,8 @@ main(int argc, char **argv)
     MicroOpts micro;
     M3RunOpts m3opts;
     LxRunOpts lxopts;
+    EngineArgs eng;
+    eng.loadEnv();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -147,6 +155,10 @@ main(int argc, char **argv)
             instances = static_cast<uint32_t>(intArg("instances"));
         } else if (arg == "--fs-instances") {
             m3opts.fsInstances = static_cast<uint32_t>(intArg("fs"));
+        } else if (arg == "--kernels") {
+            m3opts.numKernels = static_cast<uint32_t>(intArg("k"));
+        } else if (eng.parse(arg)) {
+            // --threads= / --shards= handled by EngineArgs.
         } else if (arg == "--bytes") {
             micro.fileBytes = intArg("bytes");
         } else if (arg == "--buf") {
@@ -175,6 +187,7 @@ main(int argc, char **argv)
     }
     if (workload.empty())
         usage();
+    eng.apply(m3opts);
     micro.m3 = m3opts;
 
     if (!traceFile.empty())
