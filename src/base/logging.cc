@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace m3
@@ -41,6 +42,21 @@ LogLevel Log::level = initLevel();
 
 namespace
 {
+
+/**
+ * One emit per line, serialized: the parallel engine's workers log
+ * concurrently, and while each emit is a single fprintf of a fully
+ * formatted line, POSIX only promises atomicity per stdio call on the
+ * same stream — a process-wide mutex guarantees lines are never torn
+ * regardless of libc, and it costs nothing when logging is quiet
+ * (callers check Log::level before calling into these).
+ */
+std::mutex &
+emitLock()
+{
+    static std::mutex mu;
+    return mu;
+}
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -88,6 +104,7 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lk(emitLock());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -98,6 +115,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lk(emitLock());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
@@ -108,6 +126,7 @@ traceImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lk(emitLock());
     std::fprintf(stdout, "trace: %s\n", msg.c_str());
 }
 

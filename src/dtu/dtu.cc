@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "sim/fault_plan.hh"
 #include "trace/metrics.hh"
+#include "trace/reqtrace.hh"
 #include "trace/trace.hh"
 
 namespace m3
@@ -393,7 +394,7 @@ Dtu::restoreCtxLocal(const CtxState &st)
     parkedMsgs.erase(it);
     for (ParkedMsg &m : pending) {
         dtuStats.msgsUnparked++;
-        handleMsg(m.ep, m.hdr, std::move(m.payload));
+        handleMsg(m.ep, m.hdr, std::move(m.payload), m.rctx);
     }
 }
 
@@ -620,10 +621,23 @@ Dtu::startSend(epid_t id, spmaddr_t msgAddr, uint32_t size, epid_t replyEp,
     logtrace("node%u: send ep%u -> node%u ep%u label=%llx size=%u",
              nocId, id, r.send.targetNode, tep,
              (unsigned long long)r.send.label, size);
-    noc.send(nocId, r.send.targetNode, size,
-             [target, tep, hdr, payload = std::move(payload)]() mutable {
-                 target->handleMsg(tep, hdr, std::move(payload));
-             });
+    // Request-tracing shadow: if the sending fiber carries a request
+    // context, open a new span and ship its context with the message.
+    // Host-side state only — it adds no payload bytes and no cycles.
+    uint64_t rctx = 0;
+    if (M3_REQTRACE_ON) {
+        if (Fiber *f = Fiber::current(); f && f->reqCtx())
+            rctx = trace::ReqTrace::msgSent(f->reqCtx(), eq.curCycle(),
+                                            nocId);
+    }
+    auto deliver = [target, tep, hdr, rctx,
+                    payload = std::move(payload)]() mutable {
+        target->handleMsg(tep, hdr, std::move(payload), rctx);
+    };
+    static_assert(Noc::DeliverFn::fitsInline<decltype(deliver)>(),
+                  "DTU delivery closure must stay within SmallFn's "
+                  "inline storage (no heap on the message path)");
+    noc.send(nocId, r.send.targetNode, size, std::move(deliver));
 
     // The source side is free again once the tail left the injection port.
     Cycles ser = (size + hw.msgHeaderSize + hw.nocBytesPerCycle - 1) /
@@ -693,6 +707,16 @@ Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
 
     // Replying also acknowledges the slot (frees it for new messages).
     recvState[id].slots[slot].s = RecvSlotState::S::Free;
+    // Request-tracing shadow: the reply closes the span stored with the
+    // slot, regardless of what context the replying fiber carries now —
+    // this is what makes deferred (continuation-style) replies attribute
+    // correctly.
+    uint64_t rctx = recvState[id].rctx[slot];
+    recvState[id].rctx[slot] = 0;
+    if (M3_REQTRACE_ON && rctx)
+        trace::ReqTrace::replySent(rctx, eq.curCycle(), nocId);
+    else
+        rctx = 0;
 
     busy = true;
     if (M3_TRACE_ON)
@@ -702,10 +726,14 @@ Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
 
     Dtu *target = dtuAt(orig.senderNode);
     epid_t tep = orig.replyEp;
-    noc.send(nocId, orig.senderNode, size,
-             [target, tep, hdr, payload = std::move(payload)]() mutable {
-                 target->handleMsg(tep, hdr, std::move(payload));
-             });
+    auto deliver = [target, tep, hdr, rctx,
+                    payload = std::move(payload)]() mutable {
+        target->handleMsg(tep, hdr, std::move(payload), rctx);
+    };
+    static_assert(Noc::DeliverFn::fitsInline<decltype(deliver)>(),
+                  "DTU delivery closure must stay within SmallFn's "
+                  "inline storage (no heap on the message path)");
+    noc.send(nocId, orig.senderNode, size, std::move(deliver));
 
     Cycles ser = (size + hw.msgHeaderSize + hw.nocBytesPerCycle - 1) /
                  hw.nocBytesPerCycle;
@@ -715,7 +743,7 @@ Dtu::startReply(epid_t id, uint32_t slot, spmaddr_t msgAddr, uint32_t size)
 
 void
 Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
-               std::vector<uint8_t> payload)
+               std::vector<uint8_t> payload, uint64_t rctx)
 {
     if (payloadChecksum(payload.data(), payload.size()) != hdr.payloadSum) {
         // Bit error on the wire: drop the whole message. Software sees
@@ -743,7 +771,7 @@ Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
                 return;
             }
             parked->second.push_back(
-                ParkedMsg{id, hdr, std::move(payload)});
+                ParkedMsg{id, hdr, std::move(payload), rctx});
             dtuStats.msgsParked++;
             logtrace("node%u: park at ep%u: gen %u descheduled "
                      "(resident %u)", nocId, id, hdr.targetGen,
@@ -790,6 +818,10 @@ Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
     }
     st.wrPos = (slot + 1) % cfg.slotCount;
     st.slots[slot].s = RecvSlotState::S::Ready;
+    st.rctx[slot] = rctx;
+    if (M3_REQTRACE_ON && rctx)
+        trace::ReqTrace::msgArrived(rctx, eq.curCycle(), nocId,
+                                    hdr.isReply());
 
     spmaddr_t addr = cfg.bufAddr + slot * cfg.slotSize;
     spm.write(addr, &hdr, sizeof(hdr));
@@ -969,6 +1001,17 @@ Dtu::fetchMsg(epid_t id)
         if (st.slots[cand].s == RecvSlotState::S::Ready) {
             st.slots[cand].s = RecvSlotState::S::Fetched;
             st.rdPos = (cand + 1) % r.recv.slotCount;
+            // Request-tracing shadow: the fetching fiber adopts the
+            // message's context (and drops whatever it carried), so
+            // syscall handling, service loops and client reply pickup
+            // all attribute to the right request automatically.
+            if (M3_REQTRACE_ON) {
+                uint64_t rctx = st.rctx[cand];
+                if (Fiber *f = Fiber::current())
+                    f->setReqCtx(rctx);
+                if (rctx)
+                    trace::ReqTrace::msgFetched(rctx, eq.curCycle());
+            }
             return static_cast<int>(cand);
         }
     }

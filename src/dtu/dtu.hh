@@ -78,6 +78,12 @@ class Dtu
         std::array<RecvSlotState, MAX_SLOTS> slots;
         uint32_t rdPos = 0;  //!< next slot to fetch
         uint32_t wrPos = 0;  //!< next slot the DTU writes to
+        /** Request-tracing context shadowing each ring slot: pure
+         *  host-side observability state. It rides neither in the SPM
+         *  ring nor in CTX_WIRE_BYTES — the simulated machine never
+         *  sees it — but travels with CtxState copies so parked/restored
+         *  VPEs keep their request attribution. */
+        std::array<uint64_t, MAX_SLOTS> rctx{};
     };
 
     /**
@@ -389,11 +395,14 @@ class Dtu
         epid_t ep;
         MessageHeader hdr;
         std::vector<uint8_t> payload;
+        uint64_t rctx = 0;  //!< request-tracing shadow (host-side only)
     };
 
-    /** Incoming message (runs at packet arrival on the receive side). */
+    /** Incoming message (runs at packet arrival on the receive side).
+     *  @p rctx is the request-tracing context shipped alongside the
+     *  message as host-side shadow state (0 = untraced). */
     void handleMsg(epid_t ep, const MessageHeader &hdr,
-                   std::vector<uint8_t> payload);
+                   std::vector<uint8_t> payload, uint64_t rctx = 0);
 
     /** Apply an external configuration (receive side). */
     Error applyExtConfig(epid_t ep, const EpRegs &regs);

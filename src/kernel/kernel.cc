@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "dtu/regs.hh"
 #include "trace/metrics.hh"
+#include "trace/reqtrace.hh"
 #include "trace/trace.hh"
 
 namespace m3
@@ -301,6 +302,11 @@ Kernel::run()
         }
         while ((slot = kdtu().fetchMsg(KEP_SYSC)) >= 0)
             handleSyscall(static_cast<uint32_t>(slot));
+        // Message handling done: drop whatever request context the last
+        // fetch left on this fiber, so timer-driven kernel work below is
+        // never mis-attributed to an application request.
+        if (M3_REQTRACE_ON)
+            Fiber::current()->setReqCtx(0);
         if (!pendingDrains.empty())
             checkDrains();
         if (watchdogPeriod)

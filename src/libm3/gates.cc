@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "trace/metrics.hh"
+#include "trace/reqtrace.hh"
 #include "trace/trace.hh"
 
 namespace m3
@@ -295,7 +296,14 @@ SendGate::callTimed(Marshaller &m, RecvGate &replyGate, Error &err)
                     trace::Metrics::counter("dtu.credit_stall_cycles");
                 cs.add(backoff);
             }
+            Cycles s0 = env.platform.simulator().curCycle();
             pace();
+            if (M3_REQTRACE_ON) {
+                if (Fiber *f = Fiber::current(); f && f->reqCtx())
+                    trace::ReqTrace::noteCreditStall(
+                        f->reqCtx(),
+                        env.platform.simulator().curCycle() - s0);
+            }
             continue;
         }
         if (se != Error::None) {

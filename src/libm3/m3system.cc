@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "trace/metrics.hh"
+#include "trace/reqtrace.hh"
 #include "trace/trace.hh"
 
 namespace m3
@@ -60,6 +61,10 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
         if (trace::Tracer::on) {
             trace::Tracer::setParallel(true);
             tracerParallel = true;
+        }
+        if (trace::ReqTrace::on) {
+            trace::ReqTrace::setParallel(true);
+            reqTraceParallel = true;
         }
     }
     sim.setThreads(cfg.threads);
@@ -194,6 +199,15 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
                                      "noc n" + std::to_string(n));
         }
         trace::Tracer::trackName(trace::nocTrack(plat->dramNode()), "dram");
+        // Request tracks appear only when request tracing is armed, so
+        // plain traces keep the seed's track set byte-for-byte.
+        if (trace::ReqTrace::on) {
+            for (peid_t p = 0; p < plat->peCount(); ++p) {
+                uint32_t n = plat->nocIdOf(p);
+                trace::Tracer::trackName(trace::reqTrack(n),
+                                         "req pe" + std::to_string(p));
+            }
+        }
         // Multi-kernel machines label each kernel's track; single-kernel
         // machines keep the seed's track names byte-for-byte.
         if (cfg.numKernels > 1) {
@@ -212,6 +226,8 @@ M3System::~M3System()
     trace::Tracer::clearClock(&sim);
     if (tracerParallel)
         trace::Tracer::setParallel(false);
+    if (reqTraceParallel)
+        trace::ReqTrace::setParallel(false);
 }
 
 void

@@ -221,6 +221,7 @@ class M3System
 
     bool rootInstalled = false;
     bool tracerParallel = false; //!< this machine switched the tracer
+    bool reqTraceParallel = false; //!< ditto for the request tracer
     bool rootDone = false;
     int rootExit = -1;
     uint64_t eventsRun = 0;

@@ -10,6 +10,7 @@
 #include "m3fs/block_cache.hh"
 #include "m3fs/fs_proto.hh"
 #include "trace/metrics.hh"
+#include "trace/reqtrace.hh"
 #include "trace/trace.hh"
 
 namespace m3
@@ -109,6 +110,13 @@ class Server
             // Meta-data updates of this request reach the image before
             // the next request is served (write-back, batched).
             cache->flushAll();
+            // The reply went out inside the handler; the write-back above
+            // is housekeeping, so drop the adopted request context before
+            // blocking for the next message.
+            if (M3_REQTRACE_ON) {
+                if (Fiber *f = Fiber::current())
+                    f->setReqCtx(0);
+            }
             if (!keepRunning)
                 return 0;
         }

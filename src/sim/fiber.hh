@@ -159,6 +159,15 @@ class Fiber
     void setUserEnv(void *env) { userEnv = env; }
     void *getUserEnv() const { return userEnv; }
 
+    /**
+     * Request-tracing context (trace::ReqCtx) currently carried by the
+     * software on this fiber: adopted from every message it fetches,
+     * stamped onto every message it sends. Pure host-side shadow state —
+     * sim/ never reads it; the DTU and the request-tracing sink do.
+     */
+    void setReqCtx(uint64_t ctx) { reqCtxVal = ctx; }
+    uint64_t reqCtx() const { return reqCtxVal; }
+
   private:
     static void trampoline();
 
@@ -182,6 +191,7 @@ class Fiber
     std::vector<Fiber *> joiners;
     Accounting acct;
     void *userEnv = nullptr;
+    uint64_t reqCtxVal = 0;
 
     std::unique_ptr<char[]> stack;
     bool contextInitialized = false;

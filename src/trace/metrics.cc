@@ -38,6 +38,30 @@ reg()
     return r;
 }
 
+/**
+ * Estimate the @p permille quantile (nearest rank) from log2 buckets.
+ * Reported as the bucket's inclusive upper edge — a conservative bound
+ * — since exact values are folded away: bucket 0 -> 0, bucket i ->
+ * 2^i - 1, bucket 64 -> UINT64_MAX.
+ */
+uint64_t
+bucketQuantile(const Histogram &h, uint64_t total, uint32_t permille)
+{
+    uint64_t rank = (total - 1) * permille / 1000;  // 0-based nearest rank
+    uint64_t seen = 0;
+    for (uint32_t i = 0; i < Histogram::BUCKETS; ++i) {
+        seen += h.buckets[i].load(std::memory_order_relaxed);
+        if (seen > rank) {
+            if (i == 0)
+                return 0;
+            if (i >= 64)
+                return ~uint64_t(0);
+            return (uint64_t(1) << i) - 1;
+        }
+    }
+    return ~uint64_t(0);
+}
+
 } // anonymous namespace
 
 void
@@ -86,7 +110,9 @@ Metrics::histogram(const std::string &name)
 std::string
 Metrics::toJson()
 {
-    std::string out = "{\n  \"schema\": 1,\n";
+    // Schema 2 added per-histogram "quantiles" (p50/p99/p999 estimated
+    // from the log2 buckets) so SLO numbers need no post-processing.
+    std::string out = "{\n  \"schema\": 2,\n";
     char buf[128];
 
     out += "  \"counters\": {";
@@ -136,7 +162,16 @@ Metrics::toJson()
             out += buf;
             bfirst = false;
         }
-        out += "]}";
+        uint64_t n = h.count.load(std::memory_order_relaxed);
+        std::snprintf(
+            buf, sizeof(buf),
+            "], \"quantiles\": {\"p50\": %llu, \"p99\": %llu, "
+            "\"p999\": %llu}}",
+            static_cast<unsigned long long>(n ? bucketQuantile(h, n, 500) : 0),
+            static_cast<unsigned long long>(n ? bucketQuantile(h, n, 990) : 0),
+            static_cast<unsigned long long>(n ? bucketQuantile(h, n, 999)
+                                             : 0));
+        out += buf;
         first = false;
     }
     out += first ? "}\n" : "\n  }\n";

@@ -52,6 +52,13 @@ nocTrack(uint32_t node)
     return 0x2000 + node;
 }
 
+/** Track id of request-level spans/flows touching node @p node. */
+constexpr TrackId
+reqTrack(uint32_t node)
+{
+    return 0x3000 + node;
+}
+
 /**
  * The global trace sink. All members are static: the simulator is
  * single-threaded and harnesses trace at most one machine at a time, so

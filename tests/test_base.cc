@@ -6,11 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "base/accounting.hh"
 #include "base/errors.hh"
+#include "base/logging.hh"
 #include "base/marshal.hh"
 #include "base/random.hh"
 
@@ -169,6 +177,65 @@ TEST(Accounting, CategoryNames)
     EXPECT_STREQ(categoryName(Category::App), "App");
     EXPECT_STREQ(categoryName(Category::Os), "OS");
     EXPECT_STREQ(categoryName(Category::Xfer), "Xfers");
+}
+
+/**
+ * The parallel engine's workers log concurrently; warn() must emit
+ * whole lines no matter how many threads race it. Hammer it from many
+ * threads into a captured stderr and verify no line was torn.
+ */
+TEST(Logging, ConcurrentWarnsAreNeverTorn)
+{
+    constexpr int THREADS = 8;
+    constexpr int LINES = 200;
+    static const char FILLER[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+    char path[] = "/tmp/m3_tornline_XXXXXX";
+    int fd = mkstemp(path);
+    ASSERT_GE(fd, 0);
+    std::fflush(stderr);
+    int saved = dup(fileno(stderr));
+    ASSERT_GE(saved, 0);
+    ASSERT_GE(dup2(fd, fileno(stderr)), 0);
+    close(fd);
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < THREADS; ++t)
+        workers.emplace_back([t] {
+            for (int i = 0; i < LINES; ++i)
+                warn("torn t%02d i%03d %s", t, i, FILLER);
+        });
+    for (auto &w : workers)
+        w.join();
+
+    std::fflush(stderr);
+    ASSERT_GE(dup2(saved, fileno(stderr)), 0);
+    close(saved);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    // Every line must be exactly "warn: torn tTT iIII <filler>", and
+    // each (thread, index) pair must appear exactly once.
+    const size_t lineLen = std::string("warn: torn t00 i000 ").size() +
+                           sizeof(FILLER) - 1;
+    std::set<std::pair<int, int>> seen;
+    std::string line;
+    size_t count = 0;
+    while (std::getline(in, line)) {
+        ++count;
+        ASSERT_EQ(line.size(), lineLen) << "torn line: '" << line << "'";
+        ASSERT_EQ(line.rfind("warn: torn t", 0), 0u) << line;
+        ASSERT_EQ(line.substr(lineLen - (sizeof(FILLER) - 1)), FILLER)
+            << line;
+        int t = std::stoi(line.substr(12, 2));
+        int i = std::stoi(line.substr(16, 3));
+        EXPECT_TRUE(seen.emplace(t, i).second)
+            << "duplicate line t" << t << " i" << i;
+    }
+    in.close();
+    std::remove(path);
+    EXPECT_EQ(count, static_cast<size_t>(THREADS) * LINES);
+    EXPECT_EQ(seen.size(), static_cast<size_t>(THREADS) * LINES);
 }
 
 } // anonymous namespace

@@ -57,6 +57,27 @@ trap 'rm -rf "$obs"' EXIT
     --metrics "$obs/m.json" \
     --require dtu.msgs_sent,dtu.reply_latency.ep0,noc.packets,kernel.syscalls,sim.queue_depth
 
+# Request-tracing gate: the open-loop serving driver must produce a
+# structurally valid request trace (every flow paired, spans nested), a
+# metrics dump carrying the per-class latency histograms with their
+# quantile estimates, and an SLO report with the schema CI consumers
+# parse. Runs once against the release build and once under ASan+UBSan
+# (the context shadow rides DTU closures and ring slots — exactly where
+# lifetime bugs would hide).
+echo "=== open-loop serving driver + SLO report (request tracing)"
+for build in build-release build-asan; do
+    ./$build/bench/openloop --clients 6 --requests 30 --kernels 2 \
+        --shards=2 --threads=2 \
+        --slo="$obs/slo.json" --trace="$obs/req.json" \
+        --metrics="$obs/reqm.json" > /dev/null
+    ./build-release/tools/tracecheck \
+        --trace "$obs/req.json" --phases BEXsf \
+        --metrics "$obs/reqm.json" \
+        --require req.echo.total,req.echo.credit_stall,req.kv.service,quantiles \
+        --slo "$obs/slo.json" \
+        --slo-require schema,workload,sustainable,classes,p999,decomposition
+done
+
 # Perf smoke: the release build must reproduce the committed simulated
 # state (events, sim_cycles) exactly — including on the mk4.tN thread
 # sweep, whose rows must also match *each other* (thread-count

@@ -13,12 +13,22 @@
  *   tracecheck --metrics FILE [--require key,key,...]
  *       the file parses, has the metrics schema sections, and every
  *       listed key occurs somewhere in the document
+ *
+ *   tracecheck --slo FILE [--slo-require key,key,...]
+ *       the file parses and carries the SLO-report schema keys
+ *
+ * A --trace check also validates event structure: every flow id has
+ * exactly one begin ('s') and one end ('f') with end-ts >= begin-ts
+ * (NoC packets and request legs alike), and B/E span events balance on
+ * every track with no underflow — the span tree nests properly.
  */
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -187,6 +197,119 @@ fail(const char *what)
     return 1;
 }
 
+/** Pull `"key":<unsigned>` off an event line; false if absent. */
+bool
+extractU64(const std::string &line, const char *key, uint64_t &out)
+{
+    std::string needle = std::string("\"") + key + "\":";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtoull(line.c_str() + pos + needle.size(), nullptr, 0);
+    return true;
+}
+
+/** Pull `"id":"0x..."` (flow ids are hex strings); false if absent. */
+bool
+extractFlowId(const std::string &line, uint64_t &out)
+{
+    size_t pos = line.find("\"id\":\"");
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtoull(line.c_str() + pos + 6, nullptr, 0);
+    return true;
+}
+
+/**
+ * Structural validation of the event stream. The exporter writes one
+ * event object per line, each track's events sorted by ts, so a single
+ * line pass sees every track in timestamp order.
+ */
+int
+checkEventStructure(const std::string &doc)
+{
+    struct Flow
+    {
+        uint32_t begins = 0;
+        uint32_t ends = 0;
+        uint64_t beginTs = 0;
+        uint64_t endTs = 0;
+    };
+    std::map<uint64_t, Flow> flows;
+    std::map<uint64_t, int64_t> spanDepth;  // per tid
+
+    std::stringstream ss(doc);
+    std::string line;
+    while (std::getline(ss, line)) {
+        size_t php = line.find("\"ph\":\"");
+        if (php == std::string::npos || php + 6 >= line.size())
+            continue;
+        char ph = line[php + 6];
+        uint64_t ts = 0, tid = 0, id = 0;
+        switch (ph) {
+          case 'B':
+            if (extractU64(line, "tid", tid))
+                spanDepth[tid]++;
+            break;
+          case 'E':
+            if (extractU64(line, "tid", tid)) {
+                if (--spanDepth[tid] < 0) {
+                    std::fprintf(stderr,
+                                 "tracecheck: span underflow (E without "
+                                 "B) on tid %llu\n",
+                                 (unsigned long long)tid);
+                    return 1;
+                }
+            }
+            break;
+          case 's':
+            if (extractFlowId(line, id) && extractU64(line, "ts", ts)) {
+                Flow &f = flows[id];
+                f.begins++;
+                f.beginTs = ts;
+            }
+            break;
+          case 'f':
+            if (extractFlowId(line, id) && extractU64(line, "ts", ts)) {
+                Flow &f = flows[id];
+                f.ends++;
+                f.endTs = ts;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    for (const auto &[tid, depth] : spanDepth) {
+        if (depth != 0) {
+            std::fprintf(stderr,
+                         "tracecheck: %lld unclosed span(s) on tid "
+                         "%llu\n",
+                         (long long)depth, (unsigned long long)tid);
+            return 1;
+        }
+    }
+    for (const auto &[id, f] : flows) {
+        if (f.begins != 1 || f.ends != 1) {
+            std::fprintf(stderr,
+                         "tracecheck: flow 0x%llx has %u begin(s) / %u "
+                         "end(s), want 1/1\n",
+                         (unsigned long long)id, f.begins, f.ends);
+            return 1;
+        }
+        if (f.endTs < f.beginTs) {
+            std::fprintf(stderr,
+                         "tracecheck: flow 0x%llx ends at %llu before "
+                         "its begin at %llu\n",
+                         (unsigned long long)id,
+                         (unsigned long long)f.endTs,
+                         (unsigned long long)f.beginTs);
+            return 1;
+        }
+    }
+    return 0;
+}
+
 int
 checkTrace(const std::string &doc, const std::string &phases)
 {
@@ -198,6 +321,26 @@ checkTrace(const std::string &doc, const std::string &phases)
             std::fprintf(stderr,
                          "tracecheck: no event with phase '%c' found\n",
                          ph);
+            return 1;
+        }
+    }
+    return checkEventStructure(doc);
+}
+
+int
+checkSlo(const std::string &doc, const std::string &require)
+{
+    std::string keys =
+        require.empty() ? "schema,workload,sustainable,classes" : require;
+    std::stringstream ss(keys);
+    std::string key;
+    while (std::getline(ss, key, ',')) {
+        if (key.empty())
+            continue;
+        if (doc.find("\"" + key + "\"") == std::string::npos) {
+            std::fprintf(stderr,
+                         "tracecheck: required SLO key '%s' not found\n",
+                         key.c_str());
             return 1;
         }
     }
@@ -233,30 +376,39 @@ checkMetrics(const std::string &doc, const std::string &require)
 int
 main(int argc, char **argv)
 {
-    std::string tracePath, metricsPath, phases = "BEXsfC", require;
+    std::string tracePath, metricsPath, sloPath;
+    std::string phases = "BEXsfC", require, sloRequire;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--trace" && i + 1 < argc) {
             tracePath = argv[++i];
         } else if (arg == "--metrics" && i + 1 < argc) {
             metricsPath = argv[++i];
+        } else if (arg == "--slo" && i + 1 < argc) {
+            sloPath = argv[++i];
         } else if (arg == "--phases" && i + 1 < argc) {
             phases = argv[++i];
         } else if (arg == "--require" && i + 1 < argc) {
             require = argv[++i];
+        } else if (arg == "--slo-require" && i + 1 < argc) {
+            sloRequire = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: tracecheck --trace FILE [--phases LIST] "
-                         "| --metrics FILE [--require k1,k2,...]\n");
+                         "| --metrics FILE [--require k1,k2,...] "
+                         "| --slo FILE [--slo-require k1,k2,...]\n");
             return 2;
         }
     }
-    if (tracePath.empty() && metricsPath.empty())
-        return fail("nothing to check (pass --trace and/or --metrics)");
+    if (tracePath.empty() && metricsPath.empty() && sloPath.empty())
+        return fail("nothing to check (pass --trace, --metrics and/or "
+                    "--slo)");
 
-    for (const auto &[path, isTrace] :
-         {std::pair<const std::string &, bool>{tracePath, true},
-          std::pair<const std::string &, bool>{metricsPath, false}}) {
+    enum class Kind { Trace, Metrics, Slo };
+    for (const auto &[path, kind] :
+         {std::pair<const std::string &, Kind>{tracePath, Kind::Trace},
+          std::pair<const std::string &, Kind>{metricsPath, Kind::Metrics},
+          std::pair<const std::string &, Kind>{sloPath, Kind::Slo}}) {
         if (path.empty())
             continue;
         std::ifstream in(path);
@@ -273,8 +425,9 @@ main(int argc, char **argv)
                          path.c_str());
             return 1;
         }
-        int rc = isTrace ? checkTrace(doc, phases)
-                         : checkMetrics(doc, require);
+        int rc = kind == Kind::Trace     ? checkTrace(doc, phases)
+                 : kind == Kind::Metrics ? checkMetrics(doc, require)
+                                         : checkSlo(doc, sloRequire);
         if (rc)
             return rc;
         std::printf("tracecheck: %s OK (%zu bytes)\n", path.c_str(),
