@@ -25,22 +25,25 @@ main(int argc, char **argv)
     // M3_THREADS/M3_SHARDS) engage the parallel engine on rows whose
     // kernel count matches the requested shard count.
     bool mkOnly = false;
+    bool distfsOnly = false;
     workloads::EngineArgs eng;
     eng.loadEnv();
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--multikernel-only")
             mkOnly = true;
+        else if (arg == "--distfs-only")
+            distfsOnly = true;
         else if (!eng.parse(arg)) {
             std::fprintf(stderr, "usage: fig6_scalability "
-                                 "[--multikernel-only] [--threads=N] "
-                                 "[--shards=K]\n");
+                                 "[--multikernel-only] [--distfs-only] "
+                                 "[--threads=N] [--shards=K]\n");
             return 2;
         }
     }
 
     bool ok = true;
-    if (!mkOnly) {
+    if (!mkOnly && !distfsOnly) {
     const std::vector<uint32_t> counts = {1, 2, 4, 8, 16};
     const std::vector<std::string> benches = {"cat+tr", "tar", "untar",
                                               "find", "sqlite"};
@@ -191,7 +194,62 @@ main(int argc, char **argv)
     ok &= bench::verdict("4x oversubscription stays under 5x per "
                          "instance",
                          plex[2] / plex[0] <= 5.0);
+    }  // !mkOnly && !distfsOnly
+
+    // ------------------------------------------------------------------
+    // Extension: the striped m3fs data plane (distfs). One client runs
+    // tar/untar against 1/2/4 m3fs stripes, each stripe on its own DRAM
+    // module; the striped session splits every I/O buffer into 4 KiB
+    // units and moves the stripes' shares with parallel DTU transfer
+    // slots. Every column (including the unstriped baseline) streams
+    // with 16 KiB buffers — a bandwidth table needs transfers large
+    // enough that the wire time, not the per-op fixed cost, dominates.
+    // Speedup = single-instance time / striped time.
+    // ------------------------------------------------------------------
+    if (!mkOnly) {
+    const std::vector<uint32_t> stripeCounts = {1, 2, 4};
+    std::vector<std::string> cols5 = {"stripes"};
+    for (uint32_t s : stripeCounts)
+        cols5.push_back(std::to_string(s));
+    bench::header("tar/untar, 1 client, striped m3fs (distfs)", cols5,
+                  14);
+    const std::vector<std::string> stripedBenches = {"tar", "untar"};
+    std::map<std::string, std::vector<double>> speedup;
+    for (const std::string &b : stripedBenches) {
+        bench::cell(b + " speedup", 14);
+        double base = 0;
+        for (uint32_t s : stripeCounts) {
+            workloads::M3RunOpts opts;
+            opts.distfsStripes = s;
+            // 4 KiB units: every 16 KiB buffer spans four units, so a
+            // four-stripe round fills all DTU transfer slots.
+            opts.distfsUnitBlocks = 4;
+            opts.ioChunk = 16384;
+            eng.apply(opts);
+            ScalabilityResult r = runM3Scalability(b, 1, opts);
+            if (r.rc != 0) {
+                std::printf(" run failed (%d)\n", r.rc);
+                return 1;
+            }
+            if (s == 1)
+                base = static_cast<double>(r.avgInstance);
+            speedup[b].push_back(base /
+                                 static_cast<double>(r.avgInstance));
+            bench::cellRatio(speedup[b].back(), 14);
+        }
+        bench::endRow();
+    }
+    ok &= bench::verdict("2 stripes beat the single instance on tar "
+                         "and untar",
+                         speedup["tar"][1] > 1.0 &&
+                             speedup["untar"][1] > 1.0);
+    ok &= bench::verdict("4 stripes deliver >= 1.6x tar/untar bandwidth",
+                         speedup["tar"][2] >= 1.6 &&
+                             speedup["untar"][2] >= 1.6);
     }  // !mkOnly
+
+    if (distfsOnly)
+        return ok ? 0 : 1;
 
     // ------------------------------------------------------------------
     // Extension (Sec. 7: "another alternative is using multiple kernel

@@ -54,8 +54,13 @@ static constexpr goff_t INVALID_GOFF = std::numeric_limits<goff_t>::max();
 static constexpr size_t KiB = 1024;
 static constexpr size_t MiB = 1024 * KiB;
 
-/** Number of DTU endpoints per PE (matches the prototype platform). */
+/** Default number of DTU endpoints per PE (the prototype platform). */
 static constexpr epid_t EP_COUNT = 8;
+
+/** Hard ceiling on per-PE endpoints; register files are sized for it.
+ *  A PE's actual count is a platform parameter (PeDesc::epCount):
+ *  data-plane-heavy machines provision wider DTUs. */
+static constexpr epid_t MAX_EP_COUNT = 16;
 
 /** Size of the per-PE scratchpad for data (the simulator version). */
 static constexpr size_t SPM_DATA_SIZE = 64 * KiB;

@@ -14,15 +14,18 @@ namespace m3
 {
 
 Dtu::Dtu(EventQueue &eq, Noc &noc, Spm &spm, uint32_t nocId,
-         const HwCosts &hw)
-    : eq(eq), noc(noc), spm(spm), nocId(nocId), hw(hw)
+         const HwCosts &hw, epid_t epCount)
+    : eq(eq), noc(noc), spm(spm), nocId(nocId), hw(hw), epCnt(epCount)
 {
+    // At least the two reserved syscall EPs plus one usable endpoint.
+    if (epCount < 3 || epCount > MAX_EP_COUNT)
+        panic("PE endpoint count %u out of range", epCount);
 }
 
 void
 Dtu::checkEpId(epid_t id) const
 {
-    if (id >= EP_COUNT)
+    if (id >= epCnt)
         panic("endpoint id %u out of range", id);
 }
 
@@ -154,7 +157,7 @@ Dtu::sendExt(uint32_t targetNode, std::function<Error(Dtu &)> apply,
 Error
 Dtu::applyExtConfig(epid_t id, const EpRegs &regs)
 {
-    if (id >= EP_COUNT)
+    if (id >= epCnt)
         return Error::InvalidArgs;
     eps[id] = regs;
     if (eps[id].type == EpType::Send && eps[id].send.maxCredits == 0)
@@ -308,7 +311,7 @@ Dtu::extFetchCtx(uint32_t targetNode, CtxState *out,
                  target->fetchCtxLocal(*out);
                  // The register file travels back with the ack.
                  if (onDone)
-                     noc.send(targetNode, nocId, CTX_WIRE_BYTES,
+                     noc.send(targetNode, nocId, target->ctxWireBytes(),
                               [onDone] { onDone(Error::None); });
              });
     return Error::None;
@@ -325,7 +328,7 @@ Dtu::extRestoreCtx(uint32_t targetNode, const CtxState *st,
         panic("ext restore-ctx to node %u which has no DTU", targetNode);
     dtuStats.extConfigs++;
     // The register file travels with the request.
-    noc.send(nocId, targetNode, CTX_WIRE_BYTES,
+    noc.send(nocId, targetNode, target->ctxWireBytes(),
              [this, target, targetNode, st,
               onDone = std::move(onDone)] {
                  target->restoreCtxLocal(*st);
@@ -361,6 +364,7 @@ Dtu::fetchCtxLocal(CtxState &out)
     // a loss, which it already handles).
     if (busy)
         abortCommand(true);
+    abortXfers();
     out.eps = eps;
     out.recvState = recvState;
     out.generation = generation;
@@ -369,7 +373,7 @@ Dtu::fetchCtxLocal(CtxState &out)
     // until the kernel restores or discards it. The PE itself is left
     // ownerless (generation 0 is never assigned).
     parkedMsgs.emplace(generation, std::vector<ParkedMsg>{});
-    for (epid_t i = 0; i < EP_COUNT; ++i) {
+    for (epid_t i = 0; i < epCnt; ++i) {
         eps[i].invalidate();
         recvState[i] = RecvState{};
     }
@@ -404,7 +408,7 @@ Dtu::applyReset()
     // A new VPE will own this PE: stale replies addressed to the old
     // owner must not be delivered (generation check in handleMsg).
     generation++;
-    for (epid_t i = 0; i < EP_COUNT; ++i) {
+    for (epid_t i = 0; i < epCnt; ++i) {
         eps[i].invalidate();
         recvState[i] = RecvState{};
     }
@@ -417,6 +421,29 @@ Dtu::applyReset()
     parkedMsgs.clear();
     if (busy)
         abortCommand();
+    abortXfers();
+}
+
+void
+Dtu::abortXfers()
+{
+    // Invalidate every in-flight parallel slot: a late completion must
+    // not write into an SPM the PE's next owner may already use. The
+    // waiting fiber (if any) observes the abort through waitXferAll.
+    bool aborted = false;
+    for (XferSlot &x : xferSlots) {
+        if (!x.busy)
+            continue;
+        x.seq++;  // stale completions compare against this and bail
+        x.busy = false;
+        x.err = Error::Aborted;
+        aborted = true;
+    }
+    if (aborted && xferWaiter) {
+        Fiber *w = xferWaiter;
+        xferWaiter = nullptr;
+        w->unblock();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -491,7 +518,9 @@ Dtu::removeWaiter(Fiber *f)
 {
     if (cmdWaiter == f)
         cmdWaiter = nullptr;
-    for (epid_t i = 0; i < EP_COUNT; ++i)
+    if (xferWaiter == f)
+        xferWaiter = nullptr;
+    for (epid_t i = 0; i < epCnt; ++i)
         if (msgWaiters[i] == f)
             msgWaiters[i] = nullptr;
 }
@@ -784,7 +813,7 @@ Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
                  hdr.targetGen, generation);
         return;
     }
-    if (id >= EP_COUNT || eps[id].type != EpType::Receive) {
+    if (id >= epCnt || eps[id].type != EpType::Receive) {
         dtuStats.msgsDropped++;
         logtrace("node%u: drop at ep%u: not a recv EP (from node%u)",
                  nocId, id, hdr.senderNode);
@@ -835,7 +864,7 @@ Dtu::handleMsg(epid_t id, const MessageHeader &hdr,
     // clamped at the configured ceiling: if the sender timed out and
     // already reclaimed the credit, the late reply must not mint one.
     if (hdr.isReply() && hdr.creditEp != INVALID_EP &&
-        hdr.creditEp < EP_COUNT) {
+        hdr.creditEp < epCnt) {
         EpRegs &sep = eps[hdr.creditEp];
         if (sep.type == EpType::Send &&
             sep.send.credits != CREDITS_UNLIMITED &&
@@ -941,6 +970,160 @@ Dtu::startWrite(epid_t id, spmaddr_t srcAddr, goff_t off, uint64_t size)
                      });
                  });
              });
+    return Error::None;
+}
+
+// ---------------------------------------------------------------------
+// Parallel transfer slots (distfs striping). Same wire protocol and
+// timing as startRead/startWrite, but on independent channels so
+// transfers to different memory modules genuinely overlap.
+// ---------------------------------------------------------------------
+
+Error
+Dtu::startReadX(uint32_t slot, epid_t id, spmaddr_t dstAddr, goff_t off,
+                uint64_t size)
+{
+    if (slot >= XFER_SLOTS)
+        return Error::InvalidArgs;
+    XferSlot &x = xferSlots[slot];
+    if (x.busy)
+        return Error::DtuBusy;
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Memory)
+        return Error::InvalidEp;
+    if (!(r.mem.perms & MEM_R))
+        return Error::NoPerm;
+    if (off > r.mem.size || size > r.mem.size - off)
+        return Error::OutOfBounds;
+
+    x.busy = true;
+    x.err = Error::None;
+    // Overlapping slots cannot nest as B/E spans on the DTU track.
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(trace::dtuTrack(nocId), "dtu:readx");
+    const uint64_t seq = ++x.seq;
+    dtuStats.memReads++;
+    dtuStats.bytesRead += size;
+
+    MemTarget *mem = memAt(r.mem.targetNode);
+    if (!mem)
+        panic("memory EP targets node %u which has no memory",
+              r.mem.targetNode);
+    goff_t gaddr = r.mem.offset + off;
+    uint32_t tnode = r.mem.targetNode;
+
+    // Request packet (header only) -> target latency -> data response.
+    noc.send(nocId, tnode, 0, [this, mem, gaddr, size, dstAddr, tnode,
+                               slot, seq] {
+        eq.schedule(mem->accessLatency(), [this, mem, gaddr, size, dstAddr,
+                                           tnode, slot, seq] {
+            auto data = std::make_shared<std::vector<uint8_t>>(size);
+            mem->read(gaddr, data->data(), size);
+            noc.send(tnode, nocId, static_cast<uint32_t>(size),
+                     [this, data, dstAddr, slot, seq] {
+                         XferSlot &x = xferSlots[slot];
+                         // The SPM write must not happen for a stale
+                         // completion: the PE may have a new owner.
+                         if (!x.busy || seq != x.seq)
+                             return;
+                         spm.write(dstAddr, data->data(), data->size());
+                         completeXfer(slot, seq, Error::None);
+                     });
+        });
+    });
+    return Error::None;
+}
+
+Error
+Dtu::startWriteX(uint32_t slot, epid_t id, spmaddr_t srcAddr, goff_t off,
+                 uint64_t size)
+{
+    if (slot >= XFER_SLOTS)
+        return Error::InvalidArgs;
+    XferSlot &x = xferSlots[slot];
+    if (x.busy)
+        return Error::DtuBusy;
+    EpRegs &r = epRef(id);
+    if (r.type != EpType::Memory)
+        return Error::InvalidEp;
+    if (!(r.mem.perms & MEM_W))
+        return Error::NoPerm;
+    if (off > r.mem.size || size > r.mem.size - off)
+        return Error::OutOfBounds;
+
+    x.busy = true;
+    x.err = Error::None;
+    if (M3_TRACE_ON)
+        trace::Tracer::instant(trace::dtuTrack(nocId), "dtu:writex");
+    const uint64_t seq = ++x.seq;
+    dtuStats.memWrites++;
+    dtuStats.bytesWritten += size;
+
+    MemTarget *mem = memAt(r.mem.targetNode);
+    if (!mem)
+        panic("memory EP targets node %u which has no memory",
+              r.mem.targetNode);
+    goff_t gaddr = r.mem.offset + off;
+    uint32_t tnode = r.mem.targetNode;
+
+    auto data = std::make_shared<std::vector<uint8_t>>(size);
+    if (size)
+        spm.read(srcAddr, data->data(), size);
+
+    noc.send(nocId, tnode, static_cast<uint32_t>(size),
+             [this, mem, gaddr, data, tnode, slot, seq] {
+                 eq.schedule(mem->accessLatency(), [this, mem, gaddr, data,
+                                                    tnode, slot, seq] {
+                     mem->write(gaddr, data->data(), data->size());
+                     // Completion ack back to the initiator.
+                     noc.send(tnode, nocId, 0, [this, slot, seq] {
+                         completeXfer(slot, seq, Error::None);
+                     });
+                 });
+             });
+    return Error::None;
+}
+
+bool
+Dtu::xferBusy(uint32_t slot) const
+{
+    return slot < XFER_SLOTS && xferSlots[slot].busy;
+}
+
+void
+Dtu::completeXfer(uint32_t slot, uint64_t seq, Error e)
+{
+    XferSlot &x = xferSlots[slot];
+    if (!x.busy || seq != x.seq)
+        return;
+    x.busy = false;
+    x.err = e;
+    if (!anyXferBusy() && xferWaiter) {
+        Fiber *w = xferWaiter;
+        xferWaiter = nullptr;
+        w->unblock();
+    }
+}
+
+Error
+Dtu::waitXferAll()
+{
+    Fiber *self = Fiber::current();
+    if (!self)
+        panic("waitXferAll outside a fiber");
+    const uint32_t moved = self->moveEpoch();
+    while (anyXferBusy()) {
+        xferWaiter = self;
+        self->block();
+        if (self->moveEpoch() != moved) {
+            if (xferWaiter == self)
+                xferWaiter = nullptr;
+            return Error::VpeMoved;
+        }
+    }
+    for (const XferSlot &x : xferSlots)
+        if (x.err != Error::None)
+            return x.err;
     return Error::None;
 }
 

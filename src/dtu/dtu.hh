@@ -94,8 +94,8 @@ class Dtu
      */
     struct CtxState
     {
-        std::array<EpRegs, EP_COUNT> eps;
-        std::array<RecvState, EP_COUNT> recvState;
+        std::array<EpRegs, MAX_EP_COUNT> eps;
+        std::array<RecvState, MAX_EP_COUNT> recvState;
         uint32_t generation = 0;
         /** The last-error register: co-residents share the physical one,
          *  so each context carries its own copy across switches. */
@@ -103,14 +103,22 @@ class Dtu
     };
 
     /**
-     * Architectural size of the context on the wire (EP register file +
-     * ring cursors). A fixed constant, not sizeof(CtxState): host padding
+     * Architectural size of this DTU's context on the wire (EP register
+     * file + ring cursors). Derived from the PE's endpoint count, not
+     * sizeof(CtxState): host padding and the MAX_EP_COUNT backing store
      * must not leak into simulated cycles.
      */
-    static constexpr uint32_t CTX_WIRE_BYTES = EP_COUNT * 48 + 64;
+    uint32_t
+    ctxWireBytes() const
+    {
+        return static_cast<uint32_t>(epCnt) * 48 + 64;
+    }
 
     Dtu(EventQueue &eq, Noc &noc, Spm &spm, uint32_t nocId,
-        const HwCosts &hw);
+        const HwCosts &hw, epid_t epCount = EP_COUNT);
+
+    /** Number of endpoints this DTU actually implements. */
+    epid_t epCount() const { return epCnt; }
 
     Dtu(const Dtu &) = delete;
     Dtu &operator=(const Dtu &) = delete;
@@ -311,6 +319,35 @@ class Dtu
      */
     Error startZero(epid_t ep, goff_t off, uint64_t size);
 
+    // -------------------------------------------------------------------
+    // Parallel transfer slots. A small engine of XFER_SLOTS independent
+    // one-command channels beside the classic command registers, used by
+    // distfs to keep RDMA transfers to different stripes in flight
+    // simultaneously from one client. Each slot mirrors the exact timing
+    // of startRead/startWrite; traced as instants (the slots overlap, so
+    // they cannot nest as B/E spans on the DTU track).
+    // -------------------------------------------------------------------
+
+    static constexpr uint32_t XFER_SLOTS = 4;
+
+    /** startRead, but on parallel slot @p slot (Error::DtuBusy if the
+     *  slot is in flight). */
+    Error startReadX(uint32_t slot, epid_t ep, spmaddr_t dstAddr,
+                     goff_t off, uint64_t size);
+
+    /** startWrite, but on parallel slot @p slot. */
+    Error startWriteX(uint32_t slot, epid_t ep, spmaddr_t srcAddr,
+                      goff_t off, uint64_t size);
+
+    /** True while slot @p slot has a transfer in flight. */
+    bool xferBusy(uint32_t slot) const;
+
+    /**
+     * Block the calling fiber until every parallel slot is idle.
+     * @return the first slot error of this batch (slot order), or None.
+     */
+    Error waitXferAll();
+
     /** True while a command is in flight. */
     bool isBusy() const { return busy; }
 
@@ -437,10 +474,36 @@ class Dtu
     HwCosts hw;
 
     bool privileged = true;
+    /** Endpoints implemented by this DTU (<= MAX_EP_COUNT). */
+    epid_t epCnt = EP_COUNT;
     /** Bumped on every reset; stale replies are filtered against it. */
     uint32_t generation = 1;
-    std::array<EpRegs, EP_COUNT> eps;
-    std::array<RecvState, EP_COUNT> recvState;
+    std::array<EpRegs, MAX_EP_COUNT> eps;
+    std::array<RecvState, MAX_EP_COUNT> recvState;
+
+    /** One parallel transfer channel (see startReadX). */
+    struct XferSlot
+    {
+        bool busy = false;
+        uint64_t seq = 0;   //!< epoch; stale completions are ignored
+        Error err = Error::None;
+    };
+
+    /** Finish slot @p slot if @p seq is still current. */
+    void completeXfer(uint32_t slot, uint64_t seq, Error e);
+
+    /** Abort every in-flight parallel slot (reset / context fetch). */
+    void abortXfers();
+
+    /** True if any parallel transfer slot is in flight. */
+    bool
+    anyXferBusy() const
+    {
+        for (const XferSlot &x : xferSlots)
+            if (x.busy)
+                return true;
+        return false;
+    }
 
     bool busy = false;
     Error cmdError = Error::None;
@@ -451,7 +514,9 @@ class Dtu
     epid_t cmdEp = INVALID_EP;
     bool cmdTookCredit = false;
     Fiber *cmdWaiter = nullptr;
-    std::array<Fiber *, EP_COUNT> msgWaiters{};
+    std::array<XferSlot, XFER_SLOTS> xferSlots;
+    Fiber *xferWaiter = nullptr;
+    std::array<Fiber *, MAX_EP_COUNT> msgWaiters{};
     /** Deferred drain acks, fired when the current command finishes. */
     std::vector<std::function<void()>> idleWaiters;
     /** Parked generations and the messages buffered for them. */

@@ -130,6 +130,14 @@ struct ServObj : KObject
      */
     uint32_t kernelCredits = 16;
     std::vector<std::pair<uint64_t, std::vector<uint8_t>>> sendQueue;
+
+    /**
+     * Set when the registration was revoked (server reclaimed or
+     * exited). Sessions keep shared_ptrs to the ServObj; exchanges
+     * against a dead service fail with PeerGone instead of deferring
+     * against a server that can never answer.
+     */
+    bool dead = false;
 };
 
 /** A session with a service, identified by a service-chosen word. */

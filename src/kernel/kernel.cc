@@ -354,13 +354,17 @@ Kernel::checkWatchdog()
     // can finish child VPEs, releasing PEs may admit pending creates).
     std::vector<vpeid_t> expired;
     for (const auto &[id, v] : vpes) {
-        // Service owners are exempt: they legitimately block on their
-        // rings between requests; their health shows up as request
-        // timeouts at their clients instead. VPEs with a deferred
-        // kernel reply are blocked *in the kernel* and cannot
-        // heartbeat, so they are not counted as unresponsive either.
+        // Service owners are exempt while their core lives: they
+        // legitimately block on their rings between requests; their
+        // health shows up as request timeouts at their clients instead.
+        // A service owner whose *core died* must still be reclaimed,
+        // or its registration wedges every later OpenSess (the kernel
+        // would defer against a server that can never answer). VPEs
+        // with a deferred kernel reply are blocked *in the kernel* and
+        // cannot heartbeat, so they are not counted as unresponsive
+        // either.
         if (v->state == Vpe::State::Running && v->pendingReplies == 0 &&
-            !isServiceOwner(id) &&
+            (!isServiceOwner(id) || platform.pe(v->pe).coreKilled()) &&
             now - v->lastActivity > watchdogDeadline) {
             expired.push_back(id);
         }
@@ -529,6 +533,9 @@ Kernel::handleSyscall(uint32_t slot)
         break;
       case Syscall::Yield:
         sysYield(*caller, um, slot);
+        break;
+      case Syscall::QuerySrv:
+        sysQuerySrv(*caller, um, slot);
         break;
       default:
         replyError(slot, Error::InvalidArgs);
@@ -1001,7 +1008,8 @@ Kernel::sysActivate(Vpe &caller, Unmarshaller &um, uint32_t slot)
     auto ep = um.pull<uint64_t>();
     auto bufAddr = um.pull<uint64_t>();
 
-    if (ep < kif::FIRST_FREE_EP || ep >= EP_COUNT) {
+    if (ep < kif::FIRST_FREE_EP ||
+        ep >= platform.pe(caller.pe).dtu().epCount()) {
         replyError(slot, Error::InvalidArgs);
         return;
     }
@@ -1153,6 +1161,51 @@ Kernel::replyOnEpError(uint32_t slot, Error e)
     Marshaller m(buf, sizeof(buf));
     m << e;
     replyOnEp(KEP_SYSC, slot, buf, static_cast<uint32_t>(m.size()));
+}
+
+void
+Kernel::failPendingSrvReqs(ServObj &serv)
+{
+    // The service registration is gone (server reclaimed or exited):
+    // every request already handed to it can never be answered. Fail
+    // the deferred callers with PeerGone so they unblock and re-open
+    // instead of hanging on a reply that will never come.
+    std::vector<std::pair<uint64_t, PendingSrvReq>> doomed;
+    for (auto it = pendingSrvReqs.begin(); it != pendingSrvReqs.end();) {
+        if (it->second.serv.get() == &serv) {
+            doomed.emplace_back(it->first, std::move(it->second));
+            it = pendingSrvReqs.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto &[id, req] : doomed) {
+        (void)id;
+        uint8_t buf[kif::IK_MSG_SIZE];
+        Marshaller m(buf, sizeof(buf));
+        switch (req.kind) {
+          case PendingSrvReq::Kind::RemoteOpen:
+            m << Error::PeerGone;
+            replyOnEp(KEP_IK, req.slot, buf,
+                      static_cast<uint32_t>(m.size()));
+            break;
+          case PendingSrvReq::Kind::RemoteObtain:
+            m << Error::PeerGone << uint64_t{0} << uint64_t{0};
+            replyOnEp(KEP_IK, req.slot, buf,
+                      static_cast<uint32_t>(m.size()));
+            break;
+          case PendingSrvReq::Kind::Obtain:
+            deferredReplySent(req.caller);
+            m << Error::PeerGone << uint64_t{0};
+            replyOnEp(KEP_SYSC, req.slot, buf,
+                      static_cast<uint32_t>(m.size()));
+            break;
+          default:  // Open, Delegate: plain error replies
+            deferredReplySent(req.caller);
+            replyOnEpError(req.slot, Error::PeerGone);
+            break;
+        }
+    }
 }
 
 void
@@ -1325,6 +1378,12 @@ Kernel::sysOpenSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
     auto name = um.pull<std::string>();
     auto arg = um.pull<uint64_t>();
 
+    // A striped group name fans out by the session arg: the client's
+    // placement map addresses stripe k as OpenSess(group, k).
+    auto git = serviceGroups.find(name);
+    if (git != serviceGroups.end() && !git->second.empty())
+        name = git->second[arg % git->second.size()];
+
     auto it = services.find(name);
     if (it == services.end()) {
         if (multiKernel()) {
@@ -1399,6 +1458,12 @@ Kernel::sysExchangeSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
         return;
     }
     auto sess = std::static_pointer_cast<SessObj>(sessCap->obj);
+    if (sess->serv && sess->serv->dead) {
+        // The server behind this session was reclaimed; the session cap
+        // survives until revoked, but exchanges can never be answered.
+        replyError(slot, Error::PeerGone);
+        return;
+    }
     if (sess->remote()) {
         if (op != kif::ExchangeOp::Obtain) {
             // Delegating caps into a remote session would require the
@@ -2446,7 +2511,9 @@ Kernel::revokeRec(Capability *cap)
       }
       case ObjType::Serv: {
         auto &serv = static_cast<ServObj &>(*cap->obj);
+        serv.dead = true;
         services.erase(serv.name);
+        failPendingSrvReqs(serv);
         break;
       }
       case ObjType::RGate: {
@@ -2756,6 +2823,26 @@ Kernel::sysYield(Vpe &caller, Unmarshaller &, uint32_t slot)
         return;
     suspendVpe(caller);
     scheduleNext(caller.pe, it->second);
+}
+
+void
+Kernel::sysQuerySrv(Vpe &, Unmarshaller &um, uint32_t slot)
+{
+    auto name = um.pull<std::string>();
+    compute(costs.nullHandler);
+
+    uint8_t buf[64];
+    Marshaller m(buf, sizeof(buf));
+    auto git = serviceGroups.find(name);
+    if (git != serviceGroups.end()) {
+        m << Error::None << static_cast<uint64_t>(git->second.size());
+    } else if (services.count(name) ||
+               (multiKernel() && remoteServices.count(name))) {
+        m << Error::None << uint64_t{1};
+    } else {
+        m << Error::NoSuchService;
+    }
+    reply(slot, buf, static_cast<uint32_t>(m.size()));
 }
 
 // ---------------------------------------------------------------------

@@ -273,6 +273,18 @@ class Kernel
     /** Queue a program to be loaded at boot. Call before start(). */
     void addBootProgram(BootProgram prog);
 
+    /**
+     * Register a striped service group: OpenSess on @p name resolves to
+     * members[arg % members.size()] (distfs stripe fan-out). Members may
+     * live in other domains; PR 5 delegation handles those opens.
+     */
+    void
+    addServiceGroup(const std::string &name,
+                    std::vector<std::string> members)
+    {
+        serviceGroups[name] = std::move(members);
+    }
+
     /** Install the kernel program on its PE and start it. */
     void start();
 
@@ -322,6 +334,11 @@ class Kernel
     void sysRevoke(Vpe &vpe, Unmarshaller &um, uint32_t slot);
     void sysHeartbeat(Vpe &vpe, Unmarshaller &um, uint32_t slot);
     void sysYield(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+    void sysQuerySrv(Vpe &vpe, Unmarshaller &um, uint32_t slot);
+
+    /** Fail every pending request against @p serv with PeerGone (the
+     *  service was revoked; its server can never answer). */
+    void failPendingSrvReqs(ServObj &serv);
 
     // --- service interaction -----------------------------------------
     void handleServiceReply(uint32_t slot);
@@ -440,6 +457,9 @@ class Kernel
 
     // Service registry.
     std::map<std::string, std::shared_ptr<ServObj>> services;
+    /** Striped service groups (distfs): a virtual name that fans out
+     *  OpenSess across its member services, keyed by the session arg. */
+    std::map<std::string, std::vector<std::string>> serviceGroups;
     uint64_t nextSessIdent = 1;
 
     // Deferred syscall replies.

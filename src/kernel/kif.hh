@@ -88,6 +88,8 @@ enum class Syscall : uint64_t
     Yield,        //!< { } -> { Error } (cooperative deschedule request:
                   //!< after the reply, the kernel may switch the PE to
                   //!< another VPE of its run queue)
+    QuerySrv,     //!< { name } -> { Error, groupSize } (distfs: stripe
+                  //!< count of a service group; 1 for a plain service)
     COUNT,
 };
 
@@ -113,6 +115,7 @@ syscallName(Syscall s)
       case Syscall::Revoke: return "Revoke";
       case Syscall::Heartbeat: return "Heartbeat";
       case Syscall::Yield: return "Yield";
+      case Syscall::QuerySrv: return "QuerySrv";
       default: return "Unknown";
     }
 }

@@ -132,7 +132,7 @@ Env::attach(Gate &gate)
     if (forceEpDrop || dtu().ctxEpoch() != seenCtxEpoch) {
         forceEpDrop = false;
         seenCtxEpoch = dtu().ctxEpoch();
-        for (epid_t e = kif::FIRST_FREE_EP; e < EP_COUNT; ++e) {
+        for (epid_t e = kif::FIRST_FREE_EP; e < dtu().epCount(); ++e) {
             Gate *g = epSlots[e].gate;
             if (g && !g->pinned) {
                 g->ep = INVALID_EP;
@@ -148,7 +148,7 @@ Env::attach(Gate &gate)
 
     // Pick a free endpoint, or evict the least recently used movable one.
     epid_t chosen = INVALID_EP;
-    for (epid_t e = kif::FIRST_FREE_EP; e < EP_COUNT; ++e) {
+    for (epid_t e = kif::FIRST_FREE_EP; e < dtu().epCount(); ++e) {
         if (!epSlots[e].gate) {
             chosen = e;
             break;
@@ -156,7 +156,7 @@ Env::attach(Gate &gate)
     }
     if (chosen == INVALID_EP) {
         uint64_t best = ~uint64_t{0};
-        for (epid_t e = kif::FIRST_FREE_EP; e < EP_COUNT; ++e) {
+        for (epid_t e = kif::FIRST_FREE_EP; e < dtu().epCount(); ++e) {
             Gate *g = epSlots[e].gate;
             if (!g->pinned && epSlots[e].lastUse < best) {
                 best = epSlots[e].lastUse;
@@ -464,6 +464,16 @@ Env::openSess(capsel_t dstSel, const std::string &name, uint64_t arg)
     Marshaller m = beginSyscall();
     m << kif::Syscall::OpenSess << dstSel << name << arg;
     return sysCall(m);
+}
+
+Error
+Env::querySrv(const std::string &name, uint64_t &groupSize)
+{
+    Marshaller m = beginSyscall();
+    m << kif::Syscall::QuerySrv << name;
+    return sysCall(m, [&](Unmarshaller &um) {
+        groupSize = um.pull<uint64_t>();
+    });
 }
 
 Error

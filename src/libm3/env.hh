@@ -170,6 +170,11 @@ class Env
                     const std::string &name);
     Error openSess(capsel_t dstSel, const std::string &name, uint64_t arg);
     /**
+     * Query a service name: @p groupSize returns the stripe count of a
+     * striped service group (distfs), 1 for a plain service.
+     */
+    Error querySrv(const std::string &name, uint64_t &groupSize);
+    /**
      * Exchange capabilities over a session; the service arbitrates
      * (Sec. 4.5.3). @p args/@p ret carry protocol-specific words.
      */
@@ -224,7 +229,7 @@ class Env
         Gate *gate = nullptr;
         uint64_t lastUse = 0;
     };
-    std::array<EpSlot, EP_COUNT> epSlots;
+    std::array<EpSlot, MAX_EP_COUNT> epSlots;
     uint64_t useCounter = 0;
     /** DTU context epoch this Env last synced its EP cache against. */
     uint32_t seenCtxEpoch = 0;

@@ -393,8 +393,8 @@ namespace
 MemTarget *
 targetOf(Env &env, const MemEpCfg &cfg)
 {
-    if (cfg.targetNode == env.platform.dramNode())
-        return &env.platform.dram();
+    if (env.platform.isDramNode(cfg.targetNode))
+        return &env.platform.dram(cfg.targetNode - env.platform.peCount());
     return &env.platform.pe(cfg.targetNode).spm();
 }
 
@@ -509,6 +509,169 @@ MemGate::zero(size_t len, goff_t off)
     epid_t e = acquire();
     env.compute(env.cm.m3.dtuCommand);
     return env.dtu().startZero(e, off, len);
+}
+
+namespace
+{
+
+/**
+ * Map each segment to a transfer slot: segments for the same memory
+ * module share a slot (and thus serialize), distinct modules spread
+ * round-robin over the slots. Returns the slot of each segment.
+ */
+void
+assignSlots(Env &env, XferSeg *segs, uint32_t n, uint32_t *slot)
+{
+    uint32_t nodes[Dtu::XFER_SLOTS];
+    uint32_t used = 0;
+    uint32_t next = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        epid_t e = segs[i].gate->acquire();
+        uint32_t node = env.dtu().ep(e).mem.targetNode;
+        uint32_t s = ~0u;
+        for (uint32_t j = 0; j < used; ++j)
+            if (nodes[j] == node)
+                s = j;
+        if (s == ~0u) {
+            if (used < Dtu::XFER_SLOTS) {
+                nodes[used] = node;
+                s = used++;
+            } else {
+                s = next;
+                next = (next + 1) % Dtu::XFER_SLOTS;
+            }
+        }
+        slot[i] = s;
+    }
+}
+
+Error
+parallelXfer(Env &env, XferSeg *segs, uint32_t n, bool isRead)
+{
+    if (n == 0)
+        return Error::None;
+    trace::ScopedSpan span(env.peId, isRead ? "mem:preadx" : "mem:pwritex");
+
+    std::vector<uint32_t> slot(n);
+    assignSlots(env, segs, n, slot.data());
+
+    if (env.cm.spinDataTransfers) {
+        // Functional access per segment; the modelled time is the
+        // slowest slot's summed uncontended transfers — modules
+        // overlap, a module's own queue serializes (Sec. 5.7
+        // methodology plus the controller as serialization point).
+        Cycles slotDur[Dtu::XFER_SLOTS] = {};
+        for (uint32_t i = 0; i < n; ++i) {
+            XferSeg &s = segs[i];
+            epid_t e = s.gate->acquire();
+            env.compute(env.cm.m3.dtuCommand);
+            const MemEpCfg &cfg = env.dtu().ep(e).mem;
+            if (!(cfg.perms & (isRead ? MEM_R : MEM_W)))
+                return Error::NoPerm;
+            if (s.off > cfg.size || s.len > cfg.size - s.off)
+                return Error::OutOfBounds;
+            MemTarget *t = targetOf(env, cfg);
+            if (isRead)
+                t->read(cfg.offset + s.off, s.buf, s.len);
+            else
+                t->write(cfg.offset + s.off, s.buf, s.len);
+            slotDur[slot[i]] += spinDuration(env, cfg, s.len);
+        }
+        Cycles dur = 0;
+        for (Cycles d : slotDur)
+            dur = std::max(dur, d);
+        env.acct().chargeTo(Category::Xfer, dur);
+        env.fiber.sleep(dur);
+        return Error::None;
+    }
+
+    // Real transfers: the transfer buffer is split into one sub-buffer
+    // per slot; chained segments and segments longer than a sub-buffer
+    // proceed in rounds. Each round moves at most one sub-buffer per
+    // slot, and a slot works through its segments in order.
+    const size_t slotBytes = XFER_BUF_SIZE / Dtu::XFER_SLOTS;
+    std::vector<size_t> done(n, 0);
+    for (;;) {
+        // Per slot, pick the first unfinished segment assigned to it.
+        uint32_t pick[Dtu::XFER_SLOTS];
+        size_t chunk[Dtu::XFER_SLOTS] = {};
+        for (uint32_t s = 0; s < Dtu::XFER_SLOTS; ++s)
+            pick[s] = n;
+        bool any = false;
+        for (uint32_t i = 0; i < n; ++i) {
+            uint32_t s = slot[i];
+            if (done[i] >= segs[i].len || pick[s] != n)
+                continue;
+            pick[s] = i;
+            chunk[s] = std::min(segs[i].len - done[i], slotBytes);
+            any = true;
+        }
+        if (!any)
+            return Error::None;
+        for (uint32_t s = 0; s < Dtu::XFER_SLOTS; ++s) {
+            if (!chunk[s])
+                continue;
+            XferSeg &sg = segs[pick[s]];
+            epid_t e = sg.gate->acquire();
+            spmaddr_t sub =
+                env.xferBuf() + static_cast<spmaddr_t>(s * slotBytes);
+            env.compute(env.cm.m3.dtuCommand);
+            Error err;
+            if (isRead) {
+                err = env.dtu().startReadX(s, e, sub,
+                                           sg.off + done[pick[s]],
+                                           chunk[s]);
+            } else {
+                std::memcpy(env.spm().ptr(sub, chunk[s]),
+                            static_cast<const uint8_t *>(sg.buf) +
+                                done[pick[s]],
+                            chunk[s]);
+                err = env.dtu().startWriteX(s, e, sub,
+                                            sg.off + done[pick[s]],
+                                            chunk[s]);
+            }
+            if (err != Error::None)
+                return err;
+        }
+        Cycles t0 = env.platform.simulator().curCycle();
+        Error w = env.dtu().waitXferAll();
+        env.acct().chargeTo(Category::Xfer,
+                            env.platform.simulator().curCycle() - t0);
+        if (w == Error::VpeMoved) {
+            // Migrated mid-round: the aborted round never touched the
+            // app buffer (reads) and re-writing the same bytes is
+            // idempotent, so re-issue it against the new home's DTU.
+            continue;
+        }
+        if (w != Error::None)
+            return w;
+        for (uint32_t s = 0; s < Dtu::XFER_SLOTS; ++s) {
+            if (!chunk[s])
+                continue;
+            uint32_t i = pick[s];
+            if (isRead) {
+                spmaddr_t sub =
+                    env.xferBuf() + static_cast<spmaddr_t>(s * slotBytes);
+                std::memcpy(static_cast<uint8_t *>(segs[i].buf) + done[i],
+                            env.spm().ptr(sub, chunk[s]), chunk[s]);
+            }
+            done[i] += chunk[s];
+        }
+    }
+}
+
+} // anonymous namespace
+
+Error
+parallelRead(Env &env, XferSeg *segs, uint32_t n)
+{
+    return parallelXfer(env, segs, n, true);
+}
+
+Error
+parallelWrite(Env &env, XferSeg *segs, uint32_t n)
+{
+    return parallelXfer(env, segs, n, false);
 }
 
 } // namespace m3

@@ -126,6 +126,7 @@ class RecvGate : public Gate
      */
     RecvGate(Env &env, uint32_t slots, uint32_t slotSize);
 
+    uint32_t slotCount() const { return slots; }
     uint32_t slotSize() const { return slotSz; }
     spmaddr_t bufferAddr() const { return bufAddr; }
 
@@ -264,6 +265,33 @@ class MemGate : public Gate
   private:
     uint64_t regionSize;
 };
+
+/** One segment of a striped parallel transfer (distfs). */
+struct XferSeg
+{
+    MemGate *gate;  //!< target memory gate
+    void *buf;      //!< app buffer (destination on read, source on write)
+    size_t len;     //!< bytes to move
+    goff_t off;     //!< offset within the gate
+};
+
+/**
+ * Move @p n segments through the DTU's parallel transfer slots, each
+ * against its own memory gate (distfs stripes). Segments are assigned
+ * to slots by target memory module: transfers to distinct modules
+ * overlap, while segments for the same module chain serially on one
+ * slot — the module's controller is the serialization point. With more
+ * than Dtu::XFER_SLOTS distinct modules the modules round-robin over
+ * the slots. The transfer buffer is split into one sub-buffer per
+ * slot; chained or oversized segments proceed in rounds. Under
+ * spinDataTransfers the charged time is the maximum over slots of the
+ * slot's summed uncontended times — overlap across modules, queueing
+ * within one.
+ */
+Error parallelRead(Env &env, XferSeg *segs, uint32_t n);
+
+/** The write-side counterpart of parallelRead(). */
+Error parallelWrite(Env &env, XferSeg *segs, uint32_t n);
 
 } // namespace m3
 

@@ -28,6 +28,15 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
         fatal("withFs requires at least one fs instance");
     if (cfg.numKernels == 0)
         fatal("numKernels must be at least 1");
+    if (cfg.distfsStripes == 0)
+        fatal("distfsStripes must be at least 1");
+    const bool striped = cfg.distfsStripes > 1;
+    if (striped) {
+        if (!cfg.withFs)
+            fatal("distfs requires withFs");
+        // One m3fs instance per stripe; the group fans sessions out.
+        cfg.fsInstances = cfg.distfsStripes;
+    }
     if (cfg.shards > 1) {
         // The shard cut is the kernel-domain boundary: with S ==
         // numKernels, PE p's shard (p mod S) is exactly domainOfPe(p),
@@ -72,8 +81,24 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
     PlatformSpec spec;
     spec.costs = cfg.costs;
     spec.dramBytes = cfg.dramBytes;
+    // Striped machines give every stripe its own DRAM module so the
+    // stripes' memory bandwidth adds up instead of queueing at one
+    // controller; modules == 1 keeps the seed's node numbering.
+    spec.dramModules = striped ? cfg.distfsStripes : 1;
     uint32_t generalPes = cfg.numKernels + fsCount() + cfg.appPes;
     spec.pes.assign(generalPes, PeDesc::general());
+    // A striped data plane multiplies the client's concurrent gates
+    // (one mem gate in flight per stripe and open file, plus one send
+    // gate per stripe session): provision wider DTUs so steady-state
+    // I/O is not dominated by endpoint eviction and kernel re-Activate
+    // round trips. Non-striped machines keep the prototype's 8 EPs —
+    // and their exact cycle counts.
+    if (striped) {
+        epid_t eps = static_cast<epid_t>(
+            std::min<uint32_t>(MAX_EP_COUNT, 4 + 3 * cfg.distfsStripes));
+        for (PeDesc &d : spec.pes)
+            d.epCount = std::max(d.epCount, eps);
+    }
     // Multi-kernel machines carry two extra rings (inter-kernel request
     // and reply) in each kernel's scratchpad; give kernel PEs room for
     // them. Single-kernel machines keep the classic SPM layout.
@@ -112,9 +137,20 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
 
     goff_t dramAllocStart = 0;
     for (uint32_t k = 0; k < fsCount(); ++k) {
-        images.push_back(std::make_unique<m3fs::FsImage>(
-            plat->dram(), dramAllocStart, cfg.fsSpec));
-        dramAllocStart += images.back()->sizeBytes();
+        if (striped) {
+            // Stripe k's image at offset 0 of DRAM module k.
+            images.push_back(std::make_unique<m3fs::FsImage>(
+                plat->dram(k), 0, cfg.fsSpec));
+        } else {
+            images.push_back(std::make_unique<m3fs::FsImage>(
+                plat->dram(), dramAllocStart, cfg.fsSpec));
+            dramAllocStart += images.back()->sizeBytes();
+        }
+    }
+    if (striped && !images.empty()) {
+        // The kernels' dynamic region lives in module 0, above its
+        // stripe image.
+        dramAllocStart = images[0]->sizeBytes();
     }
 
     // One kernel per domain. Each gets its own slice of the dynamic DRAM
@@ -175,8 +211,9 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
         fsProg.pe = fsPe(k);
         fsProg.name = srvCfg.name;
         fsProg.caps.push_back(kernel::Kernel::BootCap{
-            srvCfg.fsMemSel, plat->dramNode(),
-            static_cast<goff_t>(k) * images[k]->sizeBytes(),
+            srvCfg.fsMemSel, striped ? plat->dramNode(k) : plat->dramNode(),
+            striped ? 0
+                    : static_cast<goff_t>(k) * images[k]->sizeBytes(),
             images[k]->sizeBytes(), MEM_RW});
         Platform *platPtr = plat.get();
         peid_t pe = fsPe(k);
@@ -186,6 +223,16 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
             env.vpeExit(rc);
         };
         kernelOf(fsPe(k)).addBootProgram(std::move(fsProg));
+    }
+    if (striped) {
+        // Every kernel learns the stripe set so OpenSess("distfs", k)
+        // resolves anywhere (members in other domains are reached via
+        // the cross-domain service announcement).
+        std::vector<std::string> members;
+        for (uint32_t k = 0; k < fsCount(); ++k)
+            members.push_back(M3SystemCfg::fsName(k));
+        for (auto &kern : kerns)
+            kern->addServiceGroup(M3SystemCfg::DISTFS_GROUP, members);
     }
 
     if (trace::Tracer::on) {
@@ -198,7 +245,17 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
             trace::Tracer::trackName(trace::nocTrack(n),
                                      "noc n" + std::to_string(n));
         }
-        trace::Tracer::trackName(trace::nocTrack(plat->dramNode()), "dram");
+        // A single module keeps the seed's "dram" track name; striped
+        // machines label each module.
+        if (plat->dramModules() > 1) {
+            for (uint32_t m = 0; m < plat->dramModules(); ++m)
+                trace::Tracer::trackName(
+                    trace::nocTrack(plat->dramNode(m)),
+                    "dram" + std::to_string(m));
+        } else {
+            trace::Tracer::trackName(trace::nocTrack(plat->dramNode()),
+                                     "dram");
+        }
         // Request tracks appear only when request tracing is armed, so
         // plain traces keep the seed's track set byte-for-byte.
         if (trace::ReqTrace::on) {

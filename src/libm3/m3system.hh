@@ -56,6 +56,20 @@ struct M3SystemCfg
     m3fs::ServerConfig fsCfg;
 
     /**
+     * distfs stripes (1 = off, bit-identical to before). With N >= 2
+     * the machine boots N m3fs instances (fsInstances is overridden),
+     * each backed by its own DRAM module, and every kernel registers
+     * the service group "distfs" that fans OpenSess out to the stripe
+     * set. Clients mount the stripes with m3fs::DistfsSession.
+     */
+    uint32_t distfsStripes = 1;
+    /** distfs striping unit in blocks (8 KiB with 1 KiB blocks). */
+    uint32_t distfsUnitBlocks = 8;
+
+    /** The service-group name distfs machines register. */
+    static constexpr const char *DISTFS_GROUP = "distfs";
+
+    /**
      * Fault injection (deterministic, seeded). Inactive by default; an
      * inactive plan is not even attached, so the fault-free fast paths
      * stay untouched (set faults.attachInert to attach it anyway).

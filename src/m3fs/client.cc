@@ -19,13 +19,14 @@ M3fsSession::M3fsSession(Env &env, capsel_t sessSel, std::string srvName)
 }
 
 std::shared_ptr<M3fsSession>
-M3fsSession::create(Env &env, Error &err, const std::string &srvName)
+M3fsSession::create(Env &env, Error &err, const std::string &srvName,
+                    uint64_t openArg, RecvGate *sharedReply)
 {
     capsel_t sessSel = env.allocSels();
     // The service may still be booting (service registration and client
     // start race at boot); retry while the name is unknown.
     for (int attempt = 0;; ++attempt) {
-        err = env.openSess(sessSel, srvName, 0);
+        err = env.openSess(sessSel, srvName, openArg);
         if (err != Error::NoSuchService || attempt >= 1000)
             break;
         Fiber::current()->sleep(500);
@@ -35,7 +36,11 @@ M3fsSession::create(Env &env, Error &err, const std::string &srvName)
 
     auto sess = std::shared_ptr<M3fsSession>(
         new M3fsSession(env, sessSel, srvName));
-    sess->replyGate = std::make_unique<RecvGate>(env, 4, FS_MSG_SIZE);
+    sess->openArg = openArg;
+    if (sharedReply)
+        sess->extReply = sharedReply;
+    else
+        sess->replyGate = std::make_unique<RecvGate>(env, 4, FS_MSG_SIZE);
 
     // Obtain the session's send gate from the service (Sec. 4.5.3).
     capsel_t sgateSel = env.allocSels();
@@ -91,8 +96,9 @@ M3fsSession::call(Marshaller &m)
 {
     ScopedCategory os(env.acct(), Category::Os);
     env.compute(env.cm.m3.fsClientCall);
+    lastCallError = Error::None;
     if (callTimeout == 0)
-        return channel->call(m, *replyGate);
+        return channel->call(m, reply());
 
     // Save the request host-side: a session re-open replaces the channel
     // and thereby the staging buffer the request lives in.
@@ -106,7 +112,7 @@ M3fsSession::call(Marshaller &m)
     channel->setRetry(p);
     Error err = Error::None;
     {
-        GateIStream is = channel->callTimed(m, *replyGate, err);
+        GateIStream is = channel->callTimed(m, reply(), err);
         if (err == Error::None)
             return is;
     }
@@ -114,20 +120,35 @@ M3fsSession::call(Marshaller &m)
     // The channel is dead (requests or replies keep getting lost, or the
     // server's view of the session is gone): open a fresh session and
     // replay the request once.
-    if (srvName.empty())
+    if (srvName.empty()) {
+        if (softFail) {
+            lastCallError = err;
+            return GateIStream(reply(), -1);
+        }
         panic("m3fs: channel dead on a bound session (cannot re-open): %s",
               errorName(err));
+    }
     Error re = reopen();
-    if (re != Error::None)
+    if (re != Error::None) {
+        if (softFail) {
+            lastCallError = re;
+            return GateIStream(reply(), -1);
+        }
         panic("m3fs: session re-open failed: %s", errorName(re));
+    }
     std::memcpy(channel->stagePtr(), saved.data(), size);
     Marshaller replay(channel->stagePtr(), channel->maxMsg());
     replay.setSize(size);
     channel->setRetry(p);
-    GateIStream is = channel->callTimed(replay, *replyGate, err);
-    if (err != Error::None)
+    GateIStream is = channel->callTimed(replay, reply(), err);
+    if (err != Error::None) {
+        if (softFail) {
+            lastCallError = err;
+            return GateIStream(reply(), -1);
+        }
         panic("m3fs: request replay after re-open failed: %s",
               errorName(err));
+    }
     return is;
 }
 
@@ -135,7 +156,7 @@ Error
 M3fsSession::reopen()
 {
     capsel_t newSess = env.allocSels();
-    Error err = env.openSess(newSess, srvName, 0);
+    Error err = env.openSess(newSess, srvName, openArg);
     if (err != Error::None)
         return err;
     sessSel = newSess;
@@ -148,6 +169,23 @@ M3fsSession::reopen()
         return err;
     channel = std::make_unique<SendGate>(env, sgateSel, FS_MSG_SIZE, true);
     return Error::None;
+}
+
+Marshaller
+M3fsSession::opStream()
+{
+    return channel->ostream();
+}
+
+Error
+M3fsSession::sendOp(Marshaller &m, label_t label)
+{
+    // No fsClientCall charge here: a fan-out broadcasts one request, so
+    // the caller pays the client-side call work once; each stripe's copy
+    // costs only the marshalling and the DTU command (inside send()).
+    ScopedCategory os(env.acct(), Category::Os);
+    lastCallError = Error::None;
+    return channel->send(m, &reply(), label);
 }
 
 Error
@@ -166,7 +204,7 @@ M3fsSession::open(const std::string &path, uint32_t flags, Error &err)
     Marshaller m = channel->ostream();
     m << FsOp::Open << static_cast<uint64_t>(flags) << path;
     GateIStream is = call(m);
-    err = is.pullError();
+    err = streamError(is);
     if (err != Error::None)
         return nullptr;
     auto fid = is.pull<uint64_t>();
@@ -186,7 +224,7 @@ M3fsSession::stat(const std::string &path, FileInfo &info)
     Marshaller m = channel->ostream();
     m << FsOp::Stat << path;
     GateIStream is = call(m);
-    Error err = is.pullError();
+    Error err = streamError(is);
     if (err != Error::None)
         return err;
     info.ino = static_cast<uint32_t>(is.pull<uint64_t>());
@@ -202,7 +240,8 @@ M3fsSession::mkdir(const std::string &path)
 {
     Marshaller m = channel->ostream();
     m << FsOp::Mkdir << path;
-    return call(m).pullError();
+    GateIStream is = call(m);
+    return streamError(is);
 }
 
 Error
@@ -210,7 +249,8 @@ M3fsSession::unlink(const std::string &path)
 {
     Marshaller m = channel->ostream();
     m << FsOp::Unlink << path;
-    return call(m).pullError();
+    GateIStream is = call(m);
+    return streamError(is);
 }
 
 Error
@@ -218,7 +258,8 @@ M3fsSession::link(const std::string &oldPath, const std::string &newPath)
 {
     Marshaller m = channel->ostream();
     m << FsOp::Link << oldPath << newPath;
-    return call(m).pullError();
+    GateIStream is = call(m);
+    return streamError(is);
 }
 
 Error
@@ -227,7 +268,8 @@ M3fsSession::rename(const std::string &oldPath,
 {
     Marshaller m = channel->ostream();
     m << FsOp::Rename << oldPath << newPath;
-    return call(m).pullError();
+    GateIStream is = call(m);
+    return streamError(is);
 }
 
 Error
@@ -239,7 +281,7 @@ M3fsSession::readdir(const std::string &path,
         Marshaller m = channel->ostream();
         m << FsOp::Readdir << off << path;
         GateIStream is = call(m);
-        Error err = is.pullError();
+        Error err = streamError(is);
         if (err != Error::None)
             return err;
         auto count = is.pull<uint64_t>();
@@ -269,11 +311,20 @@ M3fsFile::M3fsFile(std::shared_ptr<M3fsSession> fs, uint32_t fid,
 
 M3fsFile::~M3fsFile()
 {
+    if (closed)
+        return;
     // Close truncates the generous append allocation to the actually
     // used space (Sec. 4.5.8).
     Marshaller m = fs->channel->ostream();
     m << FsOp::Close << static_cast<uint64_t>(fid) << size;
     fs->call(m);
+}
+
+void
+M3fsFile::buildClose(Marshaller &m)
+{
+    m << FsOp::Close << static_cast<uint64_t>(fid) << size;
+    closed = true;
 }
 
 Error
@@ -445,6 +496,46 @@ M3fsFile::seek(ssize_t off, SeekMode whence)
         return -static_cast<ssize_t>(Error::InvalidArgs);
     pos = static_cast<uint64_t>(target);
     return static_cast<ssize_t>(pos);
+}
+
+Error
+M3fsFile::rawLocate(uint64_t at, size_t len, bool forWrite, MemGate *&gate,
+                    uint64_t &gateOff, size_t &chunk)
+{
+    Env &env = fs->env;
+    ScopedCategory os(env.acct(), Category::Os);
+    // No per-call compute charge: the caller (distfs) charges one
+    // fileLocate per gather round — the per-segment work is a lookup in
+    // the already obtained locations; only metadata fetches below cost.
+    Loc *loc = nullptr;
+    Error err = Error::None;
+    if (!forWrite) {
+        if (at >= size)
+            return Error::EndOfFile;
+        loc = locate(at, err);
+    } else {
+        if (at < coveredBytes) {
+            loc = locate(at, err);
+        } else if (nextExtIdx < serverExtents) {
+            err = fetchNext();
+            if (err == Error::None)
+                loc = locate(at, err);
+        } else {
+            err = append();
+            if (err == Error::None)
+                loc = locate(at, err);
+        }
+    }
+    if (!loc)
+        return err == Error::None ? Error::EndOfFile : err;
+    uint64_t inLoc = at - loc->fileOff;
+    uint64_t lim = loc->len - inLoc;
+    if (!forWrite)
+        lim = std::min(lim, size - at);
+    gate = loc->gate.get();
+    gateOff = inLoc;
+    chunk = static_cast<size_t>(std::min<uint64_t>(len, lim));
+    return Error::None;
 }
 
 Error

@@ -35,11 +35,18 @@ class M3fsSession : public FileSystem,
   public:
     /**
      * Open a session with the service @p srvName and obtain the
-     * session's communication channel.
+     * session's communication channel. @p openArg is passed to OpenSess
+     * (a striped group name resolves the stripe from it); with
+     * @p sharedReply, replies arrive on that caller-owned gate instead
+     * of a private one (distfs shares one reply gate across its stripe
+     * sessions to stay within the endpoint budget).
      */
     static std::shared_ptr<M3fsSession> create(Env &env, Error &err,
                                                const std::string &srvName
-                                               = "m3fs");
+                                               = "m3fs",
+                                               uint64_t openArg = 0,
+                                               RecvGate *sharedReply
+                                               = nullptr);
 
     /** Convenience: create a session and mount it at @p prefix. */
     static Error mount(Env &env, const std::string &prefix,
@@ -91,6 +98,32 @@ class M3fsSession : public FileSystem,
     Cycles callTimeout = 0;
     uint32_t callRetries = 2;
 
+    /**
+     * With softFail set, a dead channel surfaces as an error from the
+     * operation (lastCallError carries the cause, typically PeerGone)
+     * instead of a panic. distfs uses this so one dead stripe degrades
+     * the mount instead of killing the client.
+     */
+    bool softFail = false;
+    Error lastCallError = Error::None;
+
+    /** Open a fresh session + channel after the old one went dead. */
+    Error reopen();
+
+    /**
+     * distfs pipelining: begin building a request on the session
+     * channel. The caller sends it with sendOp() and collects the reply
+     * itself from the shared reply gate, matched by @p label — several
+     * stripes' round trips overlap instead of queueing behind each
+     * other. Only meaningful with callTimeout == 0: the timed-retry
+     * protocol needs the synchronous call() path (one request in
+     * flight per session, resend and replay on loss).
+     */
+    Marshaller opStream();
+
+    /** Send a request built with opStream(); the reply carries @p label. */
+    Error sendOp(Marshaller &m, label_t label);
+
   private:
     friend class M3fsFile;
 
@@ -99,8 +132,15 @@ class M3fsSession : public FileSystem,
     /** Synchronous meta-data call on the session channel. */
     GateIStream call(Marshaller &m);
 
-    /** Open a fresh session + channel after the old one went dead. */
-    Error reopen();
+    /** The reply gate calls use (shared or private). */
+    RecvGate &reply() { return extReply ? *extReply : *replyGate; }
+
+    /** Reply-stream error, folding in soft failures. */
+    Error
+    streamError(GateIStream &is)
+    {
+        return is.valid() ? is.pullError() : lastCallError;
+    }
 
     /** Obtain one capability + return args over the session. */
     Error obtain(const std::vector<uint64_t> &args, capsel_t &capOut,
@@ -109,7 +149,9 @@ class M3fsSession : public FileSystem,
     Env &env;
     capsel_t sessSel;
     std::string srvName;  //!< empty for bound (delegated) sessions
+    uint64_t openArg = 0;  //!< OpenSess arg (stripe index for groups)
     std::unique_ptr<RecvGate> replyGate;
+    RecvGate *extReply = nullptr;  //!< caller-owned shared reply gate
     std::unique_ptr<SendGate> channel;
 };
 
@@ -125,6 +167,33 @@ class M3fsFile : public File
     ssize_t write(const void *buf, size_t len) override;
     ssize_t seek(ssize_t off, SeekMode whence) override;
     Error stat(FileInfo &info) override;
+
+    /**
+     * distfs: resolve one contiguous run at @p at (up to @p len bytes)
+     * to its memory gate without performing the transfer. Metadata
+     * (extent locations, appends when @p forWrite) is fetched
+     * synchronously as needed; the caller issues the data movement
+     * itself, possibly in parallel with other stripes' runs.
+     */
+    Error rawLocate(uint64_t at, size_t len, bool forWrite,
+                    MemGate *&gate, uint64_t &gateOff, size_t &chunk);
+
+    /** distfs: grow the logical size after a raw write past the end. */
+    void
+    noteRawWrite(uint64_t endPos)
+    {
+        if (endPos > size)
+            size = endPos;
+    }
+
+    /**
+     * distfs: build this file's Close request for a pipelined fan-out
+     * (the caller sends it and collects the reply); the destructor will
+     * not send a second Close.
+     */
+    void buildClose(Marshaller &m);
+
+    uint64_t fileSize() const { return size; }
 
   private:
     /** One obtained location: a memory capability over an extent. */
@@ -150,6 +219,7 @@ class M3fsFile : public File
     uint64_t size;
     uint64_t pos = 0;
     uint32_t serverExtents;   //!< extents known to exist server-side
+    bool closed = false;      //!< Close already sent (pipelined fan-out)
     uint32_t nextExtIdx = 0;  //!< next extent index to fetch
     uint64_t coveredBytes = 0; //!< bytes covered by obtained locations
     std::vector<Loc> locs;

@@ -1,0 +1,449 @@
+#include "m3fs/distfs.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "dtu/dtu.hh"
+#include "m3fs/fs_defs.hh"
+#include "trace/trace.hh"
+
+namespace m3
+{
+namespace m3fs
+{
+
+namespace
+{
+
+/** djb2: the placement hash. Must stay stable across runs and hosts. */
+uint64_t
+pathHash(const std::string &s)
+{
+    uint64_t h = 5381;
+    for (char c : s)
+        h = h * 33 + static_cast<uint8_t>(c);
+    return h;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// DistfsSession.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<DistfsSession>
+DistfsSession::create(Env &env, Error &err, const std::string &groupName,
+                      uint32_t unitBlocks)
+{
+    // The group is registered once all member services announced
+    // themselves; like the plain client, retry while the name is
+    // unknown (boot races).
+    uint64_t n = 0;
+    for (int attempt = 0;; ++attempt) {
+        err = env.querySrv(groupName, n);
+        if (err != Error::NoSuchService || attempt >= 1000)
+            break;
+        Fiber::current()->sleep(500);
+    }
+    if (err != Error::None)
+        return nullptr;
+    if (n == 0) {
+        err = Error::InvalidArgs;
+        return nullptr;
+    }
+
+    auto sess = std::shared_ptr<DistfsSession>(new DistfsSession(
+        env, static_cast<uint64_t>(unitBlocks) * DEFAULT_BLOCK_SIZE));
+    sess->sharedReply = std::make_unique<RecvGate>(env, 4, FS_MSG_SIZE);
+    for (uint64_t k = 0; k < n; ++k) {
+        // OpenSess arg k makes the kernel route the session to group
+        // member k; softFail turns a dead stripe into an error from
+        // the operation instead of a client panic.
+        auto s = M3fsSession::create(env, err, groupName, k,
+                                     sess->sharedReply.get());
+        if (!s)
+            return nullptr;
+        s->softFail = true;
+        sess->sessions.push_back(std::move(s));
+    }
+    return sess;
+}
+
+Error
+DistfsSession::mount(Env &env, const std::string &prefix,
+                     const std::string &groupName, uint32_t unitBlocks)
+{
+    Error err = Error::None;
+    auto sess = create(env, err, groupName, unitBlocks);
+    if (err != Error::None)
+        return err;
+    return env.vfs().mount(prefix, sess);
+}
+
+uint32_t
+DistfsSession::homeStripe(const std::string &path) const
+{
+    return static_cast<uint32_t>(pathHash(path) % sessions.size());
+}
+
+bool
+DistfsSession::pipelinable() const
+{
+    for (const auto &s : sessions)
+        if (s->callTimeout != 0)
+            return false;
+    return true;
+}
+
+Error
+DistfsSession::fanout(
+    const std::function<void(uint32_t, Marshaller &)> &build,
+    const std::function<Error(uint32_t, GateIStream &)> &consume)
+{
+    ScopedCategory os(env.acct(), Category::Os);
+    // The client-side call work (path handling, building the request)
+    // happens once — the stripes receive copies of the same message.
+    env.compute(env.cm.m3.fsClientCall);
+    const uint32_t n = stripes();
+    Error first = Error::None;
+    uint32_t sent = 0;
+    while (sent < n) {
+        // Every outstanding reply needs a free ring slot.
+        uint32_t batch = std::min(n - sent, sharedReply->slotCount());
+        uint32_t expect = 0;
+        for (uint32_t i = 0; i < batch; ++i) {
+            uint32_t k = sent + i;
+            Marshaller m = sessions[k]->opStream();
+            build(k, m);
+            Error se = sessions[k]->sendOp(m, k);
+            if (se == Error::None)
+                ++expect;
+            else if (first == Error::None)
+                first = se;
+        }
+        // Replies arrive in any order; the label names the stripe.
+        for (uint32_t i = 0; i < expect; ++i) {
+            Cycles t0 = env.platform.simulator().curCycle();
+            env.waitMsgYielding(sharedReply->boundEp());
+            env.acct().charge(env.platform.simulator().curCycle() - t0);
+            env.compute(env.cm.m3.fetchMsg + env.cm.m3.unmarshal);
+            GateIStream is = sharedReply->tryReceive();
+            Error ce = consume(static_cast<uint32_t>(is.label()), is);
+            if (ce != Error::None && first == Error::None)
+                first = ce;
+        }
+        sent += batch;
+    }
+    return first;
+}
+
+std::unique_ptr<File>
+DistfsSession::open(const std::string &path, uint32_t flags, Error &err)
+{
+    trace::ScopedSpan span(env.peId, "distfs:open");
+    // The subfile carries the same path on every stripe; writes and
+    // creates touch all of them so the namespaces stay mirrors.
+    const uint32_t subFlags = flags & ~FILE_APPEND;
+    std::vector<std::unique_ptr<M3fsFile>> subs(sessions.size());
+    if (sessions.size() > 1 && pipelinable()) {
+        err = fanout(
+            [&](uint32_t, Marshaller &m) {
+                m << FsOp::Open << static_cast<uint64_t>(subFlags) << path;
+            },
+            [&](uint32_t k, GateIStream &is) {
+                Error e = is.pullError();
+                if (e != Error::None)
+                    return e;
+                auto fid = is.pull<uint64_t>();
+                auto sz = is.pull<uint64_t>();
+                auto extents = is.pull<uint64_t>();
+                subs[k] = std::make_unique<M3fsFile>(
+                    sessions[k], static_cast<uint32_t>(fid), subFlags, sz,
+                    static_cast<uint32_t>(extents));
+                return Error::None;
+            });
+        if (err != Error::None)
+            return nullptr;
+    } else {
+        for (uint32_t k = 0; k < sessions.size(); ++k) {
+            auto f = sessions[k]->open(path, subFlags, err);
+            if (!f)
+                return nullptr;
+            subs[k].reset(static_cast<M3fsFile *>(f.release()));
+        }
+    }
+    auto file = std::make_unique<DistfsFile>(
+        shared_from_this(), std::move(subs), homeStripe(path), flags);
+    if (flags & FILE_APPEND)
+        file->seek(0, SeekMode::End);
+    err = Error::None;
+    return file;
+}
+
+Error
+DistfsSession::stat(const std::string &path, FileInfo &info)
+{
+    // Identity (inode, mode, links) comes from the home stripe; the
+    // logical size is the sum over the stripes' subfiles.
+    const uint32_t home = homeStripe(path);
+    if (sessions.size() > 1 && pipelinable()) {
+        FileInfo homeInfo{};
+        uint64_t total = 0;
+        uint64_t extents = 0;
+        Error err = fanout(
+            [&](uint32_t, Marshaller &m) { m << FsOp::Stat << path; },
+            [&](uint32_t k, GateIStream &is) {
+                Error e = is.pullError();
+                if (e != Error::None)
+                    return e;
+                FileInfo fi;
+                fi.ino = static_cast<uint32_t>(is.pull<uint64_t>());
+                fi.mode = static_cast<uint32_t>(is.pull<uint64_t>());
+                fi.links = static_cast<uint32_t>(is.pull<uint64_t>());
+                fi.extents = static_cast<uint32_t>(is.pull<uint64_t>());
+                fi.size = is.pull<uint64_t>();
+                if (k == home)
+                    homeInfo = fi;
+                total += fi.size;
+                extents += fi.extents;
+                return Error::None;
+            });
+        if (err != Error::None)
+            return err;
+        info = homeInfo;
+        if (info.isDir())
+            return Error::None;
+        info.size = total;
+        info.extents = static_cast<uint32_t>(extents);
+        return Error::None;
+    }
+    Error err = sessions[home]->stat(path, info);
+    if (err != Error::None)
+        return err;
+    if (info.isDir())
+        return Error::None;
+    uint64_t total = 0;
+    uint32_t extents = 0;
+    for (uint32_t k = 0; k < sessions.size(); ++k) {
+        FileInfo sub;
+        err = sessions[k]->stat(path, sub);
+        if (err != Error::None)
+            return err;
+        total += sub.size;
+        extents += sub.extents;
+    }
+    info.size = total;
+    info.extents = extents;
+    return Error::None;
+}
+
+Error
+DistfsSession::mkdir(const std::string &path)
+{
+    Error first = Error::None;
+    for (auto &s : sessions) {
+        Error e = s->mkdir(path);
+        if (e != Error::None && first == Error::None)
+            first = e;
+    }
+    return first;
+}
+
+Error
+DistfsSession::unlink(const std::string &path)
+{
+    Error first = Error::None;
+    for (auto &s : sessions) {
+        Error e = s->unlink(path);
+        if (e != Error::None && first == Error::None)
+            first = e;
+    }
+    return first;
+}
+
+Error
+DistfsSession::link(const std::string &oldPath, const std::string &newPath)
+{
+    Error first = Error::None;
+    for (auto &s : sessions) {
+        Error e = s->link(oldPath, newPath);
+        if (e != Error::None && first == Error::None)
+            first = e;
+    }
+    return first;
+}
+
+Error
+DistfsSession::rename(const std::string &oldPath,
+                      const std::string &newPath)
+{
+    Error first = Error::None;
+    for (auto &s : sessions) {
+        Error e = s->rename(oldPath, newPath);
+        if (e != Error::None && first == Error::None)
+            first = e;
+    }
+    return first;
+}
+
+Error
+DistfsSession::readdir(const std::string &path,
+                       std::vector<m3::DirEntry> &entries)
+{
+    // The namespaces mirror each other; ask the home stripe only.
+    return sessions[homeStripe(path)]->readdir(path, entries);
+}
+
+// ---------------------------------------------------------------------
+// DistfsFile.
+// ---------------------------------------------------------------------
+
+DistfsFile::DistfsFile(std::shared_ptr<DistfsSession> fs,
+                       std::vector<std::unique_ptr<M3fsFile>> subs,
+                       uint32_t rot, uint32_t flags)
+    : fs(std::move(fs)), subs(std::move(subs)), rot(rot), flags(flags),
+      size(0)
+{
+    // Sequential striping leaves no holes, so the logical size is the
+    // sum of the subfile sizes.
+    for (auto &f : this->subs)
+        size += f->fileSize();
+}
+
+DistfsFile::~DistfsFile()
+{
+    // Close all subfiles in one fan-out wave; a subfile closed here is
+    // skipped by its own destructor. The non-pipelined path keeps the
+    // serial per-subfile close in ~M3fsFile.
+    if (subs.size() > 1 && fs->pipelinable()) {
+        trace::ScopedSpan span(fs->env.peId, "distfs:close");
+        fs->fanout(
+            [&](uint32_t k, Marshaller &m) { subs[k]->buildClose(m); },
+            [](uint32_t, GateIStream &) { return Error::None; });
+    }
+}
+
+ssize_t
+DistfsFile::io(void *buf, size_t len, bool isWrite)
+{
+    Env &env = fs->env;
+    ScopedCategory os(env.acct(), Category::Os);
+    env.compute(env.cm.m3.fileOpPath);
+
+    const uint64_t unitBytes = fs->unitBytes;
+    const uint32_t nStripes = fs->stripes();
+    uint8_t *bytes = static_cast<uint8_t *>(buf);
+    size_t total = 0;
+    while (total < len && (isWrite || pos + total < size)) {
+        // Gather a batch: walk the placement map unit by unit and
+        // collect one segment per unit run. The parallel engine
+        // overlaps segments on distinct stripes and chains segments
+        // that hit the same stripe's DRAM module on one transfer slot,
+        // so gathering the whole request at once is safe.
+        std::vector<XferSeg> segs;
+        std::vector<uint32_t> subIdx;
+        std::vector<uint64_t> subEnd;
+        env.compute(env.cm.m3.fileLocate);
+        uint64_t roundPos = pos + total;
+        Error err = Error::None;
+        while (pos + len > roundPos && (isWrite || roundPos < size)) {
+            uint64_t u = roundPos / unitBytes;
+            uint64_t inUnit = roundPos % unitBytes;
+            uint32_t s = static_cast<uint32_t>((rot + u) % nStripes);
+            uint64_t subOff = (u / nStripes) * unitBytes + inUnit;
+            uint64_t want = std::min<uint64_t>(pos + len - roundPos,
+                                               unitBytes - inUnit);
+            if (!isWrite)
+                want = std::min(want, size - roundPos);
+            MemGate *gate = nullptr;
+            uint64_t gateOff = 0;
+            size_t chunk = 0;
+            err = subs[s]->rawLocate(subOff, static_cast<size_t>(want),
+                                     isWrite, gate, gateOff, chunk);
+            if (err != Error::None || chunk == 0)
+                break;
+            segs.push_back(XferSeg{gate, bytes + (roundPos - pos), chunk,
+                                   gateOff});
+            subIdx.push_back(s);
+            subEnd.push_back(subOff + chunk);
+            roundPos += chunk;
+        }
+        if (segs.empty()) {
+            if (err == Error::None || err == Error::EndOfFile)
+                break;
+            return total ? static_cast<ssize_t>(total)
+                         : -static_cast<ssize_t>(err);
+        }
+
+        uint32_t n = static_cast<uint32_t>(segs.size());
+        Error xe = isWrite ? parallelWrite(env, segs.data(), n)
+                           : parallelRead(env, segs.data(), n);
+        if (xe != Error::None)
+            return total ? static_cast<ssize_t>(total)
+                         : -static_cast<ssize_t>(xe);
+        if (isWrite) {
+            for (uint32_t i = 0; i < n; ++i)
+                subs[subIdx[i]]->noteRawWrite(subEnd[i]);
+        }
+        total = static_cast<size_t>(roundPos - pos);
+        if (isWrite && roundPos > size)
+            size = roundPos;
+    }
+    pos += total;
+    return static_cast<ssize_t>(total);
+}
+
+ssize_t
+DistfsFile::read(void *buf, size_t len)
+{
+    if (!(flags & FILE_R))
+        return -static_cast<ssize_t>(Error::NoPerm);
+    trace::ScopedSpan span(fs->env.peId, "distfs:read");
+    return io(buf, len, false);
+}
+
+ssize_t
+DistfsFile::write(const void *buf, size_t len)
+{
+    if (!(flags & FILE_W))
+        return -static_cast<ssize_t>(Error::NoPerm);
+    trace::ScopedSpan span(fs->env.peId, "distfs:write");
+    return io(const_cast<void *>(buf), len, true);
+}
+
+ssize_t
+DistfsFile::seek(ssize_t off, SeekMode whence)
+{
+    Env &env = fs->env;
+    ScopedCategory os(env.acct(), Category::Os);
+    env.compute(env.cm.m3.fileLocate);
+    int64_t target = 0;
+    switch (whence) {
+      case SeekMode::Set:
+        target = off;
+        break;
+      case SeekMode::Cur:
+        target = static_cast<int64_t>(pos) + off;
+        break;
+      case SeekMode::End:
+        target = static_cast<int64_t>(size) + off;
+        break;
+    }
+    if (target < 0)
+        return -static_cast<ssize_t>(Error::InvalidArgs);
+    pos = static_cast<uint64_t>(target);
+    return static_cast<ssize_t>(pos);
+}
+
+Error
+DistfsFile::stat(FileInfo &info)
+{
+    info = FileInfo{};
+    info.mode = M_FILE;
+    info.size = size;
+    return Error::None;
+}
+
+} // namespace m3fs
+} // namespace m3

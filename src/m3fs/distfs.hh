@@ -1,0 +1,149 @@
+/**
+ * @file
+ * distfs: a thin striping session layer over N independent m3fs server
+ * instances. Each stripe is a plain m3fs server backed by its own DRAM
+ * module; distfs places fixed-size units of each file round-robin
+ * across the stripe set and issues the data movement for different
+ * stripes in parallel (one DTU transfer slot per stripe run).
+ *
+ * Metadata stays entirely per-stripe: a file at logical path P is
+ * backed by a subfile at the same path P on every stripe server, and
+ * the placement of unit u is a pure function of (P, u) — no cross-
+ * stripe coordination on the hot path. Namespace operations (mkdir,
+ * unlink, ...) fan out to all stripes so the per-stripe namespaces
+ * stay mirrors of each other.
+ */
+
+#ifndef M3_M3FS_DISTFS_HH
+#define M3_M3FS_DISTFS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "m3fs/client.hh"
+
+namespace m3
+{
+namespace m3fs
+{
+
+/** Default striping unit in blocks (8 KiB with 1 KiB blocks). */
+static constexpr uint32_t DEFAULT_UNIT_BLOCKS = 8;
+
+class DistfsFile;
+
+/** A striped mount: one m3fs session per stripe, shared reply gate. */
+class DistfsSession : public FileSystem,
+                      public std::enable_shared_from_this<DistfsSession>
+{
+  public:
+    /**
+     * Resolve the stripe count of service group @p groupName via the
+     * kernel (QuerySrv) and open one m3fs session per stripe. All
+     * stripe sessions share one reply gate to stay within the PE's
+     * endpoint budget, leaving the remaining endpoints free for the
+     * per-stripe memory gates of in-flight transfers.
+     */
+    static std::shared_ptr<DistfsSession>
+    create(Env &env, Error &err, const std::string &groupName = "distfs",
+           uint32_t unitBlocks = DEFAULT_UNIT_BLOCKS);
+
+    /** Convenience: create a striped session and mount it. */
+    static Error mount(Env &env, const std::string &prefix,
+                       const std::string &groupName = "distfs",
+                       uint32_t unitBlocks = DEFAULT_UNIT_BLOCKS);
+
+    uint32_t stripes() const
+    {
+        return static_cast<uint32_t>(sessions.size());
+    }
+
+    /**
+     * The placement rotation of @p path: unit u of the file lives on
+     * stripe (homeStripe + u) % stripes() at sub-file offset
+     * (u / stripes()) * unitBytes + (offset % unitBytes). A pure
+     * function of the path so every client computes the same layout.
+     */
+    uint32_t homeStripe(const std::string &path) const;
+
+    M3fsSession &stripe(uint32_t k) { return *sessions[k]; }
+
+    std::unique_ptr<File> open(const std::string &path, uint32_t flags,
+                               Error &err) override;
+    Error stat(const std::string &path, FileInfo &info) override;
+    Error mkdir(const std::string &path) override;
+    Error unlink(const std::string &path) override;
+    Error link(const std::string &oldPath,
+               const std::string &newPath) override;
+    Error rename(const std::string &oldPath,
+                 const std::string &newPath) override;
+    Error readdir(const std::string &path,
+                  std::vector<m3::DirEntry> &entries) override;
+
+  private:
+    friend class DistfsFile;
+
+    DistfsSession(Env &env, uint64_t unitBytes)
+        : env(env), unitBytes(unitBytes)
+    {
+    }
+
+    /**
+     * True when every stripe runs the block-forever call protocol
+     * (callTimeout == 0). Only then may metadata fan-outs pipeline:
+     * the timed-retry protocol owns the reply wait per session
+     * (resend, backoff, session replay) and needs one request in
+     * flight at a time.
+     */
+    bool pipelinable() const;
+
+    /**
+     * Pipelined metadata fan-out: send one request per stripe (built
+     * by @p build, reply label = stripe index) and hand each reply to
+     * @p consume as it arrives, in waves no larger than the shared
+     * reply ring. The stripes' server round trips overlap instead of
+     * queueing behind each other. Returns the first error from a send
+     * or from @p consume; later replies are still drained so no stale
+     * message survives into the next operation.
+     */
+    Error fanout(const std::function<void(uint32_t, Marshaller &)> &build,
+                 const std::function<Error(uint32_t, GateIStream &)>
+                     &consume);
+
+    Env &env;
+    uint64_t unitBytes;
+    std::unique_ptr<RecvGate> sharedReply;
+    std::vector<std::shared_ptr<M3fsSession>> sessions;
+};
+
+/** An open striped file: one m3fs subfile per stripe. */
+class DistfsFile : public File
+{
+  public:
+    DistfsFile(std::shared_ptr<DistfsSession> fs,
+               std::vector<std::unique_ptr<M3fsFile>> subs, uint32_t rot,
+               uint32_t flags);
+    ~DistfsFile() override;
+
+    ssize_t read(void *buf, size_t len) override;
+    ssize_t write(const void *buf, size_t len) override;
+    ssize_t seek(ssize_t off, SeekMode whence) override;
+    Error stat(FileInfo &info) override;
+
+  private:
+    ssize_t io(void *buf, size_t len, bool isWrite);
+
+    std::shared_ptr<DistfsSession> fs;
+    std::vector<std::unique_ptr<M3fsFile>> subs;  //!< one per stripe
+    uint32_t rot;    //!< homeStripe(path): stripe of unit 0
+    uint32_t flags;
+    uint64_t size;   //!< logical size: sum of the subfile sizes
+    uint64_t pos = 0;
+};
+
+} // namespace m3fs
+} // namespace m3
+
+#endif // M3_M3FS_DISTFS_HH

@@ -76,7 +76,11 @@ class Server
   public:
     Server(Env &env, const ServerConfig &cfg)
         : env(env), cfg(cfg), fsMem(env, cfg.fsMemSel, cfg.fsBytes),
-          cache(nullptr), rgate(env, MAX_SLOTS, FS_MSG_SIZE)
+          cache(nullptr), rgate(env, MAX_SLOTS, FS_MSG_SIZE),
+          // Metric prefix: the default instance keeps the seed's
+          // "m3fs." keys; striped/extra instances get "m3fs.<name>.".
+          metricPrefix(cfg.name == "m3fs" ? "m3fs."
+                                          : "m3fs." + cfg.name + ".")
     {
         // Bootstrap: learn the block size from the superblock (read
         // directly), then build the cache and the filesystem core on it.
@@ -340,11 +344,13 @@ class Server
             break;
         }
         if (M3_METRICS_ON) {
-            trace::Metrics::counter(std::string("m3fs.op.") + fsOpName(op))
+            trace::Metrics::counter(metricPrefix + "op." + fsOpName(op))
                 .inc();
-            static trace::Histogram &cyc =
-                trace::Metrics::histogram("m3fs.op_cycles");
-            cyc.observe(env.platform.simulator().curCycle() - opStart);
+            if (!opCycles)
+                opCycles =
+                    &trace::Metrics::histogram(metricPrefix + "op_cycles");
+            opCycles->observe(env.platform.simulator().curCycle() -
+                              opStart);
         }
     }
 
@@ -583,6 +589,8 @@ class Server
     std::unique_ptr<BlockCache> cache;
     std::unique_ptr<FsCore> fs;
     RecvGate rgate;
+    std::string metricPrefix;
+    trace::Histogram *opCycles = nullptr;
     std::map<uint64_t, Session> sessions;
     uint64_t nextIdent = 1;
 };

@@ -40,7 +40,8 @@ class Pe
         : sim(sim), peDesc(desc), peId(id),
           homeEq(sim.queueForNode(nocId)),
           spmMem(std::make_unique<Spm>(desc.spmDataSize)),
-          dtuUnit(std::make_unique<Dtu>(homeEq, noc, *spmMem, nocId, hw))
+          dtuUnit(std::make_unique<Dtu>(homeEq, noc, *spmMem, nocId, hw,
+                                        desc.epCount))
     {
         dtuUnit->setStartHook([this] { startProgram(); });
         dtuUnit->setStartVpeHook([this](uint64_t v) { startProgramFor(v); });

@@ -30,6 +30,10 @@ struct PeDesc
     PeType type = PeType::General;
     /** Free-form attribute matched on allocation, e.g. "fft". */
     std::string attr;
+    /** DTU endpoints on this PE (<= MAX_EP_COUNT). Data-plane-heavy
+     *  PEs (e.g. distfs clients with many concurrent gates) provision
+     *  wider DTUs; the default matches the prototype platform. */
+    epid_t epCount = EP_COUNT;
     /** Data scratchpad capacity. */
     size_t spmDataSize = SPM_DATA_SIZE;
     /** Code scratchpad capacity (used for load-cost modelling). */

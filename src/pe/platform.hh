@@ -28,8 +28,10 @@ struct PlatformSpec
 {
     /** Descriptors of the PEs; index is the peid. */
     std::vector<PeDesc> pes;
-    /** Capacity of the DRAM module. */
+    /** Capacity of each DRAM module. */
     size_t dramBytes = 64 * MiB;
+    /** Independent DRAM modules (distfs stripes get one each). */
+    uint32_t dramModules = 1;
     /** All cost/calibration parameters. */
     CostModel costs;
     /** Mesh width; 0 selects a near-square mesh automatically. */
@@ -45,19 +47,23 @@ struct PlatformSpec
     }
 };
 
-/** The assembled platform. NoC node ids: PE i -> i, DRAM -> pes.size(). */
+/** The assembled platform. NoC node ids: PE i -> i, DRAM m ->
+ *  pes.size() + m (module 0 keeps the classic single-DRAM node id). */
 class Platform
 {
   public:
     Platform(Simulator &sim, PlatformSpec spec)
         : sim(sim), costModel(spec.costs),
-          nodeTotal(static_cast<uint32_t>(spec.pes.size()) + 1),
+          nodeTotal(static_cast<uint32_t>(spec.pes.size()) +
+                    std::max<uint32_t>(1, spec.dramModules)),
           mesh(std::make_unique<Noc>(sim.queue(), spec.costs.hw,
                                      meshColsFor(spec),
-                                     meshRowsFor(spec))),
-          dramMem(std::make_unique<Dram>(spec.dramBytes,
-                                         spec.costs.hw.dramLatency))
+                                     meshRowsFor(spec)))
     {
+        uint32_t modules = std::max<uint32_t>(1, spec.dramModules);
+        for (uint32_t m = 0; m < modules; ++m)
+            dramMems.push_back(std::make_unique<Dram>(
+                spec.dramBytes, spec.costs.hw.dramLatency));
         // On a sharded engine the mesh must know the shard map before
         // any PE (and thus any DTU) can inject packets.
         if (sim.shardCount() > 1)
@@ -75,8 +81,8 @@ class Platform
             return nullptr;
         };
         auto memResolver = [this](uint32_t node) -> MemTarget * {
-            if (node == dramNode())
-                return dramMem.get();
+            if (node >= peList.size() && node < nodeTotal)
+                return dramMems[node - peList.size()].get();
             if (node < peList.size())
                 return &peList[node]->spm();
             return nullptr;
@@ -88,7 +94,7 @@ class Platform
     Simulator &simulator() { return sim; }
     const CostModel &costs() const { return costModel; }
     Noc &noc() { return *mesh; }
-    Dram &dram() { return *dramMem; }
+    Dram &dram(uint32_t module = 0) { return *dramMems.at(module); }
 
     uint32_t peCount() const { return static_cast<uint32_t>(peList.size()); }
     Pe &pe(peid_t id) { return *peList.at(id); }
@@ -96,8 +102,26 @@ class Platform
     /** NoC node of PE @p id (identity mapping by construction). */
     uint32_t nocIdOf(peid_t id) const { return id; }
 
-    /** NoC node of the DRAM module. */
-    uint32_t dramNode() const { return nodeTotal - 1; }
+    /** NoC node of DRAM module @p module. */
+    uint32_t
+    dramNode(uint32_t module = 0) const
+    {
+        return static_cast<uint32_t>(peList.size()) + module;
+    }
+
+    /** Number of independent DRAM modules. */
+    uint32_t
+    dramModules() const
+    {
+        return static_cast<uint32_t>(dramMems.size());
+    }
+
+    /** True if NoC node @p node is one of the DRAM modules. */
+    bool
+    isDramNode(uint32_t node) const
+    {
+        return node >= peList.size() && node < nodeTotal;
+    }
 
     /**
      * Wire a fault plan into the NoC and every DTU, and schedule the
@@ -133,7 +157,8 @@ class Platform
     static uint32_t
     meshColsFor(const PlatformSpec &spec)
     {
-        uint32_t nodes = static_cast<uint32_t>(spec.pes.size()) + 1;
+        uint32_t nodes = static_cast<uint32_t>(spec.pes.size()) +
+                         std::max<uint32_t>(1, spec.dramModules);
         if (spec.meshCols)
             return spec.meshCols;
         return static_cast<uint32_t>(
@@ -143,7 +168,8 @@ class Platform
     static uint32_t
     meshRowsFor(const PlatformSpec &spec)
     {
-        uint32_t nodes = static_cast<uint32_t>(spec.pes.size()) + 1;
+        uint32_t nodes = static_cast<uint32_t>(spec.pes.size()) +
+                         std::max<uint32_t>(1, spec.dramModules);
         uint32_t c = meshColsFor(spec);
         return (nodes + c - 1) / c;
     }
@@ -152,7 +178,7 @@ class Platform
     CostModel costModel;
     uint32_t nodeTotal;
     std::unique_ptr<Noc> mesh;
-    std::unique_ptr<Dram> dramMem;
+    std::vector<std::unique_ptr<Dram>> dramMems;
     std::vector<std::unique_ptr<Pe>> peList;
 };
 

@@ -23,6 +23,34 @@ applySetupToImage(const FsSetup &setup, m3fs::FsImageSpec &spec)
 }
 
 int
+applySetupToVfs(Env &env, const FsSetup &setup)
+{
+    Vfs &vfs = env.vfs();
+    for (const std::string &d : setup.dirs) {
+        Error e = vfs.mkdir(d);
+        if (e != Error::None && e != Error::FileExists)
+            return 1;
+    }
+    std::vector<uint8_t> data;
+    for (const SetupFile &f : setup.files) {
+        Error e = Error::None;
+        auto file = vfs.open(f.path, FILE_W | FILE_CREATE | FILE_TRUNC, e);
+        if (!file)
+            return 2;
+        data = m3fs::FsImage::patternData(f.size, f.seed);
+        size_t done = 0;
+        while (done < data.size()) {
+            size_t chunk = std::min<size_t>(64 * KiB, data.size() - done);
+            ssize_t n = file->write(data.data() + done, chunk);
+            if (n <= 0)
+                return 3;
+            done += static_cast<size_t>(n);
+        }
+    }
+    return 0;
+}
+
+int
 replayTraceM3(Env &env, const Trace &trace)
 {
     Vfs &vfs = env.vfs();

@@ -27,6 +27,13 @@ int replayTraceM3(Env &env, const Trace &trace);
 /** Add a workload's initial files/dirs to an m3fs image spec. */
 void applySetupToImage(const FsSetup &setup, m3fs::FsImageSpec &spec);
 
+/**
+ * Create a workload's initial files/dirs at runtime through the VPE's
+ * mounted filesystem (the distfs path: striped subfiles cannot be
+ * pre-built into a single image). @return 0 on success.
+ */
+int applySetupToVfs(Env &env, const FsSetup &setup);
+
 } // namespace workloads
 } // namespace m3
 

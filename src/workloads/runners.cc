@@ -7,6 +7,7 @@
 #include "libm3/m3system.hh"
 #include "libm3/vpe.hh"
 #include "m3fs/client.hh"
+#include "m3fs/distfs.hh"
 #include "workloads/generators.hh"
 #include "workloads/lx_replay.hh"
 #include "workloads/m3_replay.hh"
@@ -210,7 +211,16 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
             fatal("unknown scalability bench '%s'", benchName.c_str());
         for (uint32_t i = 0; i < instances; ++i)
             perInstance.push_back(namespaced(base, i));
+        if (opts.ioChunk) {
+            for (Workload &w : perInstance)
+                for (TraceOp &op : w.trace)
+                    if (op.kind == TraceOp::Kind::Sendfile &&
+                        op.chunkSize == 4096)
+                        op.chunkSize = opts.ioChunk;
+        }
     }
+
+    const bool striped = opts.distfsStripes > 1;
 
     M3SystemCfg cfg;
     cfg.appPes = 1 + instances * pesPerInstance;
@@ -226,6 +236,8 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
     cfg.multiplexSlice = opts.multiplexSlice;
     cfg.costs = opts.costs;
     cfg.fsInstances = opts.fsInstances;
+    cfg.distfsStripes = opts.distfsStripes;
+    cfg.distfsUnitBlocks = opts.distfsUnitBlocks;
     cfg.numKernels = opts.numKernels;
     cfg.shards = opts.shards;
     cfg.threads = opts.threads;
@@ -241,16 +253,20 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
         std::max<uint32_t>(65536, instances * 4096);  // room for every inst
     cfg.fsSpec.totalInodes = std::max<uint32_t>(2048, instances * 128);
     const uint32_t fsN = opts.fsInstances;
-    for (uint32_t i = 0; i < instances; ++i) {
-        FsSetup setup;
-        if (isCatTr) {
-            CatTrParams instParams;
-            instParams.root = "/i" + std::to_string(i);
-            setup = catTrSetup(instParams);
-        } else {
-            setup = perInstance[i].setup;
+    // Striped machines create the setup files at runtime through the
+    // distfs mount (subfiles cannot be pre-built into a single image).
+    if (!striped) {
+        for (uint32_t i = 0; i < instances; ++i) {
+            FsSetup setup;
+            if (isCatTr) {
+                CatTrParams instParams;
+                instParams.root = "/i" + std::to_string(i);
+                setup = catTrSetup(instParams);
+            } else {
+                setup = perInstance[i].setup;
+            }
+            applySetupToImage(setup, cfg.fsSpec);
         }
-        applySetupToImage(setup, cfg.fsSpec);
     }
 
     M3System sys(cfg);
@@ -269,16 +285,33 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
                 return 101;
             std::string srv = M3SystemCfg::fsName(i % fsN);
             const bool timeSetup = opts.timeSetup;
+            const uint32_t unitBlocks = opts.distfsUnitBlocks;
+            // Mount the instance's filesystem: the striped session over
+            // the whole stripe set, or one plain m3fs instance. Striped
+            // runs then create the setup files through the mount,
+            // outside the timed window unless timeSetup asks for it.
+            auto mountFs = [striped, srv, unitBlocks](Env &ienv) {
+                if (striped)
+                    return m3fs::DistfsSession::mount(
+                        ienv, "/", M3SystemCfg::DISTFS_GROUP, unitBlocks);
+                return m3fs::M3fsSession::mount(ienv, "/", srv);
+            };
             if (isCatTr) {
                 CatTrParams instParams;
                 instParams.root = "/i" + std::to_string(i);
-                vpe->run([i, &durations, &rcs, instParams, srv,
-                          timeSetup] {
+                FsSetup vfsSetup;
+                if (striped)
+                    vfsSetup = catTrSetup(instParams);
+                vpe->run([i, &durations, &rcs, instParams, vfsSetup,
+                          mountFs, striped, timeSetup] {
                     Env &ienv = Env::cur();
                     Cycles t0 = ienv.platform.simulator().curCycle();
-                    if (m3fs::M3fsSession::mount(ienv, "/", srv) !=
-                        Error::None) {
+                    if (mountFs(ienv) != Error::None) {
                         rcs[i] = 200;
+                        return 1;
+                    }
+                    if (striped && applySetupToVfs(ienv, vfsSetup) != 0) {
+                        rcs[i] = 201;
                         return 1;
                     }
                     if (!timeSetup)
@@ -290,12 +323,19 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
                 });
             } else {
                 const Trace *trace = &perInstance[i].trace;
-                vpe->run([i, &durations, &rcs, trace, srv, timeSetup] {
+                const FsSetup *vfsSetup =
+                    striped ? &perInstance[i].setup : nullptr;
+                vpe->run([i, &durations, &rcs, trace, vfsSetup, mountFs,
+                          timeSetup] {
                     Env &ienv = Env::cur();
                     Cycles t0 = ienv.platform.simulator().curCycle();
-                    if (m3fs::M3fsSession::mount(ienv, "/", srv) !=
-                        Error::None) {
+                    if (mountFs(ienv) != Error::None) {
                         rcs[i] = 200;
+                        return 1;
+                    }
+                    if (vfsSetup &&
+                        applySetupToVfs(ienv, *vfsSetup) != 0) {
+                        rcs[i] = 201;
                         return 1;
                     }
                     if (!timeSetup)

@@ -75,6 +75,26 @@ struct M3RunOpts
      * tables keep the paper's steady-state-only window.
      */
     bool timeSetup = false;
+
+    /**
+     * distfs stripes (1 = off). With N >= 2 the machine boots N m3fs
+     * instances, each on its own DRAM module; every client mounts the
+     * striped session and the workload's setup files are created at
+     * runtime through it (striped subfiles cannot be pre-built into a
+     * single image). Setup stays outside the timed window unless
+     * timeSetup is set.
+     */
+    uint32_t distfsStripes = 1;
+    /** distfs striping unit in blocks. */
+    uint32_t distfsUnitBlocks = 8;
+    /**
+     * Override the streaming I/O buffer for trace benches (bytes,
+     * 0 = keep the trace's own sizes). Only sendfile-style bulk ops
+     * that use the paper's default 4 KiB buffer are rescaled; header
+     * reads/writes keep their sizes. Bandwidth tables use this to run
+     * the same workload with larger buffers on every column.
+     */
+    uint32_t ioChunk = 0;
 };
 
 /** Extra knobs for Linux runs. */

@@ -316,6 +316,75 @@ TEST(Determinism, MultiKernelRandomWorkloadPins)
     }
 }
 
+TEST(Determinism, DistfsOffMatchesSeedPins)
+{
+    // The striped data plane is strictly opt-in: with distfsStripes at
+    // its default of 1 the machine must take exactly the classic code
+    // paths — default endpoint provisioning, single DRAM module, plain
+    // m3fs — and replay the SingleKernelMatchesSeedPins pins bit for
+    // bit: same wall cycles, same serialized trace.
+    trace::Tracer::enable(1 << 16);
+    trace::Tracer::reset();
+    Cycles wall = 0;
+    std::string json;
+    {
+        M3SystemCfg cfg;
+        cfg.appPes = 3;
+        cfg.withFs = false;
+        cfg.distfsStripes = 1;
+        M3System sys(std::move(cfg));
+        sys.runRoot("root", [&] {
+            Env &env = Env::cur();
+            VPE a(env, "a"), b(env, "b");
+            if (a.err() != Error::None || b.err() != Error::None)
+                return 1;
+            a.run([] { Env::cur().compute(120000); return 0; });
+            b.run([] { Env::cur().compute(90000); return 0; });
+            return a.wait() + b.wait();
+        });
+        ASSERT_TRUE(sys.simulate());
+        ASSERT_EQ(sys.rootExitCode(), 0);
+        wall = sys.now();
+        json = trace::Tracer::toJson();
+    }
+    trace::Tracer::disable();
+    uint64_t h = 5381;
+    for (char c : json)
+        h = h * 33 + static_cast<uint8_t>(c);
+    EXPECT_EQ(wall, 125528u);
+    EXPECT_EQ(json.size(), 22039u);
+    EXPECT_EQ(h, 0x644597d5ae523cf2ull);
+}
+
+TEST(Determinism, DistfsThreadCountInvariant)
+{
+    // A striped machine under the parallel engine: two kernel domains,
+    // one stripe server in each, clients fanning metadata out across
+    // the domain boundary and moving data on parallel transfer slots.
+    // Per-instance cycles, event counts and trace bytes must not depend
+    // on the host thread count.
+    auto run = [](uint32_t threads) {
+        trace::Tracer::enable(1 << 16);
+        trace::Tracer::reset();
+        M3RunOpts opts;
+        opts.distfsStripes = 2;
+        opts.numKernels = 2;
+        opts.shards = 2;
+        opts.threads = threads;
+        ScalabilityResult r = runM3Scalability("tar", 2, opts);
+        std::string json = trace::Tracer::toJson();
+        trace::Tracer::disable();
+        return std::make_tuple(r.rc, r.instances, r.events, json);
+    };
+    auto base = run(1);
+    ASSERT_EQ(std::get<0>(base), 0);
+    ASSERT_GT(std::get<3>(base).size(), 0u);
+    for (uint32_t threads : {2u, 4u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        EXPECT_EQ(run(threads), base);
+    }
+}
+
 TEST(Determinism, ThreadCountInvariant)
 {
     // The parallel engine's core promise: the simulated machine is a

@@ -13,6 +13,7 @@
 
 #include "libm3/m3system.hh"
 #include "m3fs/client.hh"
+#include "m3fs/distfs.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 #include "workloads/micro.hh"
@@ -146,6 +147,47 @@ TEST_F(Trace, MetricsJsonKeepsItsSchema)
           "\"sim.queue_depth\"", "\"sim.peak_pending\"",
           "\"m3fs.op.stat\"", "\"m3fs.op_cycles\"",
           "\"kernel.syscall.OpenSess.count\""})
+        EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+    // A single-instance machine must not sprout per-instance prefixes.
+    EXPECT_EQ(doc.find("\"m3fs.m3fs1."), std::string::npos);
+}
+
+TEST_F(Trace, StripedMachineEmitsPerInstanceFsMetrics)
+{
+    trace::Metrics::enable();
+    M3SystemCfg cfg;
+    cfg.appPes = 2;
+    cfg.distfsStripes = 2;
+    cfg.fsSpec.dirs = {"/d"};
+    M3System sys(cfg);
+    sys.runRoot("t", [] {
+        Env &env = Env::cur();
+        Error e = Error::None;
+        auto dfs = m3fs::DistfsSession::create(env, e);
+        if (!dfs)
+            return 1;
+        auto f = dfs->open("/d/f", FILE_W | FILE_CREATE, e);
+        if (!f)
+            return 2;
+        auto data = m3fs::FsImage::patternData(20000, 9);
+        if (f->write(data.data(), data.size()) !=
+            static_cast<ssize_t>(data.size()))
+            return 3;
+        FileInfo info;
+        if (dfs->stat("/d/f", info) != Error::None)
+            return 4;
+        return 0;
+    });
+    ASSERT_TRUE(sys.simulate());
+    ASSERT_EQ(sys.rootExitCode(), 0);
+
+    const std::string doc = trace::Metrics::toJson();
+    // Stripe 0 keeps the historical bare "m3fs." prefix; every extra
+    // stripe reports under its own instance name so per-stripe load
+    // stays visible in the dump.
+    for (const char *needle :
+         {"\"m3fs.op.", "\"m3fs.op_cycles\"", "\"m3fs.m3fs1.op.",
+          "\"m3fs.m3fs1.op_cycles\""})
         EXPECT_NE(doc.find(needle), std::string::npos) << needle;
 }
 

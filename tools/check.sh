@@ -100,6 +100,19 @@ echo "=== simperf smoke (vs BENCH_simperf.json)"
 echo "=== fig6 multi-kernel verdict"
 ./build-release/bench/fig6_scalability --multikernel-only
 
+# Striped-data-plane gate: the distfs table of fig6 must keep both
+# verdicts (two stripes beat the single instance on tar and untar;
+# four stripes deliver >= 1.6x bandwidth on both). Simulated cycles
+# are sanitizer-independent, so the same verdicts run once against
+# the release build and once under ASan+UBSan — the pipelined
+# metadata fan-out and the parallel per-stripe DTU transfers are
+# exactly where lifetime bugs would hide. The randomized striped
+# invariant suites (Invariants.Striped*) ride the sanitized -L slow
+# pass above via test_invariants.
+echo "=== fig6 distfs striped verdict (release + sanitized)"
+./build-release/bench/fig6_scalability --distfs-only
+./build-asan/bench/fig6_scalability --distfs-only
+
 # Pipe-teardown gate, named explicitly so a test relabel cannot drop
 # it: the writer destructor's bounded-EOF path must survive a dead
 # reader under ASan+UBSan — destructors are where lifetime bugs hide.

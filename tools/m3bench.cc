@@ -16,6 +16,10 @@
  *   --accel            fft: use the FFT accelerator PE
  *   --instances N      scalability mode: N parallel instances (M3)
  *   --fs-instances K   shard the clients over K m3fs instances
+ *   --stripes N        stripe the data plane over N m3fs instances
+ *                      (distfs; scalability mode only)
+ *   --stripe-unit B    distfs striping unit in blocks (default 8)
+ *   --io-chunk N       streaming buffer override for trace benches
  *   --kernels K        shard the control plane over K kernels
  *   --shards=K         shard the engine (requires K == --kernels)
  *   --threads=N        host threads driving the engine shards
@@ -155,6 +159,13 @@ main(int argc, char **argv)
             instances = static_cast<uint32_t>(intArg("instances"));
         } else if (arg == "--fs-instances") {
             m3opts.fsInstances = static_cast<uint32_t>(intArg("fs"));
+        } else if (arg == "--stripes") {
+            m3opts.distfsStripes = static_cast<uint32_t>(intArg("s"));
+        } else if (arg == "--stripe-unit") {
+            m3opts.distfsUnitBlocks =
+                static_cast<uint32_t>(intArg("u"));
+        } else if (arg == "--io-chunk") {
+            m3opts.ioChunk = static_cast<uint32_t>(intArg("c"));
         } else if (arg == "--kernels") {
             m3opts.numKernels = static_cast<uint32_t>(intArg("k"));
         } else if (eng.parse(arg)) {
