@@ -215,6 +215,8 @@ main(int argc, char **argv)
                   14);
     const std::vector<std::string> stripedBenches = {"tar", "untar"};
     std::map<std::string, std::vector<double>> speedup;
+    // Raw per-column times, reused by the replication-cost table below.
+    std::map<std::string, std::map<uint32_t, double>> rawTime;
     for (const std::string &b : stripedBenches) {
         bench::cell(b + " speedup", 14);
         double base = 0;
@@ -233,6 +235,7 @@ main(int argc, char **argv)
             }
             if (s == 1)
                 base = static_cast<double>(r.avgInstance);
+            rawTime[b][s] = static_cast<double>(r.avgInstance);
             speedup[b].push_back(base /
                                  static_cast<double>(r.avgInstance));
             bench::cellRatio(speedup[b].back(), 14);
@@ -246,6 +249,55 @@ main(int argc, char **argv)
     ok &= bench::verdict("4 stripes deliver >= 1.6x tar/untar bandwidth",
                          speedup["tar"][2] >= 1.6 &&
                              speedup["untar"][2] >= 1.6);
+
+    // ------------------------------------------------------------------
+    // Replication cost: the same striped columns with R = 2 — every
+    // gathered write run is mirrored onto the neighbour stripe on the
+    // same parallel transfer slots, every open/namespace op pays one
+    // extra fan-out wave. The cells are t(R=2) / t(R=1) per column:
+    // the write-amplification overhead a user buys degraded reads with.
+    // ------------------------------------------------------------------
+    const std::vector<uint32_t> repStripes = {2, 4};
+    std::vector<std::string> cols5r = {"R=2 cost"};
+    for (uint32_t s : repStripes)
+        cols5r.push_back(std::to_string(s) + " stripes");
+    bench::header("tar/untar, replicated distfs (R=2 vs R=1)", cols5r,
+                  14);
+    std::map<std::string, std::vector<double>> repCost;
+    for (const std::string &b : stripedBenches) {
+        bench::cell(b + " t2/t1", 14);
+        for (uint32_t s : repStripes) {
+            workloads::M3RunOpts opts;
+            opts.distfsStripes = s;
+            opts.distfsReplicas = 2;
+            opts.distfsUnitBlocks = 4;
+            opts.ioChunk = 16384;
+            eng.apply(opts);
+            ScalabilityResult r = runM3Scalability(b, 1, opts);
+            if (r.rc != 0) {
+                std::printf(" run failed (%d)\n", r.rc);
+                return 1;
+            }
+            repCost[b].push_back(static_cast<double>(r.avgInstance) /
+                                 rawTime[b][s]);
+            bench::cellRatio(repCost[b].back(), 14);
+        }
+        bench::endRow();
+    }
+    ok &= bench::verdict("replication never speeds a run up (cost >= 1)",
+                         repCost["tar"][0] >= 1.0 &&
+                             repCost["tar"][1] >= 1.0 &&
+                             repCost["untar"][0] >= 1.0 &&
+                             repCost["untar"][1] >= 1.0);
+    // The 4-stripe R=2 column is endpoint-limited (4 + 3*4 + 2*4 = 24
+    // wanted EPs capped at MAX_EP_COUNT), so mirror segments partially
+    // serialize there; 2.75x bounds that worst case.
+    ok &= bench::verdict("R=2 cost stays under 2x at 2 stripes",
+                         repCost["tar"][0] < 2.0 &&
+                             repCost["untar"][0] < 2.0);
+    ok &= bench::verdict("R=2 write amplification stays under 2.75x",
+                         repCost["tar"][1] < 2.75 &&
+                             repCost["untar"][1] < 2.75);
     }  // !mkOnly
 
     if (distfsOnly)

@@ -21,6 +21,8 @@
 #include "libm3/m3system.hh"
 #include "libm3/vpe.hh"
 #include "m3fs/client.hh"
+#include "m3fs/distfs.hh"
+#include "m3fs/fs_image.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 #include "workloads/engine_opts.hh"
@@ -221,6 +223,199 @@ rollingRestartDrill()
     return ok;
 }
 
+// ---------------------------------------------------------------------
+// Stripe-kill drill: replicated distfs (R=2, one spare). Kill each
+// stripe's server PE in turn mid-workload: every read — held handles
+// and fresh opens — must stay byte-identical to the written patterns
+// with zero PeerGone surfaced, and a rebuild onto the spare must
+// restore the full stripe set.
+// ---------------------------------------------------------------------
+
+constexpr uint32_t SK_STRIPES = 3;
+
+struct StripeKillRun
+{
+    int rc = -1;
+    Cycles wall = 0;
+    uint64_t degradedReads = 0;
+    uint64_t stripeDeaths = 0;
+    uint64_t rebuilds = 0;
+    uint64_t rebuiltFiles = 0;
+    uint64_t stripesDeadEnd = 0;
+};
+
+StripeKillRun
+stripeKillWorkload(int victim)  // victim < 0: clean run, nothing dies
+{
+    const Cycles killAt = 3000000;
+    M3SystemCfg cfg;
+    cfg.appPes = 2;
+    cfg.distfsStripes = SK_STRIPES;
+    cfg.distfsReplicas = 2;
+    cfg.distfsSpares = 1;
+    cfg.fsSpec.dirs = {"/data"};
+    cfg.fsSpec.totalBlocks = 16384;
+    if (victim >= 0) {
+        cfg.watchdogDeadline = 50000;
+        cfg.watchdogPeriod = 10000;
+        cfg.faults.seed = 1234 + static_cast<uint64_t>(victim);
+        // fs instance k serves stripe k from PE 1 + k.
+        cfg.faults.killPes = {
+            {static_cast<uint32_t>(1 + victim), killAt}};
+    }
+    StripeKillRun out;
+    trace::Metrics::reset();
+    M3System sys(cfg);
+    sys.runRoot("root", [&out, victim, killAt] {
+        Env &env = Env::cur();
+        Error err = Error::None;
+        auto dfs = m3fs::DistfsSession::create(env, err);
+        if (!dfs)
+            return 10;
+        const std::vector<std::pair<std::string, size_t>> files = {
+            {"/data/f0", 24000},
+            {"/data/f1", 33000},
+            {"/data/f2", 48000}};
+        std::vector<std::vector<uint8_t>> datas;
+        for (size_t i = 0; i < files.size(); ++i) {
+            datas.push_back(m3fs::FsImage::patternData(
+                files[i].second, static_cast<uint8_t>(31 + i)));
+            auto f = dfs->open(files[i].first, FILE_W | FILE_CREATE, err);
+            if (!f || f->write(datas[i].data(), datas[i].size()) !=
+                          static_cast<ssize_t>(datas[i].size()))
+                return 11;
+        }
+        // Hold a read handle across the kill (no extent locations
+        // cached yet), then wait out the kill and the watchdog reclaim.
+        auto held = dfs->open(files[0].first, FILE_R, err);
+        if (!held)
+            return 12;
+        if (victim >= 0) {
+            if (env.platform.simulator().curCycle() >= killAt)
+                return 13;  // setup overran the kill; retime the drill
+            while (env.platform.simulator().curCycle() <
+                   killAt + 500000) {
+                Fiber::current()->sleep(20000);
+                if (env.heartbeat() != Error::None)
+                    return 14;
+            }
+        }
+        auto check = [&](size_t i) {
+            auto f = dfs->open(files[i].first, FILE_R, err);
+            std::vector<uint8_t> back(files[i].second);
+            return f &&
+                   f->read(back.data(), back.size()) ==
+                       static_cast<ssize_t>(back.size()) &&
+                   back == datas[i];
+        };
+        // The held handle degrades in place; the rest via fresh opens.
+        std::vector<uint8_t> back0(files[0].second);
+        if (held->read(back0.data(), back0.size()) !=
+                static_cast<ssize_t>(back0.size()) ||
+            back0 != datas[0])
+            return 15;
+        held.reset();
+        if (!check(1) || !check(2))
+            return 16;
+        // A degraded write: created after the kill, the dead stripe's
+        // units live on their replica hosts only.
+        auto data3 = m3fs::FsImage::patternData(56000, 77);
+        {
+            auto f = dfs->open("/data/f3", FILE_W | FILE_CREATE, err);
+            if (!f || f->write(data3.data(), data3.size()) !=
+                          static_cast<ssize_t>(data3.size()))
+                return 17;
+        }
+        {
+            auto f = dfs->open("/data/f3", FILE_R, err);
+            std::vector<uint8_t> back(data3.size());
+            if (!f ||
+                f->read(back.data(), back.size()) !=
+                    static_cast<ssize_t>(back.size()) ||
+                back != data3)
+                return 18;
+        }
+        if (victim >= 0) {
+            if (!dfs->stripeDead(static_cast<uint32_t>(victim)))
+                return 19;
+            // Rebuild onto the spare instance, then verify every file
+            // again with the full stripe set live.
+            if (dfs->rebuild(static_cast<uint32_t>(victim),
+                             M3SystemCfg::fsName(SK_STRIPES)) !=
+                Error::None)
+                return 20;
+            if (dfs->stripeDead(static_cast<uint32_t>(victim)))
+                return 21;
+            if (!check(0) || !check(1) || !check(2))
+                return 22;
+        }
+        return 0;
+    });
+    sys.simulate();
+    out.rc = sys.rootExitCode();
+    out.wall = sys.now();
+    out.degradedReads =
+        trace::Metrics::counter("distfs.degraded_reads").value;
+    out.stripeDeaths =
+        trace::Metrics::counter("distfs.stripe_deaths").value;
+    out.rebuilds = trace::Metrics::counter("distfs.rebuilds").value;
+    out.rebuiltFiles =
+        trace::Metrics::counter("distfs.rebuilt_files").value;
+    out.stripesDeadEnd =
+        trace::Metrics::gauge("distfs.stripes_dead").value;
+    return out;
+}
+
+bool
+stripeKillDrill()
+{
+    // Metrics on: the degraded-read and rebuild counters are the report.
+    trace::Metrics::enable();
+    bench::header("stripe kill, distfs " + std::to_string(SK_STRIPES) +
+                      " stripes R=2 + spare, kill each stripe in turn",
+                  {"run", "wall", "degraded", "deaths", "rebuilt files",
+                   "dead at end"});
+    StripeKillRun clean = stripeKillWorkload(-1);
+    std::vector<StripeKillRun> killed;
+    for (uint32_t v = 0; v < SK_STRIPES; ++v)
+        killed.push_back(stripeKillWorkload(static_cast<int>(v)));
+    auto row = [](const std::string &name, const StripeKillRun &r) {
+        bench::cell(name);
+        bench::cellCycles(r.wall);
+        bench::cell(std::to_string(r.degradedReads));
+        bench::cell(std::to_string(r.stripeDeaths));
+        bench::cell(std::to_string(r.rebuiltFiles));
+        bench::cell(std::to_string(r.stripesDeadEnd));
+        bench::endRow();
+    };
+    row("clean", clean);
+    for (uint32_t v = 0; v < SK_STRIPES; ++v)
+        row("kill stripe " + std::to_string(v), killed[v]);
+
+    bool ok = true;
+    bool allRc = clean.rc == 0;
+    bool allDegraded = true, allRebuilt = true, allRecovered = true;
+    for (const StripeKillRun &r : killed) {
+        allRc &= r.rc == 0;
+        allDegraded &= r.degradedReads > 0 && r.stripeDeaths == 1;
+        allRebuilt &= r.rebuilds == 1 && r.rebuiltFiles > 0;
+        allRecovered &= r.stripesDeadEnd == 0;
+    }
+    ok &= bench::verdict("every run reads every byte back intact (rc 0)",
+                         allRc);
+    ok &= bench::verdict("each kill run served degraded reads "
+                         "(one stripe death, zero PeerGone surfaced)",
+                         allDegraded);
+    ok &= bench::verdict("each kill run rebuilt the stripe onto the "
+                         "spare",
+                         allRebuilt);
+    ok &= bench::verdict("no stripe left dead after rebuild", allRecovered);
+    ok &= bench::verdict("the clean run never degraded",
+                         clean.degradedReads == 0 &&
+                             clean.stripeDeaths == 0);
+    return ok;
+}
+
 } // anonymous namespace
 
 int
@@ -229,6 +424,7 @@ main(int argc, char **argv)
     std::string traceFile;
     std::string metricsFile;
     bool rollingRestart = false;
+    bool stripeKill = false;
     workloads::EngineArgs eng;
     eng.loadEnv();
     for (int i = 1; i < argc; ++i) {
@@ -239,6 +435,8 @@ main(int argc, char **argv)
             metricsFile = arg.substr(10);
         } else if (arg == "--rolling-restart") {
             rollingRestart = true;
+        } else if (arg == "--stripe-kill") {
+            stripeKill = true;
         } else if (eng.parse(arg)) {
             // Accepted for harness uniformity, but every robustness
             // scenario injects faults or migrates VPEs — both are
@@ -246,7 +444,8 @@ main(int argc, char **argv)
             // use the serial engine (S=1, where threads cannot bite).
         } else {
             std::fprintf(stderr, "usage: robustness [--trace=FILE] "
-                                 "[--metrics=FILE] [--rolling-restart]\n"
+                                 "[--metrics=FILE] [--rolling-restart] "
+                                 "[--stripe-kill]\n"
                                  "  [--threads=N] [--shards=K] (accepted; "
                                  "fault/migration runs stay serial)\n");
             return 2;
@@ -260,13 +459,17 @@ main(int argc, char **argv)
     if (!metricsFile.empty())
         trace::Metrics::enable();
 
-    if (rollingRestart) {
-        bool rrOk = rollingRestartDrill();
+    if (rollingRestart || stripeKill) {
+        bool drillOk = true;
+        if (rollingRestart)
+            drillOk &= rollingRestartDrill();
+        if (stripeKill)
+            drillOk &= stripeKillDrill();
         if (!traceFile.empty() && !trace::Tracer::writeJson(traceFile))
             return 1;
         if (!metricsFile.empty() && !trace::Metrics::writeJson(metricsFile))
             return 1;
-        return rrOk ? 0 : 1;
+        return drillOk ? 0 : 1;
     }
 
     bool ok = true;

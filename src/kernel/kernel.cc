@@ -1381,8 +1381,8 @@ Kernel::sysOpenSess(Vpe &caller, Unmarshaller &um, uint32_t slot)
     // A striped group name fans out by the session arg: the client's
     // placement map addresses stripe k as OpenSess(group, k).
     auto git = serviceGroups.find(name);
-    if (git != serviceGroups.end() && !git->second.empty())
-        name = git->second[arg % git->second.size()];
+    if (git != serviceGroups.end() && !git->second.members.empty())
+        name = git->second.members[arg % git->second.members.size()];
 
     auto it = services.find(name);
     if (it == services.end()) {
@@ -2835,10 +2835,12 @@ Kernel::sysQuerySrv(Vpe &, Unmarshaller &um, uint32_t slot)
     Marshaller m(buf, sizeof(buf));
     auto git = serviceGroups.find(name);
     if (git != serviceGroups.end()) {
-        m << Error::None << static_cast<uint64_t>(git->second.size());
+        m << Error::None
+          << static_cast<uint64_t>(git->second.members.size())
+          << static_cast<uint64_t>(git->second.replicas);
     } else if (services.count(name) ||
                (multiKernel() && remoteServices.count(name))) {
-        m << Error::None << uint64_t{1};
+        m << Error::None << uint64_t{1} << uint64_t{1};
     } else {
         m << Error::NoSuchService;
     }

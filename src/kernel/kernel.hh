@@ -277,12 +277,15 @@ class Kernel
      * Register a striped service group: OpenSess on @p name resolves to
      * members[arg % members.size()] (distfs stripe fan-out). Members may
      * live in other domains; PR 5 delegation handles those opens.
+     * @p replicas is advertised through QuerySrv so every client mounts
+     * the group with the same mirroring factor (distfs replication).
      */
     void
     addServiceGroup(const std::string &name,
-                    std::vector<std::string> members)
+                    std::vector<std::string> members,
+                    uint32_t replicas = 1)
     {
-        serviceGroups[name] = std::move(members);
+        serviceGroups[name] = ServiceGroup{std::move(members), replicas};
     }
 
     /** Install the kernel program on its PE and start it. */
@@ -458,8 +461,14 @@ class Kernel
     // Service registry.
     std::map<std::string, std::shared_ptr<ServObj>> services;
     /** Striped service groups (distfs): a virtual name that fans out
-     *  OpenSess across its member services, keyed by the session arg. */
-    std::map<std::string, std::vector<std::string>> serviceGroups;
+     *  OpenSess across its member services, keyed by the session arg,
+     *  plus the replication factor advertised to mounting clients. */
+    struct ServiceGroup
+    {
+        std::vector<std::string> members;
+        uint32_t replicas = 1;
+    };
+    std::map<std::string, ServiceGroup> serviceGroups;
     uint64_t nextSessIdent = 1;
 
     // Deferred syscall replies.

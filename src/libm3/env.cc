@@ -467,13 +467,22 @@ Env::openSess(capsel_t dstSel, const std::string &name, uint64_t arg)
 }
 
 Error
-Env::querySrv(const std::string &name, uint64_t &groupSize)
+Env::querySrv(const std::string &name, uint64_t &groupSize,
+              uint64_t &replicas)
 {
     Marshaller m = beginSyscall();
     m << kif::Syscall::QuerySrv << name;
     return sysCall(m, [&](Unmarshaller &um) {
         groupSize = um.pull<uint64_t>();
+        replicas = um.pull<uint64_t>();
     });
+}
+
+Error
+Env::querySrv(const std::string &name, uint64_t &groupSize)
+{
+    uint64_t replicas = 1;
+    return querySrv(name, groupSize, replicas);
 }
 
 Error

@@ -171,8 +171,13 @@ class Env
     Error openSess(capsel_t dstSel, const std::string &name, uint64_t arg);
     /**
      * Query a service name: @p groupSize returns the stripe count of a
-     * striped service group (distfs), 1 for a plain service.
+     * striped service group (distfs), 1 for a plain service, and
+     * @p replicas the group's advertised replication factor (1 when
+     * unreplicated) — every mounting client learns the same mirroring
+     * policy from the kernel instead of carrying its own flag.
      */
+    Error querySrv(const std::string &name, uint64_t &groupSize,
+                   uint64_t &replicas);
     Error querySrv(const std::string &name, uint64_t &groupSize);
     /**
      * Exchange capabilities over a session; the service arbitrates

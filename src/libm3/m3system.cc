@@ -30,12 +30,23 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
         fatal("numKernels must be at least 1");
     if (cfg.distfsStripes == 0)
         fatal("distfsStripes must be at least 1");
+    if (cfg.distfsReplicas == 0)
+        fatal("distfsReplicas must be at least 1");
+    if (cfg.distfsReplicas > cfg.distfsStripes)
+        fatal("distfsReplicas (%u) cannot exceed distfsStripes (%u): "
+              "every copy needs its own stripe",
+              cfg.distfsReplicas, cfg.distfsStripes);
     const bool striped = cfg.distfsStripes > 1;
+    if (cfg.distfsSpares && !striped)
+        fatal("distfsSpares requires a striped machine "
+              "(distfsStripes > 1)");
     if (striped) {
         if (!cfg.withFs)
             fatal("distfs requires withFs");
-        // One m3fs instance per stripe; the group fans sessions out.
-        cfg.fsInstances = cfg.distfsStripes;
+        // One m3fs instance per stripe, plus the standby spares that
+        // rebuild() re-mirrors dead stripes onto; the group fans
+        // sessions out over the stripes only.
+        cfg.fsInstances = cfg.distfsStripes + cfg.distfsSpares;
     }
     if (cfg.shards > 1) {
         // The shard cut is the kernel-domain boundary: with S ==
@@ -84,7 +95,7 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
     // Striped machines give every stripe its own DRAM module so the
     // stripes' memory bandwidth adds up instead of queueing at one
     // controller; modules == 1 keeps the seed's node numbering.
-    spec.dramModules = striped ? cfg.distfsStripes : 1;
+    spec.dramModules = striped ? cfg.fsInstances : 1;
     uint32_t generalPes = cfg.numKernels + fsCount() + cfg.appPes;
     spec.pes.assign(generalPes, PeDesc::general());
     // A striped data plane multiplies the client's concurrent gates
@@ -94,8 +105,14 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
     // round trips. Non-striped machines keep the prototype's 8 EPs —
     // and their exact cycle counts.
     if (striped) {
+        // Replicated mounts hold one extra subfile (and its in-flight
+        // memory gate) per stripe and copy; widen further so mirrored
+        // writes do not thrash the endpoint cache. R = 1 keeps the
+        // PR 9 formula — and its exact cycle counts.
+        uint32_t want = 4 + 3 * cfg.distfsStripes +
+                        2 * cfg.distfsStripes * (cfg.distfsReplicas - 1);
         epid_t eps = static_cast<epid_t>(
-            std::min<uint32_t>(MAX_EP_COUNT, 4 + 3 * cfg.distfsStripes));
+            std::min<uint32_t>(MAX_EP_COUNT, want));
         for (PeDesc &d : spec.pes)
             d.epCount = std::max(d.epCount, eps);
     }
@@ -229,10 +246,11 @@ M3System::M3System(M3SystemCfg config) : cfg(std::move(config))
         // resolves anywhere (members in other domains are reached via
         // the cross-domain service announcement).
         std::vector<std::string> members;
-        for (uint32_t k = 0; k < fsCount(); ++k)
+        for (uint32_t k = 0; k < cfg.distfsStripes; ++k)
             members.push_back(M3SystemCfg::fsName(k));
         for (auto &kern : kerns)
-            kern->addServiceGroup(M3SystemCfg::DISTFS_GROUP, members);
+            kern->addServiceGroup(M3SystemCfg::DISTFS_GROUP, members,
+                                  cfg.distfsReplicas);
     }
 
     if (trace::Tracer::on) {

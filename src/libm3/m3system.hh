@@ -65,6 +65,24 @@ struct M3SystemCfg
     uint32_t distfsStripes = 1;
     /** distfs striping unit in blocks (8 KiB with 1 KiB blocks). */
     uint32_t distfsUnitBlocks = 8;
+    /**
+     * distfs replication factor R (1 = unreplicated, bit-identical to
+     * before). With R >= 2 every unit placed on stripe s is mirrored
+     * onto the next-neighbour stripes (s+r) % N for r < R: writes fan
+     * each gathered run out to all copies, reads go primary-first and
+     * fall back to a replica when the primary's server is dead, so a
+     * single stripe kill degrades the mount instead of losing data.
+     * Advertised to clients through the service group (QuerySrv).
+     */
+    uint32_t distfsReplicas = 1;
+    /**
+     * Spare m3fs instances beyond the stripe set: booted with their own
+     * DRAM modules and registered as plain services (fsName(k) for
+     * k >= distfsStripes) but kept out of the distfs group — standby
+     * replacements that DistfsSession::rebuild() re-mirrors a dead
+     * stripe onto.
+     */
+    uint32_t distfsSpares = 0;
 
     /** The service-group name distfs machines register. */
     static constexpr const char *DISTFS_GROUP = "distfs";

@@ -193,6 +193,14 @@ class M3fsFile : public File
      */
     void buildClose(Marshaller &m);
 
+    /**
+     * distfs: drop the handle without sending Close — the server is
+     * dead and a Close on its channel would wait forever. The generous
+     * append allocation stays untruncated; a rebuild re-mirrors the
+     * subfile from a replica anyway.
+     */
+    void abandon() { closed = true; }
+
     uint64_t fileSize() const { return size; }
 
   private:

@@ -238,6 +238,7 @@ runM3Scalability(const std::string &benchName, uint32_t instances,
     cfg.fsInstances = opts.fsInstances;
     cfg.distfsStripes = opts.distfsStripes;
     cfg.distfsUnitBlocks = opts.distfsUnitBlocks;
+    cfg.distfsReplicas = opts.distfsReplicas;
     cfg.numKernels = opts.numKernels;
     cfg.shards = opts.shards;
     cfg.threads = opts.threads;

@@ -87,6 +87,8 @@ struct M3RunOpts
     uint32_t distfsStripes = 1;
     /** distfs striping unit in blocks. */
     uint32_t distfsUnitBlocks = 8;
+    /** distfs replication factor R (1 = unreplicated; see M3SystemCfg). */
+    uint32_t distfsReplicas = 1;
     /**
      * Override the streaming I/O buffer for trace benches (bytes,
      * 0 = keep the trace's own sizes). Only sendfile-style bulk ops

@@ -100,16 +100,17 @@ echo "=== simperf smoke (vs BENCH_simperf.json)"
 echo "=== fig6 multi-kernel verdict"
 ./build-release/bench/fig6_scalability --multikernel-only
 
-# Striped-data-plane gate: the distfs table of fig6 must keep both
+# Striped-data-plane gate: the distfs tables of fig6 must keep their
 # verdicts (two stripes beat the single instance on tar and untar;
-# four stripes deliver >= 1.6x bandwidth on both). Simulated cycles
-# are sanitizer-independent, so the same verdicts run once against
-# the release build and once under ASan+UBSan — the pipelined
-# metadata fan-out and the parallel per-stripe DTU transfers are
-# exactly where lifetime bugs would hide. The randomized striped
-# invariant suites (Invariants.Striped*) ride the sanitized -L slow
-# pass above via test_invariants.
-echo "=== fig6 distfs striped verdict (release + sanitized)"
+# four stripes deliver >= 1.6x bandwidth on both; the replicated R=2
+# columns bound the write-amplification cost). Simulated cycles are
+# sanitizer-independent, so the same verdicts run once against the
+# release build and once under ASan+UBSan — the pipelined metadata
+# fan-out, the replica mirror segments and the parallel per-stripe DTU
+# transfers are exactly where lifetime bugs would hide. The randomized
+# striped invariant suites (Invariants.Striped*) ride the sanitized
+# -L slow pass above via test_invariants.
+echo "=== fig6 distfs striped + replicated verdict (release + sanitized)"
 ./build-release/bench/fig6_scalability --distfs-only
 ./build-asan/bench/fig6_scalability --distfs-only
 
@@ -129,5 +130,15 @@ grep -q '\[  PASSED  \] 1 test' "$obs/pipe_teardown.log"
 # migration. The bench prints the table and enforces the verdicts.
 echo "=== rolling restart drill (live migration)"
 ./build-release/bench/robustness --rolling-restart
+
+# Stripe-kill gate: replicated distfs (R=2 + spare) must survive the
+# kill of each stripe's server PE in turn — every byte reads back
+# intact with zero PeerGone surfaced, and the rebuild onto the spare
+# restores the full stripe set. Runs against the release build and
+# under ASan+UBSan: degraded reads re-route through replica handles and
+# abandoned subfiles — exactly where lifetime bugs would hide.
+echo "=== stripe kill drill (replicated distfs, release + sanitized)"
+./build-release/bench/robustness --stripe-kill
+./build-asan/bench/robustness --stripe-kill
 
 echo "=== all checks passed"

@@ -19,6 +19,7 @@
  *   --stripes N        stripe the data plane over N m3fs instances
  *                      (distfs; scalability mode only)
  *   --stripe-unit B    distfs striping unit in blocks (default 8)
+ *   --replicas R       distfs replication factor (default 1 = off)
  *   --io-chunk N       streaming buffer override for trace benches
  *   --kernels K        shard the control plane over K kernels
  *   --shards=K         shard the engine (requires K == --kernels)
@@ -164,6 +165,8 @@ main(int argc, char **argv)
         } else if (arg == "--stripe-unit") {
             m3opts.distfsUnitBlocks =
                 static_cast<uint32_t>(intArg("u"));
+        } else if (arg == "--replicas") {
+            m3opts.distfsReplicas = static_cast<uint32_t>(intArg("r"));
         } else if (arg == "--io-chunk") {
             m3opts.ioChunk = static_cast<uint32_t>(intArg("c"));
         } else if (arg == "--kernels") {
